@@ -1,0 +1,170 @@
+// Package repro's root benchmark suite regenerates the paper's
+// evaluation (one benchmark per table and figure, §V) under `go test
+// -bench=. -benchmem`. Each benchmark runs the corresponding experiment
+// from internal/bench at a reduced default scale and reports the paper's
+// metric through b.ReportMetric:
+//
+//	BenchmarkTable1GTCPWeakScaling    — end-to-end KB/s per process per run
+//	BenchmarkFig9PerComponentThroughput — per-component KB/s per process
+//	BenchmarkTable2AIOComparison      — completion seconds for AIO / SmartBlock / sim-only
+//	BenchmarkFig10MagnitudeStrongScaling — timestep seconds vs MB per process
+//	BenchmarkAblation*                — the DESIGN.md §5 design-choice ablations
+//
+// The SBBENCH_SIZE environment variable scales the workloads (default
+// 0.25; the sbbench binary defaults to 1.0 for report-quality numbers).
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func sizeFactor() float64 {
+	if s := os.Getenv("SBBENCH_SIZE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.25
+}
+
+func BenchmarkTable1GTCPWeakScaling(b *testing.B) {
+	scales := bench.DefaultGTCPScales(sizeFactor())
+	for _, scale := range scales {
+		b.Run(fmt.Sprintf("%s/procs=%d", scale.Name, scale.TotalProcs()), func(b *testing.B) {
+			var last bench.GTCPWeakResult
+			for i := 0; i < b.N; i++ {
+				results, err := bench.RunGTCPWeak(context.Background(), []bench.GTCPScale{scale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = results[0]
+			}
+			b.ReportMetric(bench.KBps(last.EndToEndThroughput()), "KB/s/proc")
+			b.ReportMetric(float64(scale.OutputBytes())/bench.MB, "MB-output")
+		})
+	}
+}
+
+func BenchmarkFig9PerComponentThroughput(b *testing.B) {
+	scales := bench.DefaultGTCPScales(sizeFactor())
+	for _, scale := range scales {
+		b.Run(scale.Name, func(b *testing.B) {
+			var rows []bench.Fig9Row
+			for i := 0; i < b.N; i++ {
+				results, err := bench.RunGTCPWeak(context.Background(), []bench.GTCPScale{scale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = bench.Fig9Rows(results)
+			}
+			b.ReportMetric(bench.KBps(rows[0].Select), "select-KB/s/proc")
+			b.ReportMetric(bench.KBps(rows[0].DimRed1), "dimred1-KB/s/proc")
+			b.ReportMetric(bench.KBps(rows[0].DimRed2), "dimred2-KB/s/proc")
+		})
+	}
+}
+
+func BenchmarkTable2AIOComparison(b *testing.B) {
+	scales := bench.DefaultAIOScales(sizeFactor())
+	for _, scale := range scales {
+		b.Run(fmt.Sprintf("%s/MB=%s", scale.Name, bench.Sizef(scale.OutputBytes())), func(b *testing.B) {
+			var row bench.AIOComparisonRow
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunAIOComparison(context.Background(), []bench.AIOScale{scale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(row.AIO.Seconds(), "aio-s")
+			b.ReportMetric(row.SB.Seconds(), "smartblock-s")
+			b.ReportMetric(row.SimOnly.Seconds(), "simonly-s")
+			b.ReportMetric(row.OverheadPct(), "overhead-%")
+		})
+	}
+}
+
+func BenchmarkFig10MagnitudeStrongScaling(b *testing.B) {
+	cfg := bench.DefaultFig10Config(sizeFactor())
+	for _, magProcs := range cfg.MagProcsSweep {
+		one := cfg
+		one.MagProcsSweep = []int{magProcs}
+		b.Run(fmt.Sprintf("magProcs=%d", magProcs), func(b *testing.B) {
+			var row bench.Fig10Row
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunMagnitudeStrongScaling(context.Background(), one)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(row.StepTime.Seconds(), "timestep-s")
+			b.ReportMetric(float64(row.BytesPerProc)/bench.MB, "MB/proc")
+		})
+	}
+}
+
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	particles := int(20000 * sizeFactor())
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var rows []bench.AblationRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = bench.RunQueueDepthAblation(context.Background(), particles, 4, []int{depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].Elapsed.Seconds(), "end2end-s")
+		})
+	}
+}
+
+func BenchmarkAblationFusion(b *testing.B) {
+	particles := int(20000 * sizeFactor())
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunFusionAblation(context.Background(), particles, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Elapsed.Seconds(), "pipeline-s")
+	b.ReportMetric(rows[1].Elapsed.Seconds(), "fused-s")
+}
+
+func BenchmarkAblationPartitionAxis(b *testing.B) {
+	points := int(4096 * sizeFactor())
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunPartitionPolicyAblation(context.Background(), 4, points, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Elapsed.Seconds(), "first-axis-s")
+	b.ReportMetric(rows[1].Elapsed.Seconds(), "longest-axis-s")
+}
+
+func BenchmarkAblationTransport(b *testing.B) {
+	atoms := int(50000 * sizeFactor())
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunTransportAblation(context.Background(), atoms, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Elapsed.Seconds(), "inproc-s")
+	b.ReportMetric(rows[1].Elapsed.Seconds(), "tcp-s")
+}

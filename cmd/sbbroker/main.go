@@ -1,0 +1,36 @@
+// Command sbbroker serves a SmartBlock stream broker over TCP, the
+// rendezvous point for workflows whose components run as separate OS
+// processes (via sbrun -broker or sbcomp):
+//
+//	sbbroker [-addr :7777]
+//
+// It prints the bound address and runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/flexpath"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address (port 0 picks a free port)")
+	flag.Parse()
+
+	srv, err := flexpath.NewServer(flexpath.NewBroker(), *addr)
+	if err != nil {
+		log.Fatalf("sbbroker: %v", err)
+	}
+	fmt.Printf("sbbroker listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if err := srv.Close(); err != nil {
+		log.Fatalf("sbbroker: %v", err)
+	}
+}

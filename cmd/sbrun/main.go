@@ -1,0 +1,104 @@
+// Command sbrun launches a complete SmartBlock workflow from an
+// aprun-style job script (the paper's Fig. 8 format):
+//
+//	sbrun [-v] [-broker host:port] workflow.sh
+//
+// Every aprun line becomes a component stage; all stages launch
+// simultaneously and rendezvous on their stream names. With -broker the
+// streams live on a remote sbbroker, letting several sbrun/sbcomp
+// processes form one workflow; otherwise an in-process broker is used.
+//
+// Example script:
+//
+//	aprun -n 4 lammps dump.fp atoms 20000 5 &
+//	aprun -n 2 select dump.fp atoms 1 sel.fp lmpsel vx vy vz &
+//	aprun -n 2 magnitude sel.fp lmpsel velos.fp velocities &
+//	aprun -n 1 histogram velos.fp velocities 16 velocity_hist.txt &
+//	wait
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/flexpath"
+	"repro/internal/launch"
+	"repro/internal/sb"
+	"repro/internal/workflow"
+
+	_ "repro/internal/sim/gromacs"
+	_ "repro/internal/sim/gtcp"
+	_ "repro/internal/sim/lammps"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "log component diagnostics")
+	lintOnly := flag.Bool("lint", false, "check the workflow's stream wiring and exit without running")
+	broker := flag.String("broker", "", "address of a remote sbbroker (default: in-process broker)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbrun [flags] workflow.sh\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := launch.ParseFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("sbrun: %v", err)
+	}
+
+	// Wiring check: a misnamed stream would otherwise wedge the whole job
+	// (readers block forever on a stream nobody publishes).
+	issues, err := workflow.Lint(spec)
+	if err != nil {
+		log.Fatalf("sbrun: %v", err)
+	}
+	fatal := false
+	for _, issue := range issues {
+		fmt.Fprintln(os.Stderr, "sbrun:", issue)
+		if issue.Severity == "error" {
+			fatal = true
+		}
+	}
+	if fatal {
+		log.Fatalf("sbrun: refusing to launch a mis-wired workflow (see errors above)")
+	}
+	if *lintOnly {
+		if len(issues) == 0 {
+			fmt.Println("workflow wiring OK")
+		}
+		return
+	}
+
+	var transport sb.Transport
+	if *broker != "" {
+		client := flexpath.Dial(*broker)
+		defer client.Close()
+		transport = sb.ClientTransport{Client: client}
+	} else {
+		transport = sb.BrokerTransport{Broker: flexpath.NewBroker()}
+	}
+
+	opts := workflow.Options{}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := workflow.Run(ctx, transport, spec, opts)
+	if res != nil {
+		fmt.Print(workflow.Report(res))
+	}
+	if err != nil {
+		log.Fatalf("sbrun: %v", err)
+	}
+}

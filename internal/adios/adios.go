@@ -1,0 +1,90 @@
+// Package adios is the self-describing data layer of this SmartBlock
+// reproduction, modeled on the Adaptable I/O System interface the paper
+// builds on (Lofstead et al., IPDPS 2009). It gives workflow components
+// the two properties SmartBlock leans on (§III, §IV):
+//
+//   - Self-description: every timestep travels with its variables' names,
+//     labeled global dimensions, and string attributes (such as the
+//     "header" naming the quantities in a dimension), so a downstream
+//     component can discover the shape of what it receives and partition
+//     it automatically.
+//
+//   - Bounding-box read selections: each reading rank declares the
+//     sub-block of the global array it wants, and the layer assembles
+//     that box from however many writer-rank blocks intersect it — the
+//     MxN exchange.
+//
+// The layer is transport-agnostic: it speaks to any BlockWriter /
+// BlockReader, normally the FlexPath-like broker in package flexpath.
+// ("Other implementation paths are possible here, requiring mainly a
+// common communication mechanism and a typed payload" — §IV.)
+package adios
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/ndarray"
+)
+
+// BlockWriter is the transport-side contract for one writer rank: it
+// accepts one (metadata, payload) block per timestep, in step order, and
+// is closed when the rank finishes. flexpath.Writer implements it.
+type BlockWriter interface {
+	PublishBlock(ctx context.Context, step int, meta, payload []byte) error
+	Close() error
+}
+
+// BlockReader is the transport-side contract for one reader rank.
+// StepMeta blocks until the step is complete and returns every writer
+// rank's metadata blob (io.EOF after the stream ends); FetchBlock returns
+// one writer rank's payload; ReleaseStep lets the transport retire the
+// step. flexpath.Reader implements it.
+type BlockReader interface {
+	StepMeta(ctx context.Context, step int) ([][]byte, error)
+	FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error)
+	ReleaseStep(step int) error
+	Close() error
+}
+
+// VarMeta describes one variable's block as written by one rank: the
+// variable name, the labeled global dimensions of the full array, and the
+// bounding box this rank's block occupies within it.
+type VarMeta struct {
+	Name       string
+	GlobalDims []ndarray.Dim
+	Box        ndarray.Box
+}
+
+// GlobalShape returns the sizes of the global dimensions.
+func (v VarMeta) GlobalShape() []int {
+	out := make([]int, len(v.GlobalDims))
+	for i, d := range v.GlobalDims {
+		out[i] = d.Size
+	}
+	return out
+}
+
+// BlockMeta is the self-describing metadata one writer rank attaches to
+// one timestep: its variables' shapes/boxes plus the step's attributes.
+type BlockMeta struct {
+	Step  int
+	Vars  []VarMeta
+	Attrs map[string]string
+}
+
+// listSeparator joins and splits string-list attributes such as the
+// quantity header the Select component matches names against.
+const listSeparator = ","
+
+// JoinList encodes a list-of-strings attribute value.
+func JoinList(items []string) string { return strings.Join(items, listSeparator) }
+
+// SplitList decodes a list-of-strings attribute value; an empty value
+// yields a nil slice.
+func SplitList(v string) []string {
+	if v == "" {
+		return nil
+	}
+	return strings.Split(v, listSeparator)
+}

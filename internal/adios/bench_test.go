@@ -1,0 +1,69 @@
+package adios
+
+import (
+	"testing"
+
+	"repro/internal/ndarray"
+)
+
+func benchMeta() *BlockMeta {
+	return &BlockMeta{
+		Step: 42,
+		Vars: []VarMeta{{
+			Name: "atoms",
+			GlobalDims: []ndarray.Dim{
+				{Name: "nparticles", Size: 1 << 20},
+				{Name: "nprops", Size: 5},
+			},
+			Box: ndarray.Box{Offsets: []int{0, 0}, Counts: []int{1 << 18, 5}},
+		}},
+		Attrs: map[string]string{"header.nprops": "ID,Type,vx,vy,vz"},
+	}
+}
+
+func BenchmarkEncodeMeta(b *testing.B) {
+	m := benchMeta()
+	for i := 0; i < b.N; i++ {
+		EncodeMeta(m)
+	}
+}
+
+func BenchmarkDecodeMeta(b *testing.B) {
+	buf := EncodeMeta(benchMeta())
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMeta(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPayloadData(n int) ([]string, [][]float64) {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i) * 1.0001
+	}
+	return []string{"atoms"}, [][]float64{vals}
+}
+
+func BenchmarkEncodePayload1MB(b *testing.B) {
+	names, data := benchPayloadData(128 * 1024) // 1 MiB of float64
+	b.SetBytes(int64(len(data[0]) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodePayload(names, data)
+	}
+}
+
+func BenchmarkDecodePayload1MB(b *testing.B) {
+	names, data := benchPayloadData(128 * 1024)
+	buf := EncodePayload(names, data)
+	b.SetBytes(int64(len(data[0]) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePayload(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

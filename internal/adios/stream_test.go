@@ -1,0 +1,543 @@
+package adios
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flexpath"
+	"repro/internal/ndarray"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestWriterReaderSingleRank(t *testing.T) {
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	fw, err := b.AttachWriter("s.fp", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(fw, nil)
+	fr, err := b.AttachReader("s.fp", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(fr)
+
+	arr := ndarray.MustFromData([]float64{1, 2, 3, 4, 5, 6},
+		ndarray.Dim{Name: "particles", Size: 2}, ndarray.Dim{Name: "props", Size: 3})
+
+	if err := w.BeginStep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetAttribute("props", JoinList([]string{"vx", "vy", "vz"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteArray("atoms", arr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := r.BeginStep(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Step != 0 {
+		t.Fatalf("step = %d", info.Step)
+	}
+	v, ok := info.Var("atoms")
+	if !ok {
+		t.Fatal("variable atoms missing")
+	}
+	if v.Dims[0].Name != "particles" || v.Dims[0].Size != 2 || v.Dims[1].Size != 3 {
+		t.Fatalf("dims = %v", v.Dims)
+	}
+	if got := info.ListAttr("props"); len(got) != 3 || got[2] != "vz" {
+		t.Fatalf("props attr = %v", got)
+	}
+	if v.FindDim("props") != 1 || v.FindDim("nope") != -1 {
+		t.Fatalf("FindDim: %d/%d", v.FindDim("props"), v.FindDim("nope"))
+	}
+	got, err := r.ReadAll(ctx, "atoms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(arr) {
+		t.Fatalf("read %v, want %v", got.Data(), arr.Data())
+	}
+	if err := r.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Steps() != 1 {
+		t.Fatalf("writer Steps() = %d", w.Steps())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.BeginStep(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("BeginStep after close = %v, want EOF", err)
+	}
+}
+
+func TestMxNBoxAssembly(t *testing.T) {
+	// 3 writers each own a row-slab of a 12x4 global array; 2 readers each
+	// request a different slab that straddles writer boundaries.
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	const rows, cols = 12, 4
+	globalDims := []ndarray.Dim{{Name: "r", Size: rows}, {Name: "c", Size: cols}}
+	global := ndarray.New(globalDims...)
+	for i := range global.Data() {
+		global.Data()[i] = float64(i) * 1.25
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for rank := 0; rank < 3; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fw, err := b.AttachWriter("g.fp", rank, 3, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			w := NewWriter(fw, nil)
+			defer w.Close()
+			box := ndarray.PartitionAlong([]int{rows, cols}, 0, 3, rank)
+			block, err := global.CopyBox(box)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := w.BeginStep(); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.Write("field", globalDims, box, block.Data()); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.EndStep(ctx); err != nil {
+				errs <- err
+				return
+			}
+		}(rank)
+	}
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fr, err := b.AttachReader("g.fp", rank, 2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			r := NewReader(fr)
+			defer r.Close()
+			info, err := r.BeginStep(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			v, ok := info.Var("field")
+			if !ok {
+				errs <- fmt.Errorf("reader %d: field missing", rank)
+				return
+			}
+			box := ndarray.PartitionAlong(v.Shape(), 0, 2, rank)
+			got, err := r.ReadBox(ctx, "field", box)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := global.CopyBox(box)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !got.Equal(want) {
+				errs <- fmt.Errorf("reader %d assembled wrong data", rank)
+				return
+			}
+			if err := r.EndStep(); err != nil {
+				errs <- err
+			}
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestReadBoxUnalignedStraddle(t *testing.T) {
+	// One reader requests a box that overlaps all writers partially in
+	// both dimensions.
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	const rows, cols = 10, 6
+	globalDims := []ndarray.Dim{{Name: "r", Size: rows}, {Name: "c", Size: cols}}
+	global := ndarray.New(globalDims...)
+	for i := range global.Data() {
+		global.Data()[i] = float64(i)
+	}
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fw, _ := b.AttachWriter("u.fp", rank, 4, 0)
+			w := NewWriter(fw, nil)
+			defer w.Close()
+			box := ndarray.PartitionAlong([]int{rows, cols}, 0, 4, rank)
+			block, _ := global.CopyBox(box)
+			w.BeginStep()
+			w.Write("field", globalDims, box, block.Data())
+			w.EndStep(ctx)
+		}(rank)
+	}
+	fr, _ := b.AttachReader("u.fp", 0, 1)
+	r := NewReader(fr)
+	if _, err := r.BeginStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+	req := ndarray.Box{Offsets: []int{1, 2}, Counts: []int{8, 3}}
+	got, err := r.ReadBox(ctx, "field", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := global.CopyBox(req)
+	if !got.Equal(want) {
+		t.Fatalf("unaligned assembly wrong:\n got %v\nwant %v", got.Data(), want.Data())
+	}
+	r.EndStep()
+	wg.Wait()
+}
+
+func TestMultipleVarsAndSteps(t *testing.T) {
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	// Queue depth exceeds the step count because this test publishes every
+	// step before reading any (sequential single-goroutine structure).
+	fw, _ := b.AttachWriter("mv.fp", 0, 1, 8)
+	w := NewWriter(fw, nil)
+	fr, _ := b.AttachReader("mv.fp", 0, 1)
+	r := NewReader(fr)
+	const steps = 5
+	for s := 0; s < steps; s++ {
+		a := ndarray.New(ndarray.Dim{Name: "n", Size: 4}).Fill(float64(s))
+		bArr := ndarray.New(ndarray.Dim{Name: "m", Size: 2}).Fill(float64(s) * 10)
+		w.BeginStep()
+		if err := w.WriteArray("a", a); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteArray("b", bArr); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.EndStep(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	for s := 0; s < steps; s++ {
+		info, err := r.BeginStep(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Step != s || len(info.Vars) != 2 {
+			t.Fatalf("step %d info = %+v", s, info)
+		}
+		a, err := r.ReadAll(ctx, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.At(0) != float64(s) {
+			t.Fatalf("step %d a = %v", s, a.Data())
+		}
+		bv, err := r.ReadAll(ctx, "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bv.At(1) != float64(s)*10 {
+			t.Fatalf("step %d b = %v", s, bv.Data())
+		}
+		r.EndStep()
+	}
+	if _, err := r.BeginStep(ctx); !errors.Is(err, io.EOF) {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	b := flexpath.NewBroker()
+	fw, _ := b.AttachWriter("v.fp", 0, 1, 0)
+	w := NewWriter(fw, nil)
+	dims := []ndarray.Dim{{Name: "n", Size: 4}}
+	box := ndarray.WholeBox([]int{4})
+
+	if err := w.Write("x", dims, box, make([]float64, 4)); err == nil {
+		t.Error("Write outside step accepted")
+	}
+	if err := w.SetAttribute("k", "v"); err == nil {
+		t.Error("SetAttribute outside step accepted")
+	}
+	if err := w.EndStep(context.Background()); err == nil {
+		t.Error("EndStep without BeginStep accepted")
+	}
+	w.BeginStep()
+	if err := w.BeginStep(); err == nil {
+		t.Error("nested BeginStep accepted")
+	}
+	if err := w.Write("x", dims, box, make([]float64, 3)); err == nil {
+		t.Error("short data accepted")
+	}
+	badBox := ndarray.Box{Offsets: []int{2}, Counts: []int{4}}
+	if err := w.Write("x", dims, badBox, make([]float64, 4)); err == nil {
+		t.Error("out-of-range box accepted")
+	}
+	if err := w.Write("x", dims, box, make([]float64, 4)); err != nil {
+		t.Error(err)
+	}
+	if err := w.Write("x", dims, box, make([]float64, 4)); err == nil {
+		t.Error("duplicate variable in one step accepted")
+	}
+}
+
+func TestWriterGroupValidation(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`
+<adios-config>
+  <adios-group name="particles">
+    <var name="nparticles" type="integer"/>
+    <var name="nprops" type="integer"/>
+    <var name="atoms" type="double" dimensions="nparticles,nprops"/>
+  </adios-group>
+</adios-config>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := flexpath.NewBroker()
+	fw, _ := b.AttachWriter("gv.fp", 0, 1, 0)
+	w := NewWriter(fw, cfg.Group("particles"))
+	w.BeginStep()
+	good := []ndarray.Dim{{Name: "nparticles", Size: 2}, {Name: "nprops", Size: 3}}
+	if err := w.Write("atoms", good, ndarray.WholeBox([]int{2, 3}), make([]float64, 6)); err != nil {
+		t.Errorf("declared write rejected: %v", err)
+	}
+	w.EndStep(context.Background())
+	w.BeginStep()
+	if err := w.Write("undeclared", good, ndarray.WholeBox([]int{2, 3}), make([]float64, 6)); err == nil {
+		t.Error("undeclared variable accepted")
+	}
+	bad := []ndarray.Dim{{Name: "wrong", Size: 2}, {Name: "nprops", Size: 3}}
+	if err := w.Write("atoms", bad, ndarray.WholeBox([]int{2, 3}), make([]float64, 6)); err == nil {
+		t.Error("mislabeled dimensions accepted")
+	}
+	oneD := []ndarray.Dim{{Name: "nparticles", Size: 6}}
+	if err := w.Write("atoms", oneD, ndarray.WholeBox([]int{6}), make([]float64, 6)); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+	if err := w.Write("nparticles", oneD, ndarray.WholeBox([]int{6}), make([]float64, 6)); err == nil {
+		t.Error("scalar declared variable written as array accepted")
+	}
+}
+
+func TestReaderValidation(t *testing.T) {
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	fw, _ := b.AttachWriter("rv.fp", 0, 1, 0)
+	w := NewWriter(fw, nil)
+	fr, _ := b.AttachReader("rv.fp", 0, 1)
+	r := NewReader(fr)
+
+	if _, err := r.ReadAll(ctx, "x"); err == nil {
+		t.Error("ReadAll outside step accepted")
+	}
+	if err := r.EndStep(); err == nil {
+		t.Error("EndStep without BeginStep accepted")
+	}
+
+	w.BeginStep()
+	w.WriteArray("x", ndarray.New(ndarray.Dim{Name: "n", Size: 4}))
+	w.EndStep(ctx)
+
+	if _, err := r.BeginStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.BeginStep(ctx); err == nil {
+		t.Error("nested BeginStep accepted")
+	}
+	if _, err := r.ReadAll(ctx, "missing"); err == nil {
+		t.Error("read of missing variable accepted")
+	}
+	if _, err := r.ReadBox(ctx, "x", ndarray.Box{Offsets: []int{2}, Counts: []int{4}}); err == nil {
+		t.Error("out-of-range box accepted")
+	}
+}
+
+func TestInconsistentGlobalDimsAcrossWriters(t *testing.T) {
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fw, _ := b.AttachWriter("bad.fp", rank, 2, 0)
+			w := NewWriter(fw, nil)
+			defer w.Close()
+			w.BeginStep()
+			// Rank 1 lies about the global size.
+			size := 8
+			if rank == 1 {
+				size = 9
+			}
+			dims := []ndarray.Dim{{Name: "n", Size: size}}
+			box := ndarray.Box{Offsets: []int{rank * 4}, Counts: []int{4}}
+			w.Write("x", dims, box, make([]float64, 4))
+			w.EndStep(ctx)
+		}(rank)
+	}
+	fr, _ := b.AttachReader("bad.fp", 0, 1)
+	r := NewReader(fr)
+	if _, err := r.BeginStep(ctx); err == nil {
+		t.Fatal("inconsistent global dims not detected")
+	}
+	wg.Wait()
+}
+
+func TestCoverageGapDetected(t *testing.T) {
+	// Writer claims a 8-element global array but publishes only 4.
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	fw, _ := b.AttachWriter("gap.fp", 0, 1, 0)
+	w := NewWriter(fw, nil)
+	w.BeginStep()
+	dims := []ndarray.Dim{{Name: "n", Size: 8}}
+	w.Write("x", dims, ndarray.Box{Offsets: []int{0}, Counts: []int{4}}, make([]float64, 4))
+	w.EndStep(ctx)
+	fr, _ := b.AttachReader("gap.fp", 0, 1)
+	r := NewReader(fr)
+	if _, err := r.BeginStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(ctx, "x"); err == nil {
+		t.Fatal("gap in coverage not detected")
+	}
+	// The covered half is still readable.
+	if _, err := r.ReadBox(ctx, "x", ndarray.Box{Offsets: []int{1}, Counts: []int{3}}); err != nil {
+		t.Fatalf("covered sub-box unreadable: %v", err)
+	}
+}
+
+func TestStickyAttributes(t *testing.T) {
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	fw, _ := b.AttachWriter("sa.fp", 0, 1, 4)
+	w := NewWriter(fw, nil)
+	w.SetStickyAttribute("props", "a,b,c")
+	for s := 0; s < 2; s++ {
+		w.BeginStep()
+		w.WriteArray("x", ndarray.New(ndarray.Dim{Name: "n", Size: 1}))
+		w.EndStep(ctx)
+	}
+	w.Close()
+	fr, _ := b.AttachReader("sa.fp", 0, 1)
+	r := NewReader(fr)
+	for s := 0; s < 2; s++ {
+		info, err := r.BeginStep(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := info.Attrs["props"]; got != "a,b,c" {
+			t.Fatalf("step %d props = %q", s, got)
+		}
+		r.EndStep()
+	}
+}
+
+func TestShapeMayChangeAcrossSteps(t *testing.T) {
+	// Self-description is per timestep: a simulation whose unit count
+	// varies (e.g. particle insertion/deletion) publishes a different
+	// global shape each step, and readers discover it fresh from the
+	// metadata — nothing is cached across steps.
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	fw, _ := b.AttachWriter("var.fp", 0, 1, 8)
+	w := NewWriter(fw, nil)
+	sizes := []int{4, 9, 2, 7}
+	for _, n := range sizes {
+		arr := ndarray.New(ndarray.Dim{Name: "particles", Size: n}, ndarray.Dim{Name: "props", Size: 2})
+		for i := range arr.Data() {
+			arr.Data()[i] = float64(n*100 + i)
+		}
+		w.BeginStep()
+		if err := w.WriteArray("atoms", arr); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.EndStep(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	fr, _ := b.AttachReader("var.fp", 0, 1)
+	r := NewReader(fr)
+	for step, n := range sizes {
+		info, err := r.BeginStep(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := info.Var("atoms")
+		if v.Dims[0].Size != n {
+			t.Fatalf("step %d shape = %v, want %d particles", step, v.Dims, n)
+		}
+		got, err := r.ReadAll(ctx, "atoms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Size() != n*2 || got.At(0, 0) != float64(n*100) {
+			t.Fatalf("step %d data wrong", step)
+		}
+		r.EndStep()
+	}
+}
+
+func TestZeroSizedGlobalDim(t *testing.T) {
+	// A simulation may output an empty selection; the layer must pass an
+	// empty array through rather than wedging or erroring.
+	b := flexpath.NewBroker()
+	ctx := ctxT(t)
+	fw, _ := b.AttachWriter("z.fp", 0, 1, 0)
+	w := NewWriter(fw, nil)
+	w.BeginStep()
+	dims := []ndarray.Dim{{Name: "n", Size: 0}, {Name: "p", Size: 3}}
+	if err := w.Write("x", dims, ndarray.WholeBox([]int{0, 3}), nil); err != nil {
+		t.Fatal(err)
+	}
+	w.EndStep(ctx)
+	fr, _ := b.AttachReader("z.fp", 0, 1)
+	r := NewReader(fr)
+	if _, err := r.BeginStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 || got.Dim(1).Size != 3 {
+		t.Fatalf("got %v", got)
+	}
+}

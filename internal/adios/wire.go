@@ -1,0 +1,249 @@
+package adios
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ndarray"
+)
+
+// The wire format is a compact little-endian binary encoding, framed by a
+// magic and version so that stream corruption or cross-version mixups are
+// detected rather than silently mis-decoded.
+//
+// Metadata blob:
+//
+//	magic "SBM1"
+//	u32 step
+//	u32 nvars; per var:
+//	    str name
+//	    u8  ndim; per dim: str label, u64 global size
+//	    per dim: u64 box offset, u64 box count
+//	u32 nattrs; per attr (sorted by name): str name, str value
+//
+// Payload blob:
+//
+//	magic "SBP1"
+//	u32 nvars; per var: str name, u64 nvalues, nvalues * f64
+//
+// Strings are u32 length + bytes.
+const (
+	metaMagic    = "SBM1"
+	payloadMagic = "SBP1"
+)
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wireWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *wireWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *wireWriter) f64s(vals []float64) {
+	w.u64(uint64(len(vals)))
+	for _, v := range vals {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+	}
+}
+
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("adios: decode: "+format, args...)
+	}
+}
+
+func (r *wireReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.fail("truncated: need %d bytes at offset %d of %d", n, r.pos, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *wireReader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *wireReader) str() string {
+	n := int(r.u32())
+	if n > len(r.buf)-r.pos {
+		r.fail("truncated string of length %d", n)
+		return ""
+	}
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *wireReader) f64s() []float64 {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos)/8 {
+		r.fail("truncated float block of %d values", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+		r.pos += 8
+	}
+	return out
+}
+
+func (r *wireReader) magic(want string) {
+	if !r.need(len(want)) {
+		return
+	}
+	got := string(r.buf[r.pos : r.pos+len(want)])
+	if got != want {
+		r.fail("bad magic %q, want %q", got, want)
+		return
+	}
+	r.pos += len(want)
+}
+
+// EncodeMeta serializes a block's metadata.
+func EncodeMeta(m *BlockMeta) []byte {
+	w := &wireWriter{}
+	w.buf = append(w.buf, metaMagic...)
+	w.u32(uint32(m.Step))
+	w.u32(uint32(len(m.Vars)))
+	for _, v := range m.Vars {
+		w.str(v.Name)
+		w.u8(uint8(len(v.GlobalDims)))
+		for _, d := range v.GlobalDims {
+			w.str(d.Name)
+			w.u64(uint64(d.Size))
+		}
+		for i := range v.GlobalDims {
+			w.u64(uint64(v.Box.Offsets[i]))
+			w.u64(uint64(v.Box.Counts[i]))
+		}
+	}
+	names := make([]string, 0, len(m.Attrs))
+	for k := range m.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	w.u32(uint32(len(names)))
+	for _, k := range names {
+		w.str(k)
+		w.str(m.Attrs[k])
+	}
+	return w.buf
+}
+
+// DecodeMeta parses a metadata blob produced by EncodeMeta.
+func DecodeMeta(buf []byte) (*BlockMeta, error) {
+	r := &wireReader{buf: buf}
+	r.magic(metaMagic)
+	m := &BlockMeta{Step: int(r.u32()), Attrs: map[string]string{}}
+	nvars := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := 0; i < nvars && r.err == nil; i++ {
+		var v VarMeta
+		v.Name = r.str()
+		ndim := int(r.u8())
+		v.GlobalDims = make([]ndarray.Dim, ndim)
+		for d := 0; d < ndim; d++ {
+			v.GlobalDims[d].Name = r.str()
+			v.GlobalDims[d].Size = int(r.u64())
+		}
+		v.Box = ndarray.Box{Offsets: make([]int, ndim), Counts: make([]int, ndim)}
+		for d := 0; d < ndim; d++ {
+			v.Box.Offsets[d] = int(r.u64())
+			v.Box.Counts[d] = int(r.u64())
+		}
+		m.Vars = append(m.Vars, v)
+	}
+	nattrs := int(r.u32())
+	for i := 0; i < nattrs && r.err == nil; i++ {
+		k := r.str()
+		m.Attrs[k] = r.str()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("adios: decode: %d trailing bytes in metadata", len(buf)-r.pos)
+	}
+	return m, nil
+}
+
+// EncodePayload serializes the per-variable data blocks. names and data
+// must be parallel slices.
+func EncodePayload(names []string, data [][]float64) []byte {
+	w := &wireWriter{}
+	w.buf = append(w.buf, payloadMagic...)
+	w.u32(uint32(len(names)))
+	for i, name := range names {
+		w.str(name)
+		w.f64s(data[i])
+	}
+	return w.buf
+}
+
+// DecodePayload parses a payload blob into a name → values map.
+func DecodePayload(buf []byte) (map[string][]float64, error) {
+	r := &wireReader{buf: buf}
+	r.magic(payloadMagic)
+	n := int(r.u32())
+	// Cap the pre-allocation: n is attacker-controllable in a corrupt
+	// frame, and each declared variable needs at least 12 bytes of body,
+	// so anything larger than len(buf)/12 is certainly truncated anyway.
+	out := make(map[string][]float64, min(n, len(buf)/12+1))
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.str()
+		out[name] = r.f64s()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("adios: decode: %d trailing bytes in payload", len(buf)-r.pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure in the SmartBlock paper's evaluation (§V) at laptop scale:
+//
+//   - Table I + Fig. 9 — GTCP workflow weak scaling (RunGTCPWeak):
+//     end-to-end per-process throughput across five proportionally grown
+//     runs, plus per-component per-process throughputs for one timestep.
+//   - Table II — LAMMPS all-in-one vs. SmartBlock vs. simulation-only
+//     completion times across a weak-scaled size sweep (RunAIOComparison).
+//   - Fig. 10 — strong scaling of the Magnitude component in the GROMACS
+//     workflow (RunMagnitudeStrongScaling).
+//   - Ablations for the design choices DESIGN.md calls out: writer queue
+//     depth, pipeline granularity (fusion), partition policy, and
+//     in-process vs. TCP transport.
+//
+// Absolute numbers cannot match a Cray XK7; the harness reproduces the
+// paper's *shapes*: roughly flat weak-scaling throughput with a drop at
+// the largest scale, componentization overhead within a few percent of
+// the all-in-one code, and a linear strong-scaling domain.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MB is one mebibyte of payload, the unit the paper's tables use.
+const MB = 1 << 20
+
+// Sizef renders a byte count in the paper's MB convention.
+func Sizef(bytes int64) string {
+	return fmt.Sprintf("%.1f", float64(bytes)/MB)
+}
+
+// KBps converts a bytes-per-second rate into the KB/s unit of Table I.
+func KBps(bytesPerSec float64) float64 { return bytesPerSec / 1024 }
+
+// Seconds renders a duration with the paper's two-decimal convention.
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// table is a minimal fixed-width text-table builder for harness output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range width {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/components"
+	"repro/internal/flexpath"
+	"repro/internal/sb"
+	"repro/internal/workflow"
+
+	_ "repro/internal/sim/gromacs" // register the gromacs driver
+)
+
+// Fig10Config drives the Magnitude strong-scaling experiment: "only one
+// component's process size varies … the process sizes of GROMACS and
+// Histogram are kept the same" (§V-D).
+type Fig10Config struct {
+	Atoms        int
+	Steps        int
+	GromacsProcs int
+	HistProcs    int
+	// MagProcsSweep lists the Magnitude rank counts to test; the paper's
+	// x-axis (size per proc) is Atoms×3×8 bytes divided by each count.
+	MagProcsSweep []int
+}
+
+// DefaultFig10Config spans per-proc sizes comparable in spread to the
+// paper's 6–26 MB/proc, scaled down by sizeFactor.
+func DefaultFig10Config(sizeFactor float64) Fig10Config {
+	if sizeFactor <= 0 {
+		sizeFactor = 1
+	}
+	return Fig10Config{
+		Atoms:         int(262144 * sizeFactor), // 6 MB of coordinates at factor 1
+		Steps:         3,
+		GromacsProcs:  4,
+		HistProcs:     1,
+		MagProcsSweep: []int{1, 2, 3, 4, 6, 8},
+	}
+}
+
+// Fig10Row is one sweep point: the per-process input size of Magnitude
+// and its mean timestep completion time across ranks and steps.
+type Fig10Row struct {
+	MagProcs     int
+	BytesPerProc int64
+	StepTime     time.Duration
+}
+
+// RunMagnitudeStrongScaling executes the Fig. 10 sweep.
+func RunMagnitudeStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row, error) {
+	rows := make([]Fig10Row, 0, len(cfg.MagProcsSweep))
+	for _, magProcs := range cfg.MagProcsSweep {
+		hist, err := components.NewHistogram([]string{"dist.fp", "radii", "16"})
+		if err != nil {
+			return nil, err
+		}
+		spec := workflow.Spec{
+			Name: fmt.Sprintf("gromacs-fig10-m%d", magProcs),
+			Stages: []workflow.Stage{
+				{Component: "gromacs", Args: []string{"gmx.fp", "positions",
+					fmt.Sprint(cfg.Atoms), fmt.Sprint(cfg.Steps)}, Procs: cfg.GromacsProcs},
+				{Component: "magnitude", Args: []string{"gmx.fp", "positions",
+					"dist.fp", "radii"}, Procs: magProcs},
+				{Instance: hist, Procs: cfg.HistProcs},
+			},
+		}
+		res, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig10 magProcs=%d: %w", magProcs, err)
+		}
+		m := res.Metrics("magnitude")
+		var total time.Duration
+		steps := m.Steps()
+		for _, st := range steps {
+			total += st.MeanDur
+		}
+		mean := time.Duration(0)
+		if len(steps) > 0 {
+			mean = total / time.Duration(len(steps))
+		}
+		rows = append(rows, Fig10Row{
+			MagProcs:     magProcs,
+			BytesPerProc: int64(cfg.Atoms) * 3 * 8 / int64(magProcs),
+			StepTime:     mean,
+		})
+	}
+	return rows, nil
+}
+
+// RunSelectStrongScaling repeats the Fig. 10 methodology on a different
+// component and workflow — Select in the LAMMPS pipeline — backing the
+// paper's closing claim that "numerous results we have obtained from
+// other components and workflows show similar strong scaling
+// characteristics" (§V-D). Only Select's rank count varies.
+func RunSelectStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row, error) {
+	rows := make([]Fig10Row, 0, len(cfg.MagProcsSweep))
+	for _, selProcs := range cfg.MagProcsSweep {
+		hist, err := components.NewHistogram([]string{"velos.fp", "velocities", "16"})
+		if err != nil {
+			return nil, err
+		}
+		spec := workflow.Spec{
+			Name: fmt.Sprintf("lammps-fig10b-s%d", selProcs),
+			Stages: []workflow.Stage{
+				{Component: "lammps", Args: []string{"dump.fp", "atoms",
+					fmt.Sprint(cfg.Atoms), fmt.Sprint(cfg.Steps)}, Procs: cfg.GromacsProcs},
+				{Component: "select", Args: []string{"dump.fp", "atoms", "1",
+					"sel.fp", "lmpsel", "vx", "vy", "vz"}, Procs: selProcs},
+				{Component: "magnitude", Args: []string{"sel.fp", "lmpsel",
+					"velos.fp", "velocities"}, Procs: cfg.GromacsProcs},
+				{Instance: hist, Procs: cfg.HistProcs},
+			},
+		}
+		res, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig10b selProcs=%d: %w", selProcs, err)
+		}
+		m := res.Metrics("select")
+		var total time.Duration
+		steps := m.Steps()
+		for _, st := range steps {
+			total += st.MeanDur
+		}
+		mean := time.Duration(0)
+		if len(steps) > 0 {
+			mean = total / time.Duration(len(steps))
+		}
+		rows = append(rows, Fig10Row{
+			MagProcs:     selProcs,
+			BytesPerProc: int64(cfg.Atoms) * 5 * 8 / int64(selProcs),
+			StepTime:     mean,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig10 renders a Fig. 10-style strong-scaling table: timestep
+// completion time of the swept component against per-process input size.
+func FormatFig10(title string, rows []Fig10Row) string {
+	t := newTable("Magnitude Procs", "Size per proc (MB)", "Timestep (s)")
+	for _, r := range rows {
+		t.row(
+			fmt.Sprint(r.MagProcs),
+			Sizef(r.BytesPerProc),
+			fmt.Sprintf("%.4f", r.StepTime.Seconds()),
+		)
+	}
+	return title + "\n" + t.String()
+}

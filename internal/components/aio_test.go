@@ -1,0 +1,119 @@
+package components
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/mpi"
+	"repro/internal/ndarray"
+	"repro/internal/sb"
+)
+
+func TestAIOEndToEndMatchesSerial(t *testing.T) {
+	const particles, steps, bins = 50, 3, 8
+	dir := t.TempDir()
+	path := filepath.Join(dir, "aio.txt")
+	h := newHarness(t)
+	gen := lammpsLike(particles)
+	h.produce("dump.fp", "atoms", 2, steps, gen)
+	c, err := New("aio", []string{"dump.fp", "atoms", "1", fmt.Sprint(bins), path, "vx", "vy", "vz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aio := c.(*AIO)
+	h.runComponent(c, 3)
+	h.wait()
+
+	results := aio.Results()
+	if len(results) != steps {
+		t.Fatalf("got %d results", len(results))
+	}
+	for s, r := range results {
+		// Serial reference: select columns 2..4, magnitude, histogram.
+		ref, _ := gen(s)
+		mags := make([]float64, particles)
+		for p := 0; p < particles; p++ {
+			x, y, z := ref.At(p, 2), ref.At(p, 3), ref.At(p, 4)
+			mags[p] = math.Sqrt(x*x + y*y + z*z)
+		}
+		want := serialHistogram(mags, bins)
+		if r.Total != int64(particles) || r.Min != want.Min || r.Max != want.Max {
+			t.Fatalf("step %d: %+v vs %+v", s, r, want)
+		}
+		for b := range r.Counts {
+			if r.Counts[b] != want.Counts[b] {
+				t.Fatalf("step %d counts %v, want %v", s, r.Counts, want.Counts)
+			}
+		}
+	}
+	// The output file parses back into the same histograms.
+	parsed, err := readHistFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != steps || parsed[2].Total != int64(particles) {
+		t.Fatalf("file round trip: %+v", parsed)
+	}
+}
+
+func readHistFile(path string) ([]StepHistogram, error) {
+	f, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHistogramText(f)
+}
+
+func TestAIOErrorPaths(t *testing.T) {
+	// 1-D input rejected.
+	h := newHarness(t)
+	h.produce("one.fp", "x", 1, 1, func(step int) (*ndarray.Array, map[string]string) {
+		return ndarray.New(ndarray.Dim{Name: "n", Size: 4}), nil
+	})
+	c, _ := New("aio", []string{"one.fp", "x", "1", "4", "-", "vx"})
+	err := mpi.Run(1, func(comm *mpi.Comm) error {
+		return c.Run(&sb.Env{Comm: comm, Transport: h.transport})
+	})
+	if err == nil {
+		t.Fatal("aio accepted 1-D input")
+	}
+	h.wg.Wait()
+
+	// Missing header rejected.
+	h2 := newHarness(t)
+	h2.produce("two.fp", "x", 1, 1, func(step int) (*ndarray.Array, map[string]string) {
+		return ndarray.New(ndarray.Dim{Name: "n", Size: 4}, ndarray.Dim{Name: "p", Size: 3}), nil
+	})
+	c2, _ := New("aio", []string{"two.fp", "x", "1", "4", "-", "vx"})
+	err = mpi.Run(1, func(comm *mpi.Comm) error {
+		return c2.Run(&sb.Env{Comm: comm, Transport: h2.transport})
+	})
+	if err == nil || !contains(err.Error(), "header") {
+		t.Fatalf("err = %v", err)
+	}
+	h2.wg.Wait()
+
+	// Unknown quantity name rejected.
+	h3 := newHarness(t)
+	h3.produce("three.fp", "x", 1, 1, func(step int) (*ndarray.Array, map[string]string) {
+		return ndarray.New(ndarray.Dim{Name: "n", Size: 4}, ndarray.Dim{Name: "props", Size: 3}),
+			map[string]string{HeaderAttr("props"): adios.JoinList([]string{"a", "b", "c"})}
+	})
+	c3, _ := New("aio", []string{"three.fp", "x", "1", "4", "-", "zz"})
+	err = mpi.Run(1, func(comm *mpi.Comm) error {
+		return c3.Run(&sb.Env{Comm: comm, Transport: h3.transport})
+	})
+	if err == nil || !contains(err.Error(), "zz") {
+		t.Fatalf("err = %v", err)
+	}
+	h3.wg.Wait()
+}
+
+// openFile is a tiny indirection so the test reads the same file the
+// component wrote.
+func openFile(path string) (*os.File, error) { return os.Open(path) }

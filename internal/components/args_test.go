@@ -1,0 +1,200 @@
+package components
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sb"
+)
+
+func TestRegistryContents(t *testing.T) {
+	want := []string{"aio", "all-pairs", "concat", "dim-reduce", "file-reader", "file-writer",
+		"fork", "histogram", "magnitude", "sample", "scale", "select", "stats", "step-sample",
+		"svg-histogram"}
+	got := Names()
+	for _, name := range want {
+		found := false
+		for _, g := range got {
+			if g == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("component %q not registered (have %v)", name, got)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("no-such-component", nil); err == nil {
+		t.Fatal("unknown component instantiated")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("select", NewSelect)
+}
+
+func wantUsageError(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected usage error, got nil", what)
+	}
+	var ue *sb.UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("%s: error %v is not a UsageError", what, err)
+	}
+}
+
+func TestNewSelectArgs(t *testing.T) {
+	c, err := New("select", []string{"in.fp", "atoms", "1", "out.fp", "sel", "vx", "vy", "vz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.(*Select)
+	if s.DimIndex != 1 || len(s.Names) != 3 || s.OutArray != "sel" {
+		t.Fatalf("parsed %+v", s)
+	}
+	_, err = New("select", []string{"in.fp", "atoms", "1", "out.fp", "sel"})
+	wantUsageError(t, err, "too few args")
+	_, err = New("select", []string{"in.fp", "atoms", "x", "out.fp", "sel", "vx"})
+	wantUsageError(t, err, "bad dim index")
+	_, err = New("select", []string{"in.fp", "atoms", "-1", "out.fp", "sel", "vx"})
+	wantUsageError(t, err, "negative dim index")
+}
+
+func TestNewMagnitudeArgs(t *testing.T) {
+	c, err := New("magnitude", []string{"a.fp", "x", "b.fp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.(*Magnitude)
+	if m.InStream != "a.fp" || m.OutArray != "y" {
+		t.Fatalf("parsed %+v", m)
+	}
+	_, err = New("magnitude", []string{"a.fp", "x", "b.fp"})
+	wantUsageError(t, err, "too few")
+	_, err = New("magnitude", []string{"a.fp", "x", "b.fp", "y", "z"})
+	wantUsageError(t, err, "too many")
+}
+
+func TestNewDimReduceArgs(t *testing.T) {
+	c, err := New("dim-reduce", []string{"a.fp", "x", "2", "1", "b.fp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.(*DimReduce)
+	if d.Remove != 2 || d.Grow != 1 {
+		t.Fatalf("parsed %+v", d)
+	}
+	_, err = New("dim-reduce", []string{"a.fp", "x", "1", "1", "b.fp", "y"})
+	wantUsageError(t, err, "remove == grow")
+	_, err = New("dim-reduce", []string{"a.fp", "x", "q", "1", "b.fp", "y"})
+	wantUsageError(t, err, "bad remove")
+	_, err = New("dim-reduce", []string{"a.fp", "x", "0", "w", "b.fp", "y"})
+	wantUsageError(t, err, "bad grow")
+	_, err = New("dim-reduce", []string{"a.fp", "x", "0", "1", "b.fp"})
+	wantUsageError(t, err, "too few")
+}
+
+func TestNewHistogramArgs(t *testing.T) {
+	c, err := New("histogram", []string{"a.fp", "x", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.(*Histogram)
+	if h.NumBins != 16 || h.OutPath != "" {
+		t.Fatalf("parsed %+v", h)
+	}
+	c, err = New("histogram", []string{"a.fp", "x", "16", "/tmp/h.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*Histogram).OutPath != "/tmp/h.txt" {
+		t.Fatal("path not parsed")
+	}
+	_, err = New("histogram", []string{"a.fp", "x", "0"})
+	wantUsageError(t, err, "zero bins")
+	_, err = New("histogram", []string{"a.fp", "x"})
+	wantUsageError(t, err, "too few")
+	_, err = New("histogram", []string{"a.fp", "x", "4", "p", "extra"})
+	wantUsageError(t, err, "too many")
+}
+
+func TestNewAIOArgs(t *testing.T) {
+	c, err := New("aio", []string{"a.fp", "x", "1", "8", "-", "vx", "vy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.(*AIO)
+	if a.NumBins != 8 || a.OutPath != "" || len(a.Names) != 2 {
+		t.Fatalf("parsed %+v", a)
+	}
+	_, err = New("aio", []string{"a.fp", "x", "1", "8", "-"})
+	wantUsageError(t, err, "no names")
+	_, err = New("aio", []string{"a.fp", "x", "1", "none", "-", "vx"})
+	wantUsageError(t, err, "bad bins")
+}
+
+func TestNewForkArgs(t *testing.T) {
+	c, err := New("fork", []string{"a.fp", "x", "b.fp", "c.fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.(*Fork)
+	if len(f.OutStreams) != 2 {
+		t.Fatalf("parsed %+v", f)
+	}
+	_, err = New("fork", []string{"a.fp", "x"})
+	wantUsageError(t, err, "no outputs")
+	_, err = New("fork", []string{"a.fp", "x", "b.fp", "b.fp"})
+	wantUsageError(t, err, "duplicate outputs")
+	_, err = New("fork", []string{"a.fp", "x", "a.fp"})
+	wantUsageError(t, err, "output equals input")
+}
+
+func TestNewAllPairsArgs(t *testing.T) {
+	c, err := New("all-pairs", []string{"a.fp", "x", "b.fp", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*AllPairs).Sample != DefaultAllPairsSample {
+		t.Fatal("default sample not applied")
+	}
+	c, err = New("all-pairs", []string{"a.fp", "x", "b.fp", "d", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*AllPairs).Sample != 10 {
+		t.Fatal("sample not parsed")
+	}
+	_, err = New("all-pairs", []string{"a.fp", "x", "b.fp", "d", "0"})
+	wantUsageError(t, err, "zero sample")
+	_, err = New("all-pairs", []string{"a.fp"})
+	wantUsageError(t, err, "too few")
+}
+
+func TestNewStorageArgs(t *testing.T) {
+	if _, err := New("file-writer", []string{"a.fp", "x", "/tmp/dir"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New("file-writer", []string{"a.fp", "x"})
+	wantUsageError(t, err, "too few")
+	if _, err := New("file-reader", []string{"/tmp/dir", "b.fp"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New("file-reader", []string{"/tmp/dir"})
+	wantUsageError(t, err, "too few")
+}
+
+func TestHeaderAttrConvention(t *testing.T) {
+	if HeaderAttr("props") != "header.props" {
+		t.Fatalf("HeaderAttr = %q", HeaderAttr("props"))
+	}
+}

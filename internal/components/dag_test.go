@@ -1,0 +1,217 @@
+package components
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/mpi"
+	"repro/internal/ndarray"
+	"repro/internal/sb"
+)
+
+func TestNewStepSampleArgs(t *testing.T) {
+	c, err := New("step-sample", []string{"a.fp", "x", "3", "b.fp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*StepSample).Stride != 3 {
+		t.Fatal("stride not parsed")
+	}
+	if _, err := New("step-sample", []string{"a.fp", "x", "0", "b.fp", "y"}); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, err := New("step-sample", []string{"a.fp", "x", "3"}); err == nil {
+		t.Fatal("too few args accepted")
+	}
+}
+
+func TestStepSampleDecimatesCadence(t *testing.T) {
+	const steps, stride = 7, 3 // keeps input steps 0, 3, 6
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "n", Size: 8})
+		for i := range a.Data() {
+			a.Data()[i] = float64(step*10 + i)
+		}
+		return a, map[string]string{"src": fmt.Sprint(step)}
+	}
+	h.produce("in.fp", "x", 2, steps, gen)
+	c, err := New("step-sample", []string{"in.fp", "x", fmt.Sprint(stride), "out.fp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.runComponent(c, 2)
+	want := []int{0, 3, 6}
+	seen := 0
+	h.consume("out.fp", "y", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+		if step >= len(want) {
+			return fmt.Errorf("extra output step %d", step)
+		}
+		src := want[step]
+		ref, attrs := gen(src)
+		if !got.Equal(ref) {
+			return fmt.Errorf("output step %d does not match input step %d", step, src)
+		}
+		if info.Attrs["src"] != attrs["src"] {
+			return fmt.Errorf("attrs not forwarded: %v", info.Attrs)
+		}
+		seen++
+		return nil
+	})
+	h.wait()
+	if seen != len(want) {
+		t.Fatalf("consumer saw %d steps, want %d", seen, len(want))
+	}
+}
+
+func TestStepSampleStrideOneIsIdentity(t *testing.T) {
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "n", Size: 4}).Fill(float64(step))
+		return a, nil
+	}
+	h.produce("in.fp", "x", 1, 3, gen)
+	c, _ := New("step-sample", []string{"in.fp", "x", "1", "out.fp", "y"})
+	h.runComponent(c, 1)
+	count := 0
+	h.consume("out.fp", "y", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+		count++
+		if got.At(0) != float64(step) {
+			return fmt.Errorf("step %d data %v", step, got.At(0))
+		}
+		return nil
+	})
+	h.wait()
+	if count != 3 {
+		t.Fatalf("saw %d steps", count)
+	}
+}
+
+func TestNewConcatArgs(t *testing.T) {
+	c, err := New("concat", []string{"a.fp", "x", "b.fp", "y", "0", "c.fp", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*Concat).Axis != 0 {
+		t.Fatal("axis not parsed")
+	}
+	if _, err := New("concat", []string{"a.fp", "x", "a.fp", "y", "0", "c.fp", "z"}); err == nil {
+		t.Fatal("identical input streams accepted")
+	}
+	if _, err := New("concat", []string{"a.fp", "x", "b.fp", "y", "-1", "c.fp", "z"}); err == nil {
+		t.Fatal("negative axis accepted")
+	}
+	if _, err := New("concat", []string{"a.fp", "x", "b.fp", "y", "0", "c.fp"}); err == nil {
+		t.Fatal("too few args accepted")
+	}
+}
+
+func TestConcatJoinsTwoStreams(t *testing.T) {
+	// Two producers with different extents along the concat axis (axis 1),
+	// same extent along the partition axis (axis 0).
+	const rows, colsA, colsB, steps = 12, 3, 2, 2
+	h := newHarness(t)
+	genA := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "rows", Size: rows}, ndarray.Dim{Name: "cols", Size: colsA})
+		for i := range a.Data() {
+			a.Data()[i] = float64(step*1000 + i)
+		}
+		return a, map[string]string{"from": "A"}
+	}
+	genB := func(step int) (*ndarray.Array, map[string]string) {
+		b := ndarray.New(ndarray.Dim{Name: "r", Size: rows}, ndarray.Dim{Name: "c", Size: colsB})
+		for i := range b.Data() {
+			b.Data()[i] = float64(step*1000 + i + 500)
+		}
+		return b, nil
+	}
+	h.produce("a.fp", "x", 2, steps, genA)
+	h.produce("b.fp", "y", 3, steps, genB)
+	c, err := New("concat", []string{"a.fp", "x", "b.fp", "y", "1", "joined.fp", "xy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.runComponent(c, 2)
+	h.consume("joined.fp", "xy", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+		if got.Dim(0).Size != rows || got.Dim(1).Size != colsA+colsB {
+			return fmt.Errorf("shape %v", got.Dims())
+		}
+		if got.Dim(0).Name != "rows" || got.Dim(1).Name != "cols" {
+			return fmt.Errorf("labels %v (first input's labels must win)", got.Labels())
+		}
+		refA, _ := genA(step)
+		refB, _ := genB(step)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < colsA; j++ {
+				if got.At(i, j) != refA.At(i, j) {
+					return fmt.Errorf("A part (%d,%d) wrong", i, j)
+				}
+			}
+			for j := 0; j < colsB; j++ {
+				if got.At(i, colsA+j) != refB.At(i, j) {
+					return fmt.Errorf("B part (%d,%d) wrong", i, j)
+				}
+			}
+		}
+		if info.Attrs["from"] != "A" {
+			return fmt.Errorf("first input attrs not forwarded: %v", info.Attrs)
+		}
+		return nil
+	})
+	h.wait()
+}
+
+func TestConcatExtentMismatchFails(t *testing.T) {
+	h := newHarness(t)
+	h.produce("a.fp", "x", 1, 1, func(step int) (*ndarray.Array, map[string]string) {
+		return ndarray.New(ndarray.Dim{Name: "r", Size: 4}, ndarray.Dim{Name: "c", Size: 2}), nil
+	})
+	h.produce("b.fp", "y", 1, 1, func(step int) (*ndarray.Array, map[string]string) {
+		return ndarray.New(ndarray.Dim{Name: "r", Size: 5}, ndarray.Dim{Name: "c", Size: 2}), nil
+	})
+	c, _ := New("concat", []string{"a.fp", "x", "b.fp", "y", "1", "j.fp", "z"})
+	err := mpi.Run(1, func(comm *mpi.Comm) error {
+		return c.Run(&sb.Env{Comm: comm, Transport: h.transport})
+	})
+	if err == nil || !contains(err.Error(), "extent mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+	h.wg.Wait()
+}
+
+// TestForkThenConcatRoundTrip: fork splits a stream, scale transforms one
+// branch, concat re-joins — a diamond DAG exercising multi-input and
+// multi-output components together.
+func TestForkThenConcatRoundTrip(t *testing.T) {
+	const n, steps = 10, 2
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "n", Size: n}, ndarray.Dim{Name: "c", Size: 1})
+		for i := range a.Data() {
+			a.Data()[i] = float64(step*100 + i)
+		}
+		return a, nil
+	}
+	h.produce("src.fp", "x", 1, steps, gen)
+	fork, _ := New("fork", []string{"src.fp", "x", "l.fp", "r.fp"})
+	h.runComponent(fork, 2)
+	scale, _ := New("scale", []string{"r.fp", "x", "-1", "0", "neg.fp", "x"})
+	h.runComponent(scale, 2)
+	join, _ := New("concat", []string{"l.fp", "x", "neg.fp", "x", "1", "both.fp", "z"})
+	h.runComponent(join, 2)
+	h.consume("both.fp", "z", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+		if got.Dim(0).Size != n || got.Dim(1).Size != 2 {
+			return fmt.Errorf("shape %v", got.Dims())
+		}
+		for i := 0; i < n; i++ {
+			orig := float64(step*100 + i)
+			if got.At(i, 0) != orig || got.At(i, 1) != -orig {
+				return fmt.Errorf("row %d = (%v, %v), want (%v, %v)",
+					i, got.At(i, 0), got.At(i, 1), orig, -orig)
+			}
+		}
+		return nil
+	})
+	h.wait()
+}

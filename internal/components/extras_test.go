@@ -1,0 +1,267 @@
+package components
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adios"
+	"repro/internal/mpi"
+	"repro/internal/ndarray"
+)
+
+func TestNewStatsArgs(t *testing.T) {
+	c, err := New("stats", []string{"a.fp", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*Stats).OutPath != "" {
+		t.Fatal("unexpected path")
+	}
+	if _, err := New("stats", []string{"a.fp"}); err == nil {
+		t.Fatal("too few args accepted")
+	}
+	if _, err := New("stats", []string{"a.fp", "x", "p", "q"}); err == nil {
+		t.Fatal("too many args accepted")
+	}
+}
+
+func TestComputeStatsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.NormFloat64()*3 + 1
+	}
+	// Serial reference.
+	sum, sumSq := 0.0, 0.0
+	mn, mx := values[0], values[0]
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	mean := sum / float64(len(values))
+	std := math.Sqrt(sumSq/float64(len(values)) - mean*mean)
+
+	for _, ranks := range []int{1, 3, 5} {
+		err := mpi.Run(ranks, func(c *mpi.Comm) error {
+			lo := c.Rank() * len(values) / ranks
+			hi := (c.Rank() + 1) * len(values) / ranks
+			got, err := ComputeStats(c, values[lo:hi])
+			if err != nil {
+				return err
+			}
+			if got.Count != int64(len(values)) || got.Min != mn || got.Max != mx {
+				return fmt.Errorf("ranks=%d got %+v", ranks, got)
+			}
+			if math.Abs(got.Mean-mean) > 1e-9 || math.Abs(got.Std-std) > 1e-9 {
+				return fmt.Errorf("ranks=%d moments: mean %v vs %v, std %v vs %v",
+					ranks, got.Mean, mean, got.Std, std)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		got, err := ComputeStats(c, nil)
+		if err != nil {
+			return err
+		}
+		if got.Count != 0 || got.Mean != 0 || got.Std != 0 {
+			return fmt.Errorf("empty stats = %+v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsComponentEndToEnd(t *testing.T) {
+	const n, steps = 40, 2
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "n", Size: n})
+		for i := range a.Data() {
+			a.Data()[i] = float64(step*100 + i)
+		}
+		return a, nil
+	}
+	h.produce("in.fp", "x", 2, steps, gen)
+	c, err := New("stats", []string{"in.fp", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.(*Stats)
+	h.runComponent(c, 3)
+	h.wait()
+	results := st.Results()
+	if len(results) != steps {
+		t.Fatalf("got %d results", len(results))
+	}
+	for s, r := range results {
+		if r.Count != n || r.Min != float64(s*100) || r.Max != float64(s*100+n-1) {
+			t.Fatalf("step %d stats = %+v", s, r)
+		}
+		wantMean := float64(s*100) + float64(n-1)/2
+		if math.Abs(r.Mean-wantMean) > 1e-9 {
+			t.Fatalf("step %d mean = %v, want %v", s, r.Mean, wantMean)
+		}
+	}
+}
+
+func TestNewScaleArgs(t *testing.T) {
+	c, err := New("scale", []string{"a.fp", "x", "2.5", "-1", "b.fp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := c.(*Scale)
+	if sc.Factor != 2.5 || sc.Offset != -1 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	if _, err := New("scale", []string{"a.fp", "x", "zz", "0", "b.fp", "y"}); err == nil {
+		t.Fatal("bad factor accepted")
+	}
+	if _, err := New("scale", []string{"a.fp", "x", "1", "zz", "b.fp", "y"}); err == nil {
+		t.Fatal("bad offset accepted")
+	}
+	if _, err := New("scale", []string{"a.fp", "x", "1", "0", "b.fp"}); err == nil {
+		t.Fatal("too few accepted")
+	}
+}
+
+func TestScaleComponentExact(t *testing.T) {
+	const n = 24
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "r", Size: 4}, ndarray.Dim{Name: "c", Size: 6})
+		for i := range a.Data() {
+			a.Data()[i] = float64(i)
+		}
+		return a, map[string]string{"units": "lj"}
+	}
+	h.produce("in.fp", "x", 2, 1, gen)
+	c, _ := New("scale", []string{"in.fp", "x", "3", "10", "out.fp", "y"})
+	h.runComponent(c, 3)
+	h.consume("out.fp", "y", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+		if got.Size() != n || got.Dim(1).Name != "c" {
+			return fmt.Errorf("shape %v", got.Dims())
+		}
+		for i, v := range got.Data() {
+			if v != 3*float64(i)+10 {
+				return fmt.Errorf("element %d = %v", i, v)
+			}
+		}
+		if info.Attrs["units"] != "lj" {
+			return fmt.Errorf("attrs lost: %v", info.Attrs)
+		}
+		return nil
+	})
+	h.wait()
+}
+
+func TestNewSampleArgs(t *testing.T) {
+	c, err := New("sample", []string{"a.fp", "x", "4", "b.fp", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*Sample).Stride != 4 {
+		t.Fatal("stride not parsed")
+	}
+	if _, err := New("sample", []string{"a.fp", "x", "0", "b.fp", "y"}); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, err := New("sample", []string{"a.fp", "x", "4", "b.fp"}); err == nil {
+		t.Fatal("too few accepted")
+	}
+}
+
+func TestSampleComponentExact(t *testing.T) {
+	const rows, cols, stride = 23, 3, 4
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "rows", Size: rows}, ndarray.Dim{Name: "cols", Size: cols})
+		for i := range a.Data() {
+			a.Data()[i] = float64(i)
+		}
+		return a, nil
+	}
+	h.produce("in.fp", "x", 3, 2, gen)
+	c, _ := New("sample", []string{"in.fp", "x", fmt.Sprint(stride), "out.fp", "y"})
+	h.runComponent(c, 4)
+	h.consume("out.fp", "y", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+		wantRows := (rows + stride - 1) / stride // ceil(23/4) = 6
+		if got.Dim(0).Size != wantRows || got.Dim(1).Size != cols {
+			return fmt.Errorf("shape %v", got.Dims())
+		}
+		ref, _ := gen(step)
+		for i := 0; i < wantRows; i++ {
+			for j := 0; j < cols; j++ {
+				if got.At(i, j) != ref.At(i*stride, j) {
+					return fmt.Errorf("sampled(%d,%d) = %v, want %v", i, j, got.At(i, j), ref.At(i*stride, j))
+				}
+			}
+		}
+		return nil
+	})
+	h.wait()
+}
+
+// Property: for random sizes, strides and rank counts, the decimated
+// global array equals striding the original, regardless of how ranks
+// partition the rows.
+func TestQuickSampleDecimation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(6)
+		ranks := 1 + rng.Intn(5)
+
+		h := newHarness(t)
+		gen := func(step int) (*ndarray.Array, map[string]string) {
+			a := ndarray.New(ndarray.Dim{Name: "rows", Size: rows}, ndarray.Dim{Name: "cols", Size: cols})
+			for i := range a.Data() {
+				a.Data()[i] = float64(i)
+			}
+			return a, nil
+		}
+		h.produce("in.fp", "x", 1, 1, gen)
+		c, err := New("sample", []string{"in.fp", "x", fmt.Sprint(stride), "out.fp", "y"})
+		if err != nil {
+			return false
+		}
+		h.runComponent(c, ranks)
+		good := true
+		h.consume("out.fp", "y", 1, func(step int, got *ndarray.Array, info *adios.StepInfo) error {
+			ref, _ := gen(step)
+			wantRows := (rows + stride - 1) / stride
+			if got.Dim(0).Size != wantRows {
+				good = false
+				return nil
+			}
+			for i := 0; i < wantRows; i++ {
+				for j := 0; j < cols; j++ {
+					if got.At(i, j) != ref.At(i*stride, j) {
+						good = false
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		h.wait()
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

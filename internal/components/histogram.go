@@ -1,0 +1,193 @@
+package components
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/adios"
+	"repro/internal/mpi"
+	"repro/internal/sb"
+)
+
+// histogramUsage mirrors Fig. 2 of the paper.
+const histogramUsage = "input-stream-name input-array-name num-bins [output-path]"
+
+// StepHistogram is the human-readable reduction a workflow ends with: the
+// distribution of a quantity over all units for one timestep.
+type StepHistogram struct {
+	Step   int
+	Min    float64
+	Max    float64
+	Counts []int64
+	Total  int64
+}
+
+// Bin returns the half-open value interval covered by bin i (the last
+// bin is closed at Max).
+func (h StepHistogram) Bin(i int) (lo, hi float64) {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + float64(i)*width, h.Min + float64(i+1)*width
+}
+
+// Histogram partitions a one-dimensional array among its ranks,
+// communicates to discover the global minimum and maximum, bins the
+// values between those extremes, and merges the per-rank counts (§III-E).
+// As in the paper's implementation, one process (rank 0) writes the
+// output — the result is tiny compared to the input — making Histogram a
+// workflow endpoint.
+type Histogram struct {
+	InStream, InArray string
+	NumBins           int
+	OutPath           string // optional; empty disables file output
+
+	mu      sync.Mutex
+	results []StepHistogram
+}
+
+// NewHistogram parses the paper's argument order (Fig. 2), with an
+// optional trailing output path.
+func NewHistogram(args []string) (sb.Component, error) {
+	if len(args) != 3 && len(args) != 4 {
+		return nil, &sb.UsageError{Component: "histogram", Usage: histogramUsage,
+			Problem: fmt.Sprintf("need 3 or 4 arguments, got %d", len(args))}
+	}
+	bins, err := strconv.Atoi(args[2])
+	if err != nil || bins <= 0 {
+		return nil, &sb.UsageError{Component: "histogram", Usage: histogramUsage,
+			Problem: fmt.Sprintf("num-bins %q is not a positive integer", args[2])}
+	}
+	h := &Histogram{InStream: args[0], InArray: args[1], NumBins: bins}
+	if len(args) == 4 {
+		h.OutPath = args[3]
+	}
+	return h, nil
+}
+
+// Name implements sb.Component.
+func (h *Histogram) Name() string { return "histogram" }
+
+// Results returns the per-timestep histograms accumulated by rank 0, in
+// step order. Safe to call after Run returns on all ranks.
+func (h *Histogram) Results() []StepHistogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]StepHistogram, len(h.results))
+	copy(out, h.results)
+	return out
+}
+
+// ReservedAxes implements sb.ReduceKernel: 1-D input, nothing reserved.
+func (h *Histogram) ReservedAxes(v *adios.GlobalVar, info *adios.StepInfo) ([]int, error) {
+	return nil, nil
+}
+
+// Reduce implements sb.ReduceKernel.
+func (h *Histogram) Reduce(in *StepIn) (StepHistogram, error) {
+	return ComputeHistogram(in.Env.Comm, in.Block.Data(), h.NumBins)
+}
+
+// Run implements sb.Component.
+func (h *Histogram) Run(env *sb.Env) error {
+	var out *os.File
+	if h.OutPath != "" && env.Comm.Rank() == 0 {
+		f, err := os.Create(h.OutPath)
+		if err != nil {
+			return fmt.Errorf("histogram: %w", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	return sb.RunReduce(env, sb.ReduceConfig[StepHistogram]{
+		Name:     "histogram",
+		InStream: h.InStream, InArray: h.InArray,
+		RequireDims: 1,
+		OutBytes:    int64(h.NumBins * 8),
+		OnResult: func(step int, result StepHistogram) error {
+			result.Step = step
+			h.mu.Lock()
+			h.results = append(h.results, result)
+			h.mu.Unlock()
+			if out != nil {
+				return WriteHistogramText(out, h.InArray, result)
+			}
+			return nil
+		},
+	}, h)
+}
+
+// ComputeHistogram performs the distributed histogram kernel over each
+// rank's local values: Allreduce min/max, local binning, Allreduce of the
+// counts. Every rank returns the identical global result.
+func ComputeHistogram(comm *mpi.Comm, local []float64, bins int) (StepHistogram, error) {
+	if bins <= 0 {
+		return StepHistogram{}, fmt.Errorf("histogram: bins must be positive, got %d", bins)
+	}
+	localMin, localMax := math.Inf(1), math.Inf(-1)
+	for _, v := range local {
+		if v < localMin {
+			localMin = v
+		}
+		if v > localMax {
+			localMax = v
+		}
+	}
+	globalMin, err := mpi.Allreduce(comm, localMin, mpi.Min[float64])
+	if err != nil {
+		return StepHistogram{}, err
+	}
+	globalMax, err := mpi.Allreduce(comm, localMax, mpi.Max[float64])
+	if err != nil {
+		return StepHistogram{}, err
+	}
+	counts := make([]float64, bins)
+	if globalMin <= globalMax { // false only for a globally empty array
+		width := (globalMax - globalMin) / float64(bins)
+		for _, v := range local {
+			var b int
+			if width == 0 {
+				b = 0 // all values identical: single occupied bin
+			} else {
+				b = int((v - globalMin) / width)
+				if b >= bins { // v == globalMax lands in the last bin
+					b = bins - 1
+				}
+			}
+			counts[b]++
+		}
+	}
+	merged, err := mpi.AllreduceFloat64s(comm, counts, mpi.Sum[float64])
+	if err != nil {
+		return StepHistogram{}, err
+	}
+	result := StepHistogram{Counts: make([]int64, bins)}
+	if globalMin <= globalMax {
+		result.Min, result.Max = globalMin, globalMax
+	}
+	for i, c := range merged {
+		result.Counts[i] = int64(c)
+		result.Total += int64(c)
+	}
+	return result, nil
+}
+
+// WriteHistogramText renders one step's histogram in the human-readable
+// form the workflow delivers as its final product.
+func WriteHistogramText(w io.Writer, quantity string, h StepHistogram) error {
+	if _, err := fmt.Fprintf(w, "# step %d  %s  n=%d  min=%g  max=%g\n",
+		h.Step, quantity, h.Total, h.Min, h.Max); err != nil {
+		return err
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.Bin(i)
+		if _, err := fmt.Fprintf(w, "[%g, %g)\t%d\n", lo, hi, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() { Register("histogram", NewHistogram) }

@@ -1,0 +1,129 @@
+package components
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadHistogramText parses the text format WriteHistogramText produces,
+// returning one StepHistogram per "# step" block. It is the tooling-side
+// complement of the Histogram endpoint: downstream scripts (and this
+// repo's tests) can consume a workflow's output file without knowing the
+// binning arithmetic.
+func ReadHistogramText(r io.Reader) ([]StepHistogram, error) {
+	var out []StepHistogram
+	var cur *StepHistogram
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# step ") {
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			h, err := parseHistHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("histogram text line %d: %w", lineNo, err)
+			}
+			cur = &h
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("histogram text line %d: bin row before any \"# step\" header", lineNo)
+		}
+		count, err := parseHistBin(line)
+		if err != nil {
+			return nil, fmt.Errorf("histogram text line %d: %w", lineNo, err)
+		}
+		cur.Counts = append(cur.Counts, count)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	for i, h := range out {
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != h.Total {
+			return nil, fmt.Errorf("histogram text: step %d bin counts sum to %d, header says n=%d",
+				i, sum, h.Total)
+		}
+	}
+	return out, nil
+}
+
+// parseHistHeader decodes "# step N  quantity  n=K  min=A  max=B".
+func parseHistHeader(line string) (StepHistogram, error) {
+	var h StepHistogram
+	fields := strings.Fields(strings.TrimPrefix(line, "# "))
+	if len(fields) < 2 || fields[0] != "step" {
+		return h, fmt.Errorf("malformed header %q", line)
+	}
+	step, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return h, fmt.Errorf("malformed step number in %q", line)
+	}
+	h.Step = step
+	seen := map[string]bool{}
+	for _, f := range fields[2:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			continue // the quantity name
+		}
+		switch key {
+		case "n":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return h, fmt.Errorf("malformed n in %q", line)
+			}
+			h.Total = n
+		case "min":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return h, fmt.Errorf("malformed min in %q", line)
+			}
+			h.Min = v
+		case "max":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return h, fmt.Errorf("malformed max in %q", line)
+			}
+			h.Max = v
+		default:
+			continue
+		}
+		seen[key] = true
+	}
+	if !seen["n"] || !seen["min"] || !seen["max"] {
+		return h, fmt.Errorf("header %q missing n/min/max", line)
+	}
+	return h, nil
+}
+
+// parseHistBin decodes "[lo, hi)\tcount".
+func parseHistBin(line string) (int64, error) {
+	tab := strings.LastIndexByte(line, '\t')
+	if tab < 0 {
+		// Tolerate space-separated counts (hand-edited files).
+		tab = strings.LastIndexByte(line, ' ')
+	}
+	if tab < 0 {
+		return 0, fmt.Errorf("malformed bin row %q", line)
+	}
+	count, err := strconv.ParseInt(strings.TrimSpace(line[tab+1:]), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed count in %q", line)
+	}
+	return count, nil
+}

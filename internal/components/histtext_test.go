@@ -1,0 +1,107 @@
+package components
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadHistogramTextRoundTrip(t *testing.T) {
+	hists := []StepHistogram{
+		{Step: 0, Min: 0, Max: 10, Counts: []int64{3, 4, 5}, Total: 12},
+		{Step: 1, Min: -2.5, Max: 7.25, Counts: []int64{0, 12}, Total: 12},
+	}
+	var sb strings.Builder
+	for _, h := range hists {
+		if err := WriteHistogramText(&sb, "velocities", h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadHistogramText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(hists) {
+		t.Fatalf("got %d histograms", len(got))
+	}
+	for i, h := range hists {
+		g := got[i]
+		if g.Step != h.Step || g.Min != h.Min || g.Max != h.Max || g.Total != h.Total {
+			t.Fatalf("histogram %d = %+v, want %+v", i, g, h)
+		}
+		for b := range h.Counts {
+			if g.Counts[b] != h.Counts[b] {
+				t.Fatalf("histogram %d counts = %v, want %v", i, g.Counts, h.Counts)
+			}
+		}
+	}
+}
+
+func TestReadHistogramTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"bin before header": "[0, 1)\t5\n",
+		"bad step":          "# step x  q  n=1  min=0  max=1\n[0, 1)\t1\n",
+		"missing n":         "# step 0  q  min=0  max=1\n[0, 1)\t1\n",
+		"bad count":         "# step 0  q  n=1  min=0  max=1\n[0, 1)\tx\n",
+		"sum mismatch":      "# step 0  q  n=5  min=0  max=1\n[0, 1)\t1\n",
+		"bad min":           "# step 0  q  n=1  min=zz  max=1\n[0, 1)\t1\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadHistogramText(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadHistogramText(%s) succeeded", name)
+		}
+	}
+}
+
+func TestReadHistogramTextEmpty(t *testing.T) {
+	got, err := ReadHistogramText(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d histograms from empty input", len(got))
+	}
+}
+
+// Property: write→read is the identity for random histograms.
+func TestQuickHistogramTextRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		var want []StepHistogram
+		steps := rng.Intn(5)
+		for s := 0; s < steps; s++ {
+			bins := 1 + rng.Intn(8)
+			h := StepHistogram{Step: s, Min: rng.NormFloat64(), Counts: make([]int64, bins)}
+			h.Max = h.Min + rng.Float64()*100
+			for b := range h.Counts {
+				h.Counts[b] = int64(rng.Intn(50))
+				h.Total += h.Counts[b]
+			}
+			want = append(want, h)
+			if err := WriteHistogramText(&sb, "q", h); err != nil {
+				return false
+			}
+		}
+		got, err := ReadHistogramText(strings.NewReader(sb.String()))
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Step != want[i].Step || got[i].Total != want[i].Total ||
+				got[i].Min != want[i].Min || got[i].Max != want[i].Max {
+				return false
+			}
+			for b := range want[i].Counts {
+				if got[i].Counts[b] != want[i].Counts[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

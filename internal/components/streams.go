@@ -1,0 +1,63 @@
+package components
+
+// This file implements the StreamDeclarer contract (see workflow.Lint)
+// for every built-in component: each states, from its parsed arguments,
+// which streams it subscribes to and which it publishes, enabling static
+// wiring checks of a workflow before launch.
+
+// InputStreams implements workflow.StreamDeclarer.
+func (s *Select) InputStreams() []string { return []string{s.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer.
+func (s *Select) OutputStreams() []string { return []string{s.OutStream} }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (m *Magnitude) InputStreams() []string { return []string{m.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer.
+func (m *Magnitude) OutputStreams() []string { return []string{m.OutStream} }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (d *DimReduce) InputStreams() []string { return []string{d.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer.
+func (d *DimReduce) OutputStreams() []string { return []string{d.OutStream} }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (h *Histogram) InputStreams() []string { return []string{h.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer; Histogram is an
+// endpoint and publishes nothing.
+func (h *Histogram) OutputStreams() []string { return nil }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (a *AIO) InputStreams() []string { return []string{a.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer; AIO is an endpoint.
+func (a *AIO) OutputStreams() []string { return nil }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (f *Fork) InputStreams() []string { return []string{f.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer.
+func (f *Fork) OutputStreams() []string { return append([]string(nil), f.OutStreams...) }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (a *AllPairs) InputStreams() []string { return []string{a.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer.
+func (a *AllPairs) OutputStreams() []string { return []string{a.OutStream} }
+
+// InputStreams implements workflow.StreamDeclarer.
+func (f *FileWriter) InputStreams() []string { return []string{f.InStream} }
+
+// OutputStreams implements workflow.StreamDeclarer; FileWriter ends in
+// storage, not a stream.
+func (f *FileWriter) OutputStreams() []string { return nil }
+
+// InputStreams implements workflow.StreamDeclarer; FileReader starts
+// from storage.
+func (f *FileReader) InputStreams() []string { return nil }
+
+// OutputStreams implements workflow.StreamDeclarer.
+func (f *FileReader) OutputStreams() []string { return []string{f.OutStream} }

@@ -1,0 +1,103 @@
+package components
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ndarray"
+)
+
+func TestNewSVGHistogramArgs(t *testing.T) {
+	c, err := New("svg-histogram", []string{"a.fp", "x", "8", "/tmp/out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.(*SVGHistogram)
+	if s.NumBins != 8 || s.Dir != "/tmp/out" || s.Width <= 0 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := New("svg-histogram", []string{"a.fp", "x", "0", "/tmp/out"}); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := New("svg-histogram", []string{"a.fp", "x", "8"}); err == nil {
+		t.Fatal("too few args accepted")
+	}
+}
+
+func TestRenderHistogramSVGIsWellFormedXML(t *testing.T) {
+	h := StepHistogram{Step: 2, Min: -1, Max: 3, Counts: []int64{5, 0, 12, 3}, Total: 20}
+	svg := RenderHistogramSVG(`vel<"x">&'y'`, h, 640, 360)
+	// Must parse as XML despite the hostile quantity name.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	rects := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+		if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "rect" {
+			rects++
+		}
+	}
+	// Background + one bar per bin.
+	if rects != 1+len(h.Counts) {
+		t.Fatalf("rect count = %d, want %d\n%s", rects, 1+len(h.Counts), svg)
+	}
+	for _, want := range []string{"step 2", "n=20", "-1", "3"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderHistogramSVGEmpty(t *testing.T) {
+	h := StepHistogram{Counts: nil}
+	svg := RenderHistogramSVG("q", h, 320, 200)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatalf("degenerate SVG malformed:\n%s", svg)
+	}
+}
+
+func TestSVGHistogramComponentEndToEnd(t *testing.T) {
+	const n, steps, bins = 64, 3, 6
+	dir := t.TempDir()
+	h := newHarness(t)
+	gen := func(step int) (*ndarray.Array, map[string]string) {
+		a := ndarray.New(ndarray.Dim{Name: "v", Size: n})
+		for i := range a.Data() {
+			a.Data()[i] = float64((i + step) % 10)
+		}
+		return a, nil
+	}
+	h.produce("in.fp", "vals", 2, steps, gen)
+	c, err := New("svg-histogram", []string{"in.fp", "vals", fmt.Sprint(bins), dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.runComponent(c, 2)
+	h.wait()
+
+	for s := 0; s < steps; s++ {
+		path := filepath.Join(dir, fmt.Sprintf("step%06d.svg", s))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("step %d SVG missing: %v", s, err)
+		}
+		var doc struct {
+			XMLName xml.Name `xml:"svg"`
+		}
+		if err := xml.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("step %d SVG not well-formed: %v", s, err)
+		}
+		if !strings.Contains(string(data), fmt.Sprintf("n=%d", n)) {
+			t.Fatalf("step %d SVG lost the count:\n%s", s, data)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package flexpath
+
+import (
+	"context"
+	"testing"
+)
+
+// benchExchange pushes b.N one-megabyte timesteps through a 1-writer,
+// 1-reader stream on the given attach functions.
+func benchExchange(b *testing.B, attachW func() (interface {
+	PublishBlock(ctx context.Context, step int, meta, payload []byte) error
+	Close() error
+}, error), attachR func() (interface {
+	StepMeta(ctx context.Context, step int) ([][]byte, error)
+	FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error)
+	ReleaseStep(step int) error
+	Close() error
+}, error)) {
+	b.Helper()
+	payload := make([]byte, 1<<20)
+	b.SetBytes(int64(len(payload)))
+	w, err := attachW()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := attachR()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		for s := 0; s < b.N; s++ {
+			if err := w.PublishBlock(ctx, s, nil, payload); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- w.Close()
+	}()
+	b.ResetTimer()
+	for s := 0; s < b.N; s++ {
+		if _, err := r.StepMeta(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.FetchBlock(ctx, s, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.ReleaseStep(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	r.Close()
+}
+
+func BenchmarkInprocExchange1MB(b *testing.B) {
+	broker := NewBroker()
+	benchExchange(b,
+		func() (interface {
+			PublishBlock(ctx context.Context, step int, meta, payload []byte) error
+			Close() error
+		}, error) {
+			return broker.AttachWriter("bench.fp", 0, 1, 2)
+		},
+		func() (interface {
+			StepMeta(ctx context.Context, step int) ([][]byte, error)
+			FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error)
+			ReleaseStep(step int) error
+			Close() error
+		}, error) {
+			return broker.AttachReader("bench.fp", 0, 1)
+		})
+}
+
+func BenchmarkTCPExchange1MB(b *testing.B) {
+	srv, err := NewServer(NewBroker(), "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := Dial(srv.Addr())
+	defer client.Close()
+	benchExchange(b,
+		func() (interface {
+			PublishBlock(ctx context.Context, step int, meta, payload []byte) error
+			Close() error
+		}, error) {
+			return client.AttachWriter("bench.fp", 0, 1, 2)
+		},
+		func() (interface {
+			StepMeta(ctx context.Context, step int) ([][]byte, error)
+			FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error)
+			ReleaseStep(step int) error
+			Close() error
+		}, error) {
+			return client.AttachReader("bench.fp", 0, 1)
+		})
+}

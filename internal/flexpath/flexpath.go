@@ -1,0 +1,426 @@
+// Package flexpath implements the publish/subscribe, stream-based,
+// asynchronous transport SmartBlock workflows are wired with (FlexPath in
+// the paper, CCGrid'14). Named streams connect an M-rank writer group to
+// an N-rank reader group:
+//
+//   - Writers publish one block per rank per timestep. A timestep becomes
+//     visible to readers once all M writer ranks have published it.
+//   - Writer-side buffering: a stream holds up to QueueDepth unreleased
+//     timesteps; publishing beyond that blocks. This is the mechanism that
+//     overlaps a producer's compute with downstream I/O (§IV, point 4).
+//   - Readers block until the writer group exists and the requested
+//     timestep is complete — so workflow components "can be launched in
+//     any order" (§IV, point 2).
+//   - A timestep is retired (and queue space reclaimed) once all N reader
+//     ranks have released it.
+//
+// The package offers two transports with the same per-rank API: the
+// in-process Broker in this file (ranks are goroutines sharing memory)
+// and a TCP broker (Serve/Dial) for multi-process deployments.
+//
+// Block payloads are opaque []byte; the self-describing encoding layered
+// on top lives in package adios.
+package flexpath
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultQueueDepth is the writer-side buffer capacity, in timesteps,
+// used when a writer attaches with depth 0.
+const DefaultQueueDepth = 2
+
+// Common protocol errors.
+var (
+	// ErrClosed is returned by operations on a closed writer or reader.
+	ErrClosed = errors.New("flexpath: stream handle closed")
+	// ErrStepRetired is returned when a reader asks for a timestep that
+	// the full reader group already released.
+	ErrStepRetired = errors.New("flexpath: timestep already retired")
+)
+
+// Stats summarizes transport activity, for benchmarks and tests.
+type Stats struct {
+	StepsPublished int   // fully published timesteps across all streams
+	BlocksFetched  int   // FetchBlock calls served
+	BytesPublished int64 // payload + metadata bytes accepted
+	BytesFetched   int64 // payload bytes served to readers
+}
+
+// stepState is one buffered timestep of one stream.
+type stepState struct {
+	metas    [][]byte
+	payloads [][]byte
+	pubCount int
+	released map[int]bool // reader ranks that released this step
+}
+
+// stream is the broker-side state of one named stream.
+type stream struct {
+	name       string
+	queueDepth int
+
+	writerSize int // 0 until the writer group attaches
+	readerSize int // 0 until the reader group attaches
+
+	writerAttached int // ranks attached so far
+	readerAttached int
+
+	writersClosed  int
+	lastByRank     []int // per writer rank: next step it will publish
+	ended          bool
+	lastStep       int // valid once ended: highest common fully-published step
+	minStep        int // lowest unretired step
+	steps          map[int]*stepState
+	stepsPublished int
+	readerClosed   map[int]bool // reader ranks that closed their handle
+}
+
+// Broker is the in-process rendezvous point for named streams. One Broker
+// is shared by every component of a workflow; it is safe for concurrent
+// use by any number of rank goroutines.
+type Broker struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	streams map[string]*stream
+	stats   Stats
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	b := &Broker{streams: make(map[string]*stream)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Stats returns a snapshot of transport counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+func (b *Broker) getStream(name string) *stream {
+	s, ok := b.streams[name]
+	if !ok {
+		s = &stream{name: name, steps: make(map[int]*stepState), readerClosed: make(map[int]bool)}
+		b.streams[name] = s
+	}
+	return s
+}
+
+// wait blocks on the broker condition until pred holds or ctx is done.
+// The caller must hold b.mu; wait returns holding it.
+func (b *Broker) wait(ctx context.Context, pred func() bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer stop()
+	}
+	for !pred() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		b.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+// Writer is one writer rank's handle on a stream.
+type Writer struct {
+	b      *Broker
+	s      *stream
+	rank   int
+	closed bool
+}
+
+// AttachWriter joins the writer group of the named stream as the given
+// rank of size ranks. Every rank of the group must attach with the same
+// size and queue depth; depth 0 selects DefaultQueueDepth. A stream has
+// exactly one writer group for its lifetime.
+func (b *Broker) AttachWriter(stream string, rank, size, depth int) (*Writer, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("flexpath: invalid writer rank %d of %d for stream %q", rank, size, stream)
+	}
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("flexpath: queue depth must be >= 1, got %d", depth)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.getStream(stream)
+	if s.writerSize == 0 {
+		s.writerSize = size
+		s.queueDepth = depth
+		s.lastByRank = make([]int, size)
+	} else if s.writerSize != size {
+		return nil, fmt.Errorf("flexpath: stream %q writer group size conflict: %d vs %d", stream, size, s.writerSize)
+	} else if s.queueDepth != depth {
+		return nil, fmt.Errorf("flexpath: stream %q queue depth conflict: %d vs %d", stream, depth, s.queueDepth)
+	}
+	if s.ended {
+		return nil, fmt.Errorf("flexpath: stream %q writer group already closed", stream)
+	}
+	if s.writerAttached >= size {
+		return nil, fmt.Errorf("flexpath: stream %q already has a full writer group", stream)
+	}
+	s.writerAttached++
+	b.cond.Broadcast()
+	return &Writer{b: b, s: s, rank: rank}, nil
+}
+
+// PublishBlock queues this rank's block for the given timestep. Steps
+// must be published in order 0,1,2,… per rank. The call blocks while the
+// stream's queue window is full (asynchronous buffering), returning when
+// the block is accepted — not when it is consumed.
+func (w *Writer) PublishBlock(ctx context.Context, step int, meta, payload []byte) error {
+	b := w.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	s := w.s
+	if step != s.lastByRank[w.rank] {
+		return fmt.Errorf("flexpath: stream %q writer rank %d published step %d, expected %d",
+			s.name, w.rank, step, s.lastByRank[w.rank])
+	}
+	// Block while the queue window [minStep, minStep+depth) excludes step.
+	err := b.wait(ctx, func() bool { return w.closed || step < s.minStep+s.queueDepth })
+	if err != nil {
+		return err
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	st, ok := s.steps[step]
+	if !ok {
+		st = &stepState{
+			metas:    make([][]byte, s.writerSize),
+			payloads: make([][]byte, s.writerSize),
+			released: make(map[int]bool),
+		}
+		s.steps[step] = st
+	}
+	st.metas[w.rank] = meta
+	st.payloads[w.rank] = payload
+	st.pubCount++
+	s.lastByRank[w.rank] = step + 1
+	b.stats.BytesPublished += int64(len(meta) + len(payload))
+	if st.pubCount == s.writerSize {
+		s.stepsPublished++
+		b.stats.StepsPublished++
+		// If the whole reader group has already departed, completed steps
+		// retire immediately so the writer queue never wedges.
+		for s.retireHead() {
+		}
+	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// Close retires this writer rank. When every rank of the group has
+// closed, the stream ends at the highest timestep all ranks published;
+// readers see io.EOF beyond it.
+func (w *Writer) Close() error {
+	b := w.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	s := w.s
+	s.writersClosed++
+	if s.writersClosed == s.writerSize {
+		last := s.lastByRank[0]
+		for _, n := range s.lastByRank[1:] {
+			if n < last {
+				last = n
+			}
+		}
+		s.ended = true
+		s.lastStep = last - 1
+	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// Reader is one reader rank's handle on a stream.
+type Reader struct {
+	b      *Broker
+	s      *stream
+	rank   int
+	closed bool
+}
+
+// AttachReader joins the reader group of the named stream as the given
+// rank of size ranks. The stream need not exist yet — attaching creates
+// it, and subsequent reads block until a writer group appears (launch-
+// order independence). A stream has exactly one reader group.
+func (b *Broker) AttachReader(stream string, rank, size int) (*Reader, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("flexpath: invalid reader rank %d of %d for stream %q", rank, size, stream)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.getStream(stream)
+	if s.readerSize == 0 {
+		s.readerSize = size
+	} else if s.readerSize != size {
+		return nil, fmt.Errorf("flexpath: stream %q reader group size conflict: %d vs %d", stream, size, s.readerSize)
+	}
+	if s.readerAttached >= size {
+		return nil, fmt.Errorf("flexpath: stream %q already has a full reader group", stream)
+	}
+	s.readerAttached++
+	b.cond.Broadcast()
+	return &Reader{b: b, s: s, rank: rank}, nil
+}
+
+// WriterSize blocks until the writer group attaches and returns its size.
+func (r *Reader) WriterSize(ctx context.Context) (int, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.wait(ctx, func() bool { return r.closed || r.s.writerSize > 0 }); err != nil {
+		return 0, err
+	}
+	if r.closed {
+		return 0, ErrClosed
+	}
+	return r.s.writerSize, nil
+}
+
+// StepMeta blocks until the given timestep is fully published and returns
+// each writer rank's metadata blob, indexed by writer rank. It returns
+// io.EOF once the stream has ended before reaching step.
+func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := r.s
+	if step < s.minStep {
+		return nil, fmt.Errorf("%w: step %d below window start %d", ErrStepRetired, step, s.minStep)
+	}
+	err := b.wait(ctx, func() bool {
+		if r.closed {
+			return true
+		}
+		if st, ok := s.steps[step]; ok && s.writerSize > 0 && st.pubCount == s.writerSize {
+			return true
+		}
+		return s.ended && step > s.lastStep
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if st, ok := s.steps[step]; ok && st.pubCount == s.writerSize {
+		out := make([][]byte, s.writerSize)
+		copy(out, st.metas)
+		return out, nil
+	}
+	return nil, io.EOF
+}
+
+// FetchBlock returns the payload writer rank wrote for the given step.
+// The step must be currently available (published and not retired).
+func (r *Reader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	s := r.s
+	if step < s.minStep {
+		return nil, fmt.Errorf("%w: step %d below window start %d", ErrStepRetired, step, s.minStep)
+	}
+	st, ok := s.steps[step]
+	if !ok || st.pubCount != s.writerSize {
+		return nil, fmt.Errorf("flexpath: stream %q step %d not yet published", s.name, step)
+	}
+	if writerRank < 0 || writerRank >= s.writerSize {
+		return nil, fmt.Errorf("flexpath: writer rank %d out of range [0,%d)", writerRank, s.writerSize)
+	}
+	b.stats.BlocksFetched++
+	b.stats.BytesFetched += int64(len(st.payloads[writerRank]))
+	return st.payloads[writerRank], nil
+}
+
+// ReleaseStep declares this reader rank finished with the timestep. Once
+// every reader rank has released it, the step is dropped and the writer
+// queue window advances. Releasing is idempotent per rank.
+func (r *Reader) ReleaseStep(step int) error {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	s := r.s
+	if step < s.minStep {
+		return nil // already retired
+	}
+	st, ok := s.steps[step]
+	if !ok {
+		return fmt.Errorf("flexpath: release of unpublished step %d on stream %q", step, s.name)
+	}
+	st.released[r.rank] = true
+	for s.retireHead() {
+	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// retireHead drops the head step if every reader rank has either
+// released it or closed its handle. Caller holds the broker lock.
+// Reports whether a step was retired.
+func (s *stream) retireHead() bool {
+	st, ok := s.steps[s.minStep]
+	if !ok || s.readerSize == 0 || st.pubCount != s.writerSize {
+		return false
+	}
+	for rank := 0; rank < s.readerSize; rank++ {
+		if !st.released[rank] && !s.readerClosed[rank] {
+			return false
+		}
+	}
+	delete(s.steps, s.minStep)
+	s.minStep++
+	return true
+}
+
+// Close retires this reader rank. A closed rank no longer gates step
+// retirement, so a consumer that departs early (including a crashed one)
+// cannot wedge upstream writers — the remaining ranks', or nobody's,
+// releases decide.
+func (r *Reader) Close() error {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.closed = true
+	r.s.readerClosed[r.rank] = true
+	for r.s.retireHead() {
+	}
+	b.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,436 @@
+package flexpath
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file adds a TCP incarnation of the transport: a Server fronts a
+// Broker on a socket, and Client provides the same per-rank Attach/
+// Publish/Fetch API from another process. The paper's FlexPath rides on
+// EVPath over RDMA or sockets; here the wire is a simple length-prefixed
+// binary protocol. Components are oblivious to which incarnation they
+// run over — the adios layer only sees BlockWriter/BlockReader.
+//
+// Framing: every message is u32 length, u8 opcode, body. Strings and
+// byte slices are u32 length + bytes. Each rank handle owns one
+// connection and issues strictly blocking request/response pairs, which
+// matches the transport's rendezvous semantics: a blocked PublishBlock
+// or StepMeta simply leaves the response pending.
+
+// Protocol opcodes (requests).
+const (
+	opAttachWriter = iota + 1
+	opAttachReader
+	opPublish
+	opCloseWriter
+	opStepMeta
+	opFetchBlock
+	opReleaseStep
+	opCloseReader
+	opWriterSize
+)
+
+// Response status codes.
+const (
+	stOK = iota
+	stErr
+	stEOF
+	stRetired
+)
+
+// maxFrame bounds a single message; a corrupt length prefix must not
+// provoke a giant allocation.
+const maxFrame = 1 << 30
+
+func writeFrame(w io.Writer, op byte, body []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (op byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("flexpath: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// frameWriter appends protocol primitives to a buffer.
+type frameWriter struct{ buf []byte }
+
+func (f *frameWriter) u32(v uint32) { f.buf = binary.LittleEndian.AppendUint32(f.buf, v) }
+func (f *frameWriter) u8(v uint8)   { f.buf = append(f.buf, v) }
+func (f *frameWriter) bytes(b []byte) {
+	f.u32(uint32(len(b)))
+	f.buf = append(f.buf, b...)
+}
+func (f *frameWriter) str(s string) { f.bytes([]byte(s)) }
+
+// frameReader consumes protocol primitives from a buffer.
+type frameReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (f *frameReader) fail(msg string) {
+	if f.err == nil {
+		f.err = errors.New("flexpath: protocol: " + msg)
+	}
+}
+
+func (f *frameReader) u32() uint32 {
+	if f.err != nil || f.pos+4 > len(f.buf) {
+		f.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(f.buf[f.pos:])
+	f.pos += 4
+	return v
+}
+
+func (f *frameReader) u8() uint8 {
+	if f.err != nil || f.pos+1 > len(f.buf) {
+		f.fail("truncated u8")
+		return 0
+	}
+	v := f.buf[f.pos]
+	f.pos++
+	return v
+}
+
+func (f *frameReader) bytes() []byte {
+	n := int(f.u32())
+	if f.err != nil || f.pos+n > len(f.buf) {
+		f.fail("truncated bytes")
+		return nil
+	}
+	b := f.buf[f.pos : f.pos+n]
+	f.pos += n
+	return b
+}
+
+func (f *frameReader) str() string { return string(f.bytes()) }
+
+// Server exposes a Broker over TCP. Every accepted connection serves one
+// rank handle (writer or reader) for its lifetime; dropping the
+// connection closes the handle, so a crashed remote component releases
+// its stream obligations exactly like a closed in-process handle.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer creates a server around broker, listening on addr
+// (host:port; port 0 picks a free port).
+func NewServer(broker *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{broker: broker, ln: ln, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address, for clients to Dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and severs every connection.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			wg.Wait()
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func respondErr(conn net.Conn, err error) error {
+	f := &frameWriter{}
+	switch {
+	case errors.Is(err, io.EOF):
+		f.u8(stEOF)
+	case errors.Is(err, ErrStepRetired):
+		f.u8(stRetired)
+		f.str(err.Error())
+	default:
+		f.u8(stErr)
+		f.str(err.Error())
+	}
+	return writeFrame(conn, 0, f.buf)
+}
+
+func respondOK(conn net.Conn, body func(*frameWriter)) error {
+	f := &frameWriter{}
+	f.u8(stOK)
+	if body != nil {
+		body(f)
+	}
+	return writeFrame(conn, 0, f.buf)
+}
+
+// frame is one decoded request from a peer.
+type frame struct {
+	op   byte
+	body []byte
+}
+
+// serveConn handles one rank handle: an attach message, then a stream of
+// operations until the peer disconnects. A dedicated receive goroutine
+// feeds frames to the processing loop and cancels the connection context
+// when the peer goes away, so a broker operation blocked on behalf of a
+// dead peer (e.g. a StepMeta rendezvous) unwinds instead of leaking.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	frames := make(chan frame)
+	go func() {
+		defer cancel()
+		defer close(frames)
+		for {
+			op, body, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			select {
+			case frames <- frame{op: op, body: body}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	next := func() (frame, bool) {
+		f, ok := <-frames
+		return f, ok
+	}
+	first, ok := next()
+	if !ok {
+		return
+	}
+	op, body := first.op, first.body
+	switch op {
+	case opAttachWriter:
+		fr := &frameReader{buf: body}
+		stream := fr.str()
+		rank := int(fr.u32())
+		size := int(fr.u32())
+		depth := int(fr.u32())
+		if fr.err != nil {
+			respondErr(conn, fr.err)
+			return
+		}
+		w, err := s.broker.AttachWriter(stream, rank, size, depth)
+		if err != nil {
+			respondErr(conn, err)
+			return
+		}
+		if respondOK(conn, nil) != nil {
+			w.Close()
+			return
+		}
+		s.serveWriter(ctx, conn, next, w)
+	case opAttachReader:
+		fr := &frameReader{buf: body}
+		stream := fr.str()
+		rank := int(fr.u32())
+		size := int(fr.u32())
+		if fr.err != nil {
+			respondErr(conn, fr.err)
+			return
+		}
+		r, err := s.broker.AttachReader(stream, rank, size)
+		if err != nil {
+			respondErr(conn, err)
+			return
+		}
+		if respondOK(conn, nil) != nil {
+			r.Close()
+			return
+		}
+		s.serveReader(ctx, conn, next, r)
+	default:
+		respondErr(conn, fmt.Errorf("flexpath: first message must attach, got opcode %d", op))
+	}
+}
+
+func (s *Server) serveWriter(ctx context.Context, conn net.Conn, next func() (frame, bool), w *Writer) {
+	defer w.Close() // covers peer crash; double close is harmless here
+	for {
+		f, ok := next()
+		if !ok {
+			return
+		}
+		op, body := f.op, f.body
+		switch op {
+		case opPublish:
+			fr := &frameReader{buf: body}
+			step := int(fr.u32())
+			meta := append([]byte(nil), fr.bytes()...)
+			payload := append([]byte(nil), fr.bytes()...)
+			if fr.err != nil {
+				respondErr(conn, fr.err)
+				return
+			}
+			if err := w.PublishBlock(ctx, step, meta, payload); err != nil {
+				if respondErr(conn, err) != nil {
+					return
+				}
+				continue
+			}
+			if respondOK(conn, nil) != nil {
+				return
+			}
+		case opCloseWriter:
+			err := w.Close()
+			if err != nil {
+				respondErr(conn, err)
+			} else {
+				respondOK(conn, nil)
+			}
+			return
+		default:
+			respondErr(conn, fmt.Errorf("flexpath: unexpected opcode %d on writer connection", op))
+			return
+		}
+	}
+}
+
+func (s *Server) serveReader(ctx context.Context, conn net.Conn, next func() (frame, bool), r *Reader) {
+	defer r.Close()
+	for {
+		f, ok := next()
+		if !ok {
+			return
+		}
+		op, body := f.op, f.body
+		fr := &frameReader{buf: body}
+		switch op {
+		case opWriterSize:
+			n, err := r.WriterSize(ctx)
+			if err != nil {
+				if respondErr(conn, err) != nil {
+					return
+				}
+				continue
+			}
+			if respondOK(conn, func(f *frameWriter) { f.u32(uint32(n)) }) != nil {
+				return
+			}
+		case opStepMeta:
+			step := int(fr.u32())
+			if fr.err != nil {
+				respondErr(conn, fr.err)
+				return
+			}
+			metas, err := r.StepMeta(ctx, step)
+			if err != nil {
+				if respondErr(conn, err) != nil {
+					return
+				}
+				continue
+			}
+			if respondOK(conn, func(f *frameWriter) {
+				f.u32(uint32(len(metas)))
+				for _, m := range metas {
+					f.bytes(m)
+				}
+			}) != nil {
+				return
+			}
+		case opFetchBlock:
+			step := int(fr.u32())
+			writerRank := int(fr.u32())
+			if fr.err != nil {
+				respondErr(conn, fr.err)
+				return
+			}
+			payload, err := r.FetchBlock(ctx, step, writerRank)
+			if err != nil {
+				if respondErr(conn, err) != nil {
+					return
+				}
+				continue
+			}
+			if respondOK(conn, func(f *frameWriter) { f.bytes(payload) }) != nil {
+				return
+			}
+		case opReleaseStep:
+			step := int(fr.u32())
+			if fr.err != nil {
+				respondErr(conn, fr.err)
+				return
+			}
+			if err := r.ReleaseStep(step); err != nil {
+				if respondErr(conn, err) != nil {
+					return
+				}
+				continue
+			}
+			if respondOK(conn, nil) != nil {
+				return
+			}
+		case opCloseReader:
+			err := r.Close()
+			if err != nil {
+				respondErr(conn, err)
+			} else {
+				respondOK(conn, nil)
+			}
+			return
+		default:
+			respondErr(conn, fmt.Errorf("flexpath: unexpected opcode %d on reader connection", op))
+			return
+		}
+	}
+}

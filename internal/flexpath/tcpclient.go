@@ -1,0 +1,259 @@
+package flexpath
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client connects rank handles to a remote Server. It satisfies the same
+// role as a local Broker: AttachWriter/AttachReader yield per-rank
+// handles with identical semantics, each backed by its own connection.
+type Client struct {
+	addr string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Dial prepares a client for the given server address. No connection is
+// made until a handle attaches.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, conns: map[net.Conn]struct{}{}}
+}
+
+// Close severs all handle connections opened through this client.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = map[net.Conn]struct{}{}
+	return nil
+}
+
+func (c *Client) connect() (net.Conn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("flexpath: dialing %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+	return conn, nil
+}
+
+func (c *Client) release(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// call issues one blocking request/response on conn. If ctx is
+// cancellable, cancellation closes the connection — the handle is dead
+// afterwards, mirroring a rank abort.
+func call(ctx context.Context, conn net.Conn, op byte, body []byte) (*frameReader, error) {
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { conn.Close() })
+		defer stop()
+	}
+	if err := writeFrame(conn, op, body); err != nil {
+		return nil, wrapNetErr(ctx, err)
+	}
+	_, resp, err := readFrame(conn)
+	if err != nil {
+		return nil, wrapNetErr(ctx, err)
+	}
+	fr := &frameReader{buf: resp}
+	switch fr.u8() {
+	case stOK:
+		return fr, nil
+	case stEOF:
+		return nil, io.EOF
+	case stRetired:
+		return nil, fmt.Errorf("%w: %s", ErrStepRetired, fr.str())
+	default:
+		return nil, errors.New(fr.str())
+	}
+}
+
+func wrapNetErr(ctx context.Context, err error) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// RemoteWriter is a writer rank handle over TCP; it implements the same
+// contract as *Writer (adios.BlockWriter).
+type RemoteWriter struct {
+	c      *Client
+	conn   net.Conn
+	mu     sync.Mutex
+	closed bool
+}
+
+// AttachWriter joins the writer group of a stream on the remote broker.
+func (c *Client) AttachWriter(stream string, rank, size, depth int) (*RemoteWriter, error) {
+	conn, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	f := &frameWriter{}
+	f.str(stream)
+	f.u32(uint32(rank))
+	f.u32(uint32(size))
+	f.u32(uint32(depth))
+	if _, err := call(nil, conn, opAttachWriter, f.buf); err != nil {
+		c.release(conn)
+		return nil, err
+	}
+	return &RemoteWriter{c: c, conn: conn}, nil
+}
+
+// PublishBlock queues this rank's block for the given step, blocking
+// while the remote queue window is full.
+func (w *RemoteWriter) PublishBlock(ctx context.Context, step int, meta, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	f := &frameWriter{}
+	f.u32(uint32(step))
+	f.bytes(meta)
+	f.bytes(payload)
+	_, err := call(ctx, w.conn, opPublish, f.buf)
+	return err
+}
+
+// Close retires this writer rank and drops its connection.
+func (w *RemoteWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	_, err := call(nil, w.conn, opCloseWriter, nil)
+	w.c.release(w.conn)
+	return err
+}
+
+// RemoteReader is a reader rank handle over TCP; it implements the same
+// contract as *Reader (adios.BlockReader).
+type RemoteReader struct {
+	c      *Client
+	conn   net.Conn
+	mu     sync.Mutex
+	closed bool
+}
+
+// AttachReader joins the reader group of a stream on the remote broker.
+func (c *Client) AttachReader(stream string, rank, size int) (*RemoteReader, error) {
+	conn, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	f := &frameWriter{}
+	f.str(stream)
+	f.u32(uint32(rank))
+	f.u32(uint32(size))
+	if _, err := call(nil, conn, opAttachReader, f.buf); err != nil {
+		c.release(conn)
+		return nil, err
+	}
+	return &RemoteReader{c: c, conn: conn}, nil
+}
+
+// WriterSize blocks until the stream's writer group exists and returns
+// its size.
+func (r *RemoteReader) WriterSize(ctx context.Context) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+	fr, err := call(ctx, r.conn, opWriterSize, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int(fr.u32()), nil
+}
+
+// StepMeta blocks until the step is complete and returns every writer
+// rank's metadata blob; io.EOF after the stream ends.
+func (r *RemoteReader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	f := &frameWriter{}
+	f.u32(uint32(step))
+	fr, err := call(ctx, r.conn, opStepMeta, f.buf)
+	if err != nil {
+		return nil, err
+	}
+	n := int(fr.u32())
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, append([]byte(nil), fr.bytes()...))
+	}
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	return out, nil
+}
+
+// FetchBlock returns one writer rank's payload for the step.
+func (r *RemoteReader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	f := &frameWriter{}
+	f.u32(uint32(step))
+	f.u32(uint32(writerRank))
+	fr, err := call(ctx, r.conn, opFetchBlock, f.buf)
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte(nil), fr.bytes()...)
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	return payload, nil
+}
+
+// ReleaseStep declares this rank finished with the step.
+func (r *RemoteReader) ReleaseStep(step int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	f := &frameWriter{}
+	f.u32(uint32(step))
+	_, err := call(nil, r.conn, opReleaseStep, f.buf)
+	return err
+}
+
+// Close retires this reader rank and drops its connection.
+func (r *RemoteReader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.closed = true
+	_, err := call(nil, r.conn, opCloseReader, nil)
+	r.c.release(r.conn)
+	return err
+}

@@ -1,0 +1,80 @@
+package launch
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workflow"
+)
+
+// Format renders a workflow spec back into the aprun job-script syntax
+// Parse accepts, completing the round trip: a spec assembled
+// programmatically can be saved as a script, shared, and re-launched
+// with sbrun. Stages with an Instance but no Component name cannot be
+// expressed in a script and produce an error.
+func Format(spec workflow.Spec) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# workflow %s\n", spec.Name)
+	for i, st := range spec.Stages {
+		name := st.Component
+		if name == "" {
+			if st.Instance == nil {
+				return "", fmt.Errorf("launch: stage %d has neither component name nor instance", i)
+			}
+			name = st.Instance.Name()
+		}
+		sb.WriteString("aprun -n ")
+		fmt.Fprintf(&sb, "%d", st.Procs)
+		if st.QueueDepth > 0 {
+			fmt.Fprintf(&sb, " -q %d", st.QueueDepth)
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(name)
+		for _, arg := range st.Args {
+			sb.WriteByte(' ')
+			sb.WriteString(quoteArg(arg))
+		}
+		sb.WriteString(" &\n")
+	}
+	sb.WriteString("wait\n")
+	return sb.String(), nil
+}
+
+// quoteArg renders an argument so the tokenizer reconstructs it exactly.
+// The tokenizer has no escape characters but concatenates adjacent
+// quoted segments ("a"'b' tokenizes as "ab"), so arguments containing
+// both quote characters are emitted as alternating segments: every `"`
+// rides in a single-quoted segment, everything else in double-quoted
+// ones.
+func quoteArg(arg string) string {
+	if arg != "" && !strings.ContainsAny(arg, " \t#&\"'") {
+		return arg
+	}
+	if arg == "" {
+		return `""`
+	}
+	var sb strings.Builder
+	i := 0
+	for i < len(arg) {
+		if arg[i] == '"' {
+			j := i
+			for j < len(arg) && arg[j] == '"' {
+				j++
+			}
+			sb.WriteByte('\'')
+			sb.WriteString(arg[i:j])
+			sb.WriteByte('\'')
+			i = j
+			continue
+		}
+		j := i
+		for j < len(arg) && arg[j] != '"' {
+			j++
+		}
+		sb.WriteByte('"')
+		sb.WriteString(arg[i:j])
+		sb.WriteByte('"')
+		i = j
+	}
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package launch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	spec, err := Parse("orig", fig8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse("again", text)
+	if err != nil {
+		t.Fatalf("formatted script does not re-parse: %v\n%s", err, text)
+	}
+	if len(again.Stages) != len(spec.Stages) {
+		t.Fatalf("stage count changed: %d vs %d", len(again.Stages), len(spec.Stages))
+	}
+	for i := range spec.Stages {
+		a, b := spec.Stages[i], again.Stages[i]
+		if a.Component != b.Component || a.Procs != b.Procs || a.QueueDepth != b.QueueDepth {
+			t.Fatalf("stage %d changed: %+v vs %+v", i, a, b)
+		}
+		if len(a.Args) != len(b.Args) {
+			t.Fatalf("stage %d args changed: %v vs %v", i, a.Args, b.Args)
+		}
+		for j := range a.Args {
+			if a.Args[j] != b.Args[j] {
+				t.Fatalf("stage %d arg %d changed: %q vs %q", i, j, a.Args[j], b.Args[j])
+			}
+		}
+	}
+}
+
+func TestFormatQuotesSpecialArgs(t *testing.T) {
+	spec := workflow.Spec{
+		Name: "q",
+		Stages: []workflow.Stage{
+			{Component: "select", Procs: 2, QueueDepth: 4,
+				Args: []string{"my stream.fp", "atoms", "1", "out.fp", "sel", "v x"}},
+		},
+	}
+	text, err := Format(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `"my stream.fp"`) || !strings.Contains(text, `"v x"`) {
+		t.Fatalf("quoting missing:\n%s", text)
+	}
+	if !strings.Contains(text, "-q 4") {
+		t.Fatalf("queue depth missing:\n%s", text)
+	}
+	again, err := Parse("again", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stages[0].Args[0] != "my stream.fp" || again.Stages[0].Args[5] != "v x" {
+		t.Fatalf("round trip lost quoting: %q", again.Stages[0].Args)
+	}
+}
+
+func TestFormatInstanceWithoutName(t *testing.T) {
+	spec := workflow.Spec{
+		Name:   "bad",
+		Stages: []workflow.Stage{{Procs: 1}},
+	}
+	if _, err := Format(spec); err == nil {
+		t.Fatal("unexpressible stage formatted")
+	}
+}

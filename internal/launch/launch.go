@@ -1,0 +1,193 @@
+// Package launch parses SmartBlock job scripts — the aprun-style launch
+// files with which "the user is able to specify an entire workflow as a
+// series of applications launched together in a single job script"
+// (§III-B, Fig. 8) — into workflow specs. Example:
+//
+//	# LAMMPS workflow (Fig. 8 of the paper)
+//	aprun -n 64  histogram velos.fp velocities 16 &
+//	aprun -n 256 magnitude lmpselect.fp lmpsel velos.fp velocities &
+//	aprun -n 256 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+//	aprun -n 1024 lammps dump.custom.fp atoms 100000 10 &
+//	wait
+//
+// Supported syntax: `aprun -n <procs> [-q <queue-depth>] <component>
+// <args…> [&]`, blank lines, `#` comments, and a trailing `wait`.
+// Components are resolved by name at run time against the registry in
+// package components.
+package launch
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/workflow"
+)
+
+// ParseError reports a malformed script line with its 1-based number.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("launch script line %d: %s (%q)", e.Line, e.Msg, e.Text)
+}
+
+// Parse converts a job script into a workflow spec named name.
+func Parse(name string, script string) (workflow.Spec, error) {
+	spec := workflow.Spec{Name: name}
+	sawWait := false
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == "wait" {
+			sawWait = true
+			continue
+		}
+		if sawWait {
+			return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+				Msg: "command after wait"}
+		}
+		stage, err := parseLine(lineNo+1, raw, line)
+		if err != nil {
+			return workflow.Spec{}, err
+		}
+		spec.Stages = append(spec.Stages, stage)
+	}
+	if len(spec.Stages) == 0 {
+		return workflow.Spec{}, fmt.Errorf("launch script %q contains no aprun lines", name)
+	}
+	return spec, nil
+}
+
+// ParseFile reads and parses a job script file; the spec is named after
+// the path.
+func ParseFile(path string) (workflow.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workflow.Spec{}, err
+	}
+	return Parse(path, string(data))
+}
+
+func parseLine(lineNo int, raw, line string) (workflow.Stage, error) {
+	fail := func(msg string) (workflow.Stage, error) {
+		return workflow.Stage{}, &ParseError{Line: lineNo, Text: raw, Msg: msg}
+	}
+	line = strings.TrimSuffix(strings.TrimSpace(line), "&")
+	tokens, err := tokenize(line)
+	if err != nil {
+		return fail(err.Error())
+	}
+	if len(tokens) == 0 || tokens[0] != "aprun" {
+		return fail("expected a line starting with aprun")
+	}
+	tokens = tokens[1:]
+	stage := workflow.Stage{Procs: 1}
+	for len(tokens) > 0 && strings.HasPrefix(tokens[0], "-") {
+		switch tokens[0] {
+		case "-n":
+			if len(tokens) < 2 {
+				return fail("-n requires a process count")
+			}
+			n, err := strconv.Atoi(tokens[1])
+			if err != nil || n <= 0 {
+				return fail(fmt.Sprintf("process count %q is not a positive integer", tokens[1]))
+			}
+			stage.Procs = n
+			tokens = tokens[2:]
+		case "-q":
+			if len(tokens) < 2 {
+				return fail("-q requires a queue depth")
+			}
+			q, err := strconv.Atoi(tokens[1])
+			if err != nil || q <= 0 {
+				return fail(fmt.Sprintf("queue depth %q is not a positive integer", tokens[1]))
+			}
+			stage.QueueDepth = q
+			tokens = tokens[2:]
+		default:
+			return fail(fmt.Sprintf("unknown aprun flag %q", tokens[0]))
+		}
+	}
+	if len(tokens) == 0 {
+		return fail("missing component name")
+	}
+	for _, t := range tokens {
+		if t == "<" || t == ">" || t == "|" {
+			return fail(fmt.Sprintf("shell redirection %q is not supported; pass parameters as arguments", t))
+		}
+	}
+	if !validComponentName(tokens[0]) {
+		return fail(fmt.Sprintf("invalid component name %q", tokens[0]))
+	}
+	stage.Component = tokens[0]
+	stage.Args = tokens[1:]
+	return stage, nil
+}
+
+// validComponentName accepts the registry's naming alphabet: letters,
+// digits, dot, underscore and dash. Anything else (whitespace, quotes,
+// control characters) is a script error, not a component.
+func validComponentName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tokenize splits a line on whitespace, honoring single and double
+// quotes so stream names and header entries may contain spaces.
+func tokenize(line string) ([]string, error) {
+	var tokens []string
+	var cur strings.Builder
+	inTok := false
+	quote := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '\'' || c == '"':
+			quote = c
+			inTok = true
+		case c == ' ' || c == '\t':
+			if inTok {
+				tokens = append(tokens, cur.String())
+				cur.Reset()
+				inTok = false
+			}
+		default:
+			cur.WriteByte(c)
+			inTok = true
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	if inTok {
+		tokens = append(tokens, cur.String())
+	}
+	return tokens, nil
+}

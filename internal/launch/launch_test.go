@@ -1,0 +1,149 @@
+package launch
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fig8 is the paper's Fig. 8 launch script, adapted to this repo's
+// simulator arguments (no stdin deck).
+const fig8 = `
+# SmartBlock example launch script, LAMMPS workflow
+aprun -n 64 histogram velos.fp velocities 16 &
+aprun -n 256 magnitude lmpselect.fp lmpsel velos.fp velocities &
+aprun -n 256 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+aprun -n 1024 lammps dump.custom.fp atoms 100000 10 &
+wait
+`
+
+func TestParseFig8(t *testing.T) {
+	spec, err := Parse("fig8", fig8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Stages) != 4 {
+		t.Fatalf("got %d stages", len(spec.Stages))
+	}
+	st := spec.Stages[0]
+	if st.Component != "histogram" || st.Procs != 64 || len(st.Args) != 3 {
+		t.Fatalf("stage 0 = %+v", st)
+	}
+	sel := spec.Stages[2]
+	if sel.Component != "select" || sel.Procs != 256 {
+		t.Fatalf("stage 2 = %+v", sel)
+	}
+	if want := []string{"dump.custom.fp", "atoms", "1", "lmpselect.fp", "lmpsel", "vx", "vy", "vz"}; len(sel.Args) != len(want) {
+		t.Fatalf("select args = %v", sel.Args)
+	} else {
+		for i := range want {
+			if sel.Args[i] != want[i] {
+				t.Fatalf("select args = %v", sel.Args)
+			}
+		}
+	}
+	if spec.Stages[3].Procs != 1024 {
+		t.Fatalf("lammps procs = %d", spec.Stages[3].Procs)
+	}
+}
+
+func TestParseQueueDepthFlag(t *testing.T) {
+	spec, err := Parse("q", `aprun -n 4 -q 8 magnitude a.fp x b.fp y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Stages[0].QueueDepth != 8 || spec.Stages[0].Procs != 4 {
+		t.Fatalf("stage = %+v", spec.Stages[0])
+	}
+}
+
+func TestParseDefaultsProcsToOne(t *testing.T) {
+	spec, err := Parse("d", `aprun histogram a.fp x 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Stages[0].Procs != 1 {
+		t.Fatalf("procs = %d", spec.Stages[0].Procs)
+	}
+}
+
+func TestParseQuotedArgs(t *testing.T) {
+	spec, err := Parse("quoted", `aprun -n 2 select "my stream.fp" atoms 1 out.fp sel 'v x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := spec.Stages[0].Args
+	if args[0] != "my stream.fp" || args[len(args)-1] != "v x" {
+		t.Fatalf("args = %q", args)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            ``,
+		"comments only":    "# nothing\n\n",
+		"not aprun":        `mpirun -n 4 histogram a.fp x 4`,
+		"bad procs":        `aprun -n zero histogram a.fp x 4`,
+		"negative procs":   `aprun -n -4 histogram a.fp x 4`,
+		"missing -n value": `aprun -n`,
+		"unknown flag":     `aprun -Z 4 histogram a.fp x 4`,
+		"no component":     `aprun -n 4`,
+		"redirect":         `aprun -n 4 lammps < in.cracksm`,
+		"pipe":             `aprun -n 4 lammps | tee log`,
+		"after wait":       "aprun -n 1 histogram a.fp x 4\nwait\naprun -n 1 histogram b.fp x 4",
+		"unterminated":     `aprun -n 1 histogram "a.fp x 4`,
+		"bad queue":        `aprun -n 1 -q zero histogram a.fp x 4`,
+	}
+	for name, script := range cases {
+		if _, err := Parse(name, script); err == nil {
+			t.Errorf("Parse(%s) succeeded", name)
+		}
+	}
+}
+
+func TestParseErrorReportsLine(t *testing.T) {
+	_, err := Parse("l", "aprun -n 1 histogram a.fp x 4\nmpirun oops\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 2 || !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("parse error = %+v", pe)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wf.sh")
+	if err := os.WriteFile(path, []byte(fig8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != path || len(spec.Stages) != 4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.sh")); err == nil {
+		t.Fatal("missing file parsed")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize(`a "b c" d'e f'g  h`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b c", "de fg", "h"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %q", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %q, want %q", toks, want)
+		}
+	}
+}

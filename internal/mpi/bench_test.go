@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(1, 0, i); err != nil {
+					return err
+				}
+				if _, _, err := RecvT[int](c, 1, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RecvT[int](c, 0, 0); err != nil {
+				return err
+			}
+			if err := c.Send(0, 1, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	err := Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	err := Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := Allreduce(c, float64(c.Rank()), Sum[float64]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduceFloat64s8x1024(b *testing.B) {
+	buf := make([]float64, 1024)
+	b.SetBytes(int64(len(buf) * 8))
+	err := Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := AllreduceFloat64s(c, buf, Sum[float64]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunRankAndSize(t *testing.T) {
+	const n = 8
+	var seen [n]int32
+	err := Run(n, func(c *Comm) error {
+		if c.Size() != n {
+			return fmt.Errorf("Size = %d", c.Size())
+		}
+		atomic.AddInt32(&seen[c.Rank()], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range seen {
+		if v != 1 {
+			t.Fatalf("rank %d ran %d times", r, v)
+		}
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("Run(0) succeeded")
+	}
+	if err := Run(-3, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("Run(-3) succeeded")
+	}
+}
+
+func TestSendRecvPingPong(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, 42.5); err != nil {
+				return err
+			}
+			v, from, err := RecvT[string](c, 1, 8)
+			if err != nil {
+				return err
+			}
+			if v != "pong" || from != 1 {
+				return fmt.Errorf("got %q from %d", v, from)
+			}
+			return nil
+		}
+		v, _, err := RecvT[float64](c, 0, 7)
+		if err != nil {
+			return err
+		}
+		if v != 42.5 {
+			return fmt.Errorf("got %v", v)
+		}
+		return c.Send(0, 8, "pong")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvOrderingPerSenderTag(t *testing.T) {
+	// Messages from one sender with one tag must arrive in order.
+	const k = 100
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := c.Send(1, 1, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			v, _, err := RecvT[int](c, 0, 1)
+			if err != nil {
+				return err
+			}
+			if v != i {
+				return fmt.Errorf("message %d arrived as %d", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvByTagOutOfOrder(t *testing.T) {
+	// A receiver asking for tag 2 first must get the tag-2 message even
+	// though a tag-1 message arrived before it.
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, "first"); err != nil {
+				return err
+			}
+			return c.Send(1, 2, "second")
+		}
+		v2, _, err := RecvT[string](c, 0, 2)
+		if err != nil {
+			return err
+		}
+		v1, _, err := RecvT[string](c, 0, 1)
+		if err != nil {
+			return err
+		}
+		if v2 != "second" || v1 != "first" {
+			return fmt.Errorf("got %q, %q", v2, v1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	const n = 5
+	err := Run(n, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, 3, c.Rank())
+		}
+		got := map[int]bool{}
+		for i := 0; i < n-1; i++ {
+			v, from, err := RecvT[int](c, AnySource, 3)
+			if err != nil {
+				return err
+			}
+			if v != from {
+				return fmt.Errorf("payload %d from rank %d", v, from)
+			}
+			got[from] = true
+		}
+		if len(got) != n-1 {
+			return fmt.Errorf("heard from %d ranks", len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("send to out-of-range rank succeeded")
+		}
+		if err := c.Send(0, -1, nil); err == nil {
+			return errors.New("send with negative tag succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvErrors(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if _, _, err := c.Recv(9, 0); err == nil {
+			return errors.New("recv from out-of-range rank succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTypeMismatch(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, "not a float")
+		}
+		_, _, err := RecvT[float64](c, 0, 0)
+		if err == nil {
+			return errors.New("type mismatch not detected")
+		}
+		if !strings.Contains(err.Error(), "type mismatch") {
+			return fmt.Errorf("unexpected error %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorAbortsBlockedRanks(t *testing.T) {
+	// Rank 1 fails immediately; rank 0 is blocked in Recv forever and must
+	// be released with ErrAborted instead of deadlocking.
+	start := time.Now()
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errors.New("injected failure")
+		}
+		_, _, err := c.Recv(1, 0)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("blocked recv returned %v, want ErrAborted", err)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run did not surface the rank error")
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("error = %v, want RankError from rank 1", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("abort took too long; ranks were deadlocked")
+	}
+}
+
+func TestPanicInRankIsCaptured(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		_, _, err := c.Recv(0, 0)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("got %v", err)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic: boom") {
+		t.Fatalf("err = %v, want captured panic", err)
+	}
+}
+
+func TestExternalContextCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RunCtx(ctx, 2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				_, _, err := c.Recv(1, 0) // blocks forever
+				if errors.Is(err, ErrAborted) {
+					return nil
+				}
+				return fmt.Errorf("recv returned %v", err)
+			}
+			<-c.Context().Done()
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunCtx did not return after external cancel")
+	}
+}
+
+func TestSendAfterAbortFails(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunCtx(ctx, 1, func(c *Comm) error {
+		// Give the abort watcher a moment to run.
+		for i := 0; i < 100; i++ {
+			if err := c.send(0, 0, nil); errors.Is(err, ErrAborted) {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return errors.New("send kept succeeding after abort")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

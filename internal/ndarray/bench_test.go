@@ -1,0 +1,95 @@
+package ndarray
+
+import (
+	"testing"
+)
+
+func benchArray3D(b *testing.B, x, y, z int) *Array {
+	b.Helper()
+	a := New(Dim{"x", x}, Dim{"y", y}, Dim{"z", z})
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)
+	}
+	return a
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := benchArray3D(b, 64, 64, 64)
+	b.SetBytes(int64(a.Size() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Transpose(2, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDimReduceAdjacent(b *testing.B) {
+	// Remove an axis that already follows the grow axis: pure reshape path.
+	a := benchArray3D(b, 64, 64, 64)
+	b.SetBytes(int64(a.Size() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.DimReduce(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDimReduceTransposing(b *testing.B) {
+	// Remove a leading axis into a trailing one: requires re-arrangement.
+	a := benchArray3D(b, 64, 64, 64)
+	b.SetBytes(int64(a.Size() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.DimReduce(0, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCopyBox(b *testing.B) {
+	a := benchArray3D(b, 64, 64, 64)
+	box := Box{Offsets: []int{8, 8, 8}, Counts: []int{48, 48, 48}}
+	b.SetBytes(int64(box.Volume() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.CopyBox(box); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCopyRegion(b *testing.B) {
+	src := benchArray3D(b, 64, 64, 64)
+	dst := New(Dim{"x", 64}, Dim{"y", 64}, Dim{"z", 64})
+	counts := []int{48, 48, 48}
+	b.SetBytes(int64(Volume(counts) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CopyRegion(dst, []int{0, 0, 0}, src, []int{16, 16, 16}, counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectIndices(b *testing.B) {
+	a := New(Dim{"particles", 100000}, Dim{"props", 5})
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)
+	}
+	b.SetBytes(int64(a.Size() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SelectIndices(1, []int{2, 3, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionAlong(b *testing.B) {
+	shape := []int{1 << 20, 5}
+	for i := 0; i < b.N; i++ {
+		PartitionAlong(shape, 0, 64, i%64)
+	}
+}

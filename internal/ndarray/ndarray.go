@@ -1,0 +1,237 @@
+// Package ndarray provides dense, row-major, labeled multi-dimensional
+// arrays of float64 together with the layout algebra SmartBlock components
+// rely on: bounding boxes for partial reads, even partitioning across
+// ranks, axis transposition, and the dimension-reduction re-arrangement
+// described in the SmartBlock paper (IPDPSW 2017, §III-F).
+//
+// Arrays carry a name for each dimension. Consistent labeling of
+// dimensions is one of the paper's design guidelines (§III-A2): it is what
+// lets generic components such as Select and Dim-Reduce be pointed at data
+// of any shape at launch time without recompilation.
+package ndarray
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dim describes one dimension of an array: a human-readable label and its
+// extent. Labels are advisory metadata; all layout math uses sizes only.
+type Dim struct {
+	Name string
+	Size int
+}
+
+// Array is a dense row-major N-dimensional array of float64. The zero
+// value is an empty 0-dimensional array holding a single implicit scalar
+// slot only after initialization via New; use New or FromData to build one.
+type Array struct {
+	dims []Dim
+	data []float64
+}
+
+// New allocates a zero-filled array with the given dimensions. It panics
+// if any dimension size is negative; a zero-sized dimension yields an
+// array with no elements, which is valid.
+func New(dims ...Dim) *Array {
+	n := 1
+	for _, d := range dims {
+		if d.Size < 0 {
+			panic(fmt.Sprintf("ndarray: negative dimension size %d for %q", d.Size, d.Name))
+		}
+		n *= d.Size
+	}
+	return &Array{dims: cloneDims(dims), data: make([]float64, n)}
+}
+
+// FromData wraps an existing flat slice as an array with the given
+// dimensions. The slice is used directly (not copied); its length must
+// equal the product of the dimension sizes.
+func FromData(data []float64, dims ...Dim) (*Array, error) {
+	n := 1
+	for _, d := range dims {
+		if d.Size < 0 {
+			return nil, fmt.Errorf("ndarray: negative dimension size %d for %q", d.Size, d.Name)
+		}
+		n *= d.Size
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("ndarray: data length %d does not match shape volume %d", len(data), n)
+	}
+	return &Array{dims: cloneDims(dims), data: data}, nil
+}
+
+// MustFromData is FromData that panics on error; intended for tests and
+// literals whose shapes are statically correct.
+func MustFromData(data []float64, dims ...Dim) *Array {
+	a, err := FromData(data, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func cloneDims(dims []Dim) []Dim {
+	out := make([]Dim, len(dims))
+	copy(out, dims)
+	return out
+}
+
+// NDim reports the number of dimensions.
+func (a *Array) NDim() int { return len(a.dims) }
+
+// Dims returns a copy of the dimension descriptors.
+func (a *Array) Dims() []Dim { return cloneDims(a.dims) }
+
+// Dim returns the i-th dimension descriptor.
+func (a *Array) Dim(i int) Dim { return a.dims[i] }
+
+// Shape returns the sizes of all dimensions.
+func (a *Array) Shape() []int {
+	out := make([]int, len(a.dims))
+	for i, d := range a.dims {
+		out[i] = d.Size
+	}
+	return out
+}
+
+// Labels returns the names of all dimensions.
+func (a *Array) Labels() []string {
+	out := make([]string, len(a.dims))
+	for i, d := range a.dims {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// FindDim returns the index of the dimension with the given name, or -1.
+func (a *Array) FindDim(name string) int {
+	for i, d := range a.dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Size reports the total number of elements.
+func (a *Array) Size() int { return len(a.data) }
+
+// Data returns the backing slice in row-major order. Mutating it mutates
+// the array.
+func (a *Array) Data() []float64 { return a.data }
+
+// Strides returns the row-major strides: stride[i] is the linear distance
+// between consecutive elements along dimension i.
+func (a *Array) Strides() []int {
+	return StridesOf(a.Shape())
+}
+
+// StridesOf computes row-major strides for a shape.
+func StridesOf(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Volume returns the product of the extents in shape.
+func Volume(shape []int) int {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	return n
+}
+
+// Index converts multi-dimensional indices to a linear offset. It panics
+// if the number of indices differs from NDim or any index is out of range.
+func (a *Array) Index(idx ...int) int {
+	if len(idx) != len(a.dims) {
+		panic(fmt.Sprintf("ndarray: got %d indices for %d-d array", len(idx), len(a.dims)))
+	}
+	lin := 0
+	for i, x := range idx {
+		if x < 0 || x >= a.dims[i].Size {
+			panic(fmt.Sprintf("ndarray: index %d out of range [0,%d) in dimension %d (%q)",
+				x, a.dims[i].Size, i, a.dims[i].Name))
+		}
+		lin = lin*a.dims[i].Size + x
+	}
+	return lin
+}
+
+// At returns the element at the given multi-dimensional indices.
+func (a *Array) At(idx ...int) float64 { return a.data[a.Index(idx...)] }
+
+// Set stores v at the given multi-dimensional indices.
+func (a *Array) Set(v float64, idx ...int) { a.data[a.Index(idx...)] = v }
+
+// Clone returns a deep copy of the array.
+func (a *Array) Clone() *Array {
+	data := make([]float64, len(a.data))
+	copy(data, a.data)
+	return &Array{dims: cloneDims(a.dims), data: data}
+}
+
+// Fill sets every element to v and returns the array for chaining.
+func (a *Array) Fill(v float64) *Array {
+	for i := range a.data {
+		a.data[i] = v
+	}
+	return a
+}
+
+// Equal reports whether two arrays have identical dimension descriptors
+// (names and sizes) and identical element values.
+func (a *Array) Equal(b *Array) bool {
+	if len(a.dims) != len(b.dims) {
+		return false
+	}
+	for i := range a.dims {
+		if a.dims[i] != b.dims[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description such as
+// "[particles:1024 props:5] (5120 elements)".
+func (a *Array) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, d := range a.dims {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%d", d.Name, d.Size)
+	}
+	fmt.Fprintf(&sb, "] (%d elements)", len(a.data))
+	return sb.String()
+}
+
+// Reshape returns a view-copy of the array with new dimensions whose
+// volume must match the current one. Element order is preserved (it is a
+// pure re-labeling of the row-major layout). The data slice is shared.
+func (a *Array) Reshape(dims ...Dim) (*Array, error) {
+	n := 1
+	for _, d := range dims {
+		if d.Size < 0 {
+			return nil, fmt.Errorf("ndarray: negative dimension size %d for %q", d.Size, d.Name)
+		}
+		n *= d.Size
+	}
+	if n != len(a.data) {
+		return nil, fmt.Errorf("ndarray: reshape volume %d does not match size %d", n, len(a.data))
+	}
+	return &Array{dims: cloneDims(dims), data: a.data}, nil
+}

@@ -1,0 +1,200 @@
+package ndarray
+
+import (
+	"strings"
+	"testing"
+)
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	a := New(Dim{"x", 3}, Dim{"y", 4})
+	if a.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", a.Size())
+	}
+	for i, v := range a.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if a.NDim() != 2 {
+		t.Fatalf("NDim = %d, want 2", a.NDim())
+	}
+}
+
+func TestNewZeroSizedDim(t *testing.T) {
+	a := New(Dim{"x", 0}, Dim{"y", 5})
+	if a.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", a.Size())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with negative size did not panic")
+		}
+	}()
+	New(Dim{"x", -1})
+}
+
+func TestFromDataLengthMismatch(t *testing.T) {
+	if _, err := FromData(seq(5), Dim{"x", 2}, Dim{"y", 3}); err == nil {
+		t.Fatal("FromData accepted mismatched length")
+	}
+}
+
+func TestFromDataSharesBacking(t *testing.T) {
+	data := seq(6)
+	a := MustFromData(data, Dim{"x", 2}, Dim{"y", 3})
+	data[0] = 99
+	if a.At(0, 0) != 99 {
+		t.Fatal("FromData copied instead of wrapping")
+	}
+}
+
+func TestIndexRowMajor(t *testing.T) {
+	a := MustFromData(seq(24), Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+	cases := []struct {
+		idx  []int
+		want int
+	}{
+		{[]int{0, 0, 0}, 0},
+		{[]int{0, 0, 3}, 3},
+		{[]int{0, 1, 0}, 4},
+		{[]int{1, 0, 0}, 12},
+		{[]int{1, 2, 3}, 23},
+	}
+	for _, c := range cases {
+		if got := a.Index(c.idx...); got != c.want {
+			t.Errorf("Index(%v) = %d, want %d", c.idx, got, c.want)
+		}
+		if got := a.At(c.idx...); got != float64(c.want) {
+			t.Errorf("At(%v) = %v, want %d", c.idx, got, c.want)
+		}
+	}
+}
+
+func TestIndexPanicsOutOfRange(t *testing.T) {
+	a := New(Dim{"x", 2})
+	for _, idx := range [][]int{{2}, {-1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%v) did not panic", idx)
+				}
+			}()
+			a.Index(idx...)
+		}()
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	a := New(Dim{"x", 2}, Dim{"y", 2})
+	a.Set(7, 1, 0)
+	if a.At(1, 0) != 7 {
+		t.Fatalf("At(1,0) = %v after Set, want 7", a.At(1, 0))
+	}
+	if a.Data()[2] != 7 {
+		t.Fatalf("backing[2] = %v, want 7", a.Data()[2])
+	}
+}
+
+func TestStrides(t *testing.T) {
+	a := New(Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+	want := []int{12, 4, 1}
+	got := a.Strides()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Strides = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := MustFromData(seq(4), Dim{"x", 4})
+	b := a.Clone()
+	b.Set(100, 0)
+	if a.At(0) == 100 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+}
+
+func TestEqualDistinguishesLabels(t *testing.T) {
+	a := MustFromData(seq(4), Dim{"x", 4})
+	b := MustFromData(seq(4), Dim{"y", 4})
+	if a.Equal(b) {
+		t.Fatal("Equal ignored dimension labels")
+	}
+}
+
+func TestFindDim(t *testing.T) {
+	a := New(Dim{"slices", 2}, Dim{"points", 3}, Dim{"props", 7})
+	if got := a.FindDim("props"); got != 2 {
+		t.Fatalf("FindDim(props) = %d, want 2", got)
+	}
+	if got := a.FindDim("missing"); got != -1 {
+		t.Fatalf("FindDim(missing) = %d, want -1", got)
+	}
+}
+
+func TestReshapePreservesOrder(t *testing.T) {
+	a := MustFromData(seq(6), Dim{"x", 2}, Dim{"y", 3})
+	b, err := a.Reshape(Dim{"flat", 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if b.At(i) != float64(i) {
+			t.Fatalf("reshaped element %d = %v", i, b.At(i))
+		}
+	}
+}
+
+func TestReshapeVolumeMismatch(t *testing.T) {
+	a := New(Dim{"x", 4})
+	if _, err := a.Reshape(Dim{"x", 5}); err == nil {
+		t.Fatal("Reshape accepted volume mismatch")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := New(Dim{"particles", 8}, Dim{"props", 5})
+	s := a.String()
+	for _, sub := range []string{"particles:8", "props:5", "40 elements"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestLabelsAndShape(t *testing.T) {
+	a := New(Dim{"a", 1}, Dim{"b", 2})
+	l, s := a.Labels(), a.Shape()
+	if l[0] != "a" || l[1] != "b" || s[0] != 1 || s[1] != 2 {
+		t.Fatalf("Labels=%v Shape=%v", l, s)
+	}
+	// Mutating the returned slices must not affect the array.
+	l[0], s[0] = "zz", 99
+	if a.Dim(0).Name != "a" || a.Dim(0).Size != 1 {
+		t.Fatal("Labels/Shape leak internal state")
+	}
+}
+
+func TestFill(t *testing.T) {
+	a := New(Dim{"x", 3}).Fill(2.5)
+	for _, v := range a.Data() {
+		if v != 2.5 {
+			t.Fatalf("Fill left %v", v)
+		}
+	}
+}

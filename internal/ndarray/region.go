@@ -1,0 +1,58 @@
+package ndarray
+
+import (
+	"fmt"
+)
+
+// CopyRegion copies a hyper-rectangular region of counts elements from
+// src (starting at srcOff) into dst (starting at dstOff). The two arrays
+// may have different shapes; only the region extents must fit both. This
+// is the kernel of the MxN exchange: a reader assembling its bounding box
+// from several writers' blocks copies each intersection with one call.
+func CopyRegion(dst *Array, dstOff []int, src *Array, srcOff []int, counts []int) error {
+	n := dst.NDim()
+	if src.NDim() != n || len(dstOff) != n || len(srcOff) != n || len(counts) != n {
+		return fmt.Errorf("ndarray: CopyRegion rank mismatch (dst %d, src %d, offsets %d/%d, counts %d)",
+			n, src.NDim(), len(dstOff), len(srcOff), len(counts))
+	}
+	dstBox := Box{Offsets: dstOff, Counts: counts}
+	if err := dstBox.ValidIn(dst.Shape()); err != nil {
+		return fmt.Errorf("ndarray: CopyRegion destination: %w", err)
+	}
+	srcBox := Box{Offsets: srcOff, Counts: counts}
+	if err := srcBox.ValidIn(src.Shape()); err != nil {
+		return fmt.Errorf("ndarray: CopyRegion source: %w", err)
+	}
+	if Volume(counts) == 0 {
+		return nil
+	}
+	if n == 0 {
+		dst.data[0] = src.data[0]
+		return nil
+	}
+	dstStrides := dst.Strides()
+	srcStrides := src.Strides()
+	outer := 1
+	for i := 0; i < n-1; i++ {
+		outer *= counts[i]
+	}
+	last := counts[n-1]
+	idx := make([]int, n-1)
+	for o := 0; o < outer; o++ {
+		dPos := dstOff[n-1] * dstStrides[n-1]
+		sPos := srcOff[n-1] * srcStrides[n-1]
+		for i := 0; i < n-1; i++ {
+			dPos += (dstOff[i] + idx[i]) * dstStrides[i]
+			sPos += (srcOff[i] + idx[i]) * srcStrides[i]
+		}
+		copy(dst.data[dPos:dPos+last], src.data[sPos:sPos+last])
+		for i := n - 2; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < counts[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCopyRegion2D(t *testing.T) {
+	src := MustFromData(seq(12), Dim{"r", 3}, Dim{"c", 4})
+	dst := New(Dim{"r", 5}, Dim{"c", 5}).Fill(-1)
+	// Copy the 2x2 block at src(1,2) to dst(0,0).
+	if err := CopyRegion(dst, []int{0, 0}, src, []int{1, 2}, []int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{6, 7}, {10, 11}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if dst.At(i, j) != want[i][j] {
+				t.Fatalf("dst(%d,%d) = %v, want %v", i, j, dst.At(i, j), want[i][j])
+			}
+		}
+	}
+	if dst.At(2, 2) != -1 {
+		t.Fatal("CopyRegion wrote outside the region")
+	}
+}
+
+func TestCopyRegionErrors(t *testing.T) {
+	src := New(Dim{"x", 3})
+	dst := New(Dim{"x", 3})
+	if err := CopyRegion(dst, []int{0}, src, []int{2}, []int{2}); err == nil {
+		t.Error("source overrun accepted")
+	}
+	if err := CopyRegion(dst, []int{2}, src, []int{0}, []int{2}); err == nil {
+		t.Error("destination overrun accepted")
+	}
+	if err := CopyRegion(dst, []int{0, 0}, src, []int{0}, []int{1}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+}
+
+func TestCopyRegionEmpty(t *testing.T) {
+	src := MustFromData(seq(4), Dim{"x", 4})
+	dst := New(Dim{"x", 4}).Fill(7)
+	if err := CopyRegion(dst, []int{0}, src, []int{0}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dst.Data() {
+		if v != 7 {
+			t.Fatal("empty region copy modified destination")
+		}
+	}
+}
+
+// Property: CopyRegion agrees with elementwise assignment for random
+// shapes, offsets and counts in up to 4 dimensions.
+func TestQuickCopyRegionMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		srcDims := make([]Dim, n)
+		dstDims := make([]Dim, n)
+		srcOff := make([]int, n)
+		dstOff := make([]int, n)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			counts[i] = 1 + r.Intn(4)
+			srcDims[i] = Dim{Name: "d", Size: counts[i] + r.Intn(4)}
+			dstDims[i] = Dim{Name: "d", Size: counts[i] + r.Intn(4)}
+			srcOff[i] = r.Intn(srcDims[i].Size - counts[i] + 1)
+			dstOff[i] = r.Intn(dstDims[i].Size - counts[i] + 1)
+		}
+		src := New(srcDims...)
+		for i := range src.Data() {
+			src.Data()[i] = r.Float64()
+		}
+		fast := New(dstDims...)
+		if err := CopyRegion(fast, dstOff, src, srcOff, counts); err != nil {
+			return false
+		}
+		slow := New(dstDims...)
+		idx := make([]int, n)
+		total := Volume(counts)
+		for k := 0; k < total; k++ {
+			sIdx := make([]int, n)
+			dIdx := make([]int, n)
+			for i := 0; i < n; i++ {
+				sIdx[i] = srcOff[i] + idx[i]
+				dIdx[i] = dstOff[i] + idx[i]
+			}
+			slow.Set(src.At(sIdx...), dIdx...)
+			for i := n - 1; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < counts[i] {
+					break
+				}
+				idx[i] = 0
+			}
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

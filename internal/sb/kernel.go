@@ -1,0 +1,147 @@
+package sb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/ndarray"
+)
+
+// StepInput is what a map-style kernel sees each timestep on each rank:
+// the step's self-describing metadata, the variable it operates on, the
+// bounding box this rank was assigned, and the block read from it.
+type StepInput struct {
+	Info  *adios.StepInfo
+	Var   *adios.GlobalVar
+	Box   ndarray.Box
+	Block *ndarray.Array
+	Env   *Env
+	// Reader is the step's open reader, for kernels that need data beyond
+	// their own partition (e.g. AllPairs re-reads the shared sample).
+	Reader *adios.Reader
+}
+
+// StepOutput is a kernel's locally computed result: this rank's block of
+// the output array, its position in the output global space, and any
+// attributes to attach downstream.
+type StepOutput struct {
+	GlobalDims []ndarray.Dim
+	Box        ndarray.Box
+	Data       []float64
+	Attrs      map[string]string
+}
+
+// MapKernel is the contract shared by the paper's data-transformation
+// components (Select, Magnitude, Dim-Reduce): a purely local, per-rank
+// transformation of a partitioned block, where the global output layout
+// is derivable from the global input layout.
+type MapKernel interface {
+	// ReservedAxes lists input axes that must not be partitioned (for
+	// example, the axis Select filters). May return nil.
+	ReservedAxes(v *adios.GlobalVar, info *adios.StepInfo) ([]int, error)
+	// Transform computes this rank's output block from its input block.
+	Transform(in *StepInput) (*StepOutput, error)
+}
+
+// MapConfig wires a MapKernel into a runnable component.
+type MapConfig struct {
+	// Name of the component kind, for errors and metrics.
+	Name string
+	// InStream / InArray identify the input.
+	InStream, InArray string
+	// OutStream / OutArray identify the output.
+	OutStream, OutArray string
+	// Policy selects the partition axis (default PartitionFirstFree).
+	Policy PartitionPolicy
+	// ForwardAttrs propagates all upstream attributes downstream unless
+	// the kernel overrides them — the paper's guideline of maintaining
+	// high-level semantics through components that do not require them
+	// (§III-A3).
+	ForwardAttrs bool
+}
+
+// RunMap executes the shared per-rank loop of a map-style component:
+// attach to the input and output streams, and for every timestep read
+// this rank's partition, transform it, and republish — until the input
+// stream ends. It records one Metrics sample per timestep.
+func RunMap(env *Env, cfg MapConfig, kernel MapKernel) error {
+	if env.Metrics != nil {
+		env.Metrics.MarkStarted()
+		defer env.Metrics.MarkFinished()
+	}
+	r, err := env.OpenReader(cfg.InStream)
+	if err != nil {
+		return fmt.Errorf("%s: attaching reader to %q: %w", cfg.Name, cfg.InStream, err)
+	}
+	defer r.Close()
+	w, err := env.OpenWriter(cfg.OutStream)
+	if err != nil {
+		return fmt.Errorf("%s: attaching writer to %q: %w", cfg.Name, cfg.OutStream, err)
+	}
+	defer w.Close()
+
+	rank, size := env.Comm.Rank(), env.Comm.Size()
+	for step := 0; ; step++ {
+		info, err := r.BeginStep(env.Ctx())
+		if errors.Is(err, io.EOF) {
+			env.logf("%s rank %d: input stream %q ended after %d steps", cfg.Name, rank, cfg.InStream, step)
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		begin := time.Now() // active time: excludes waiting for the producer
+		v, ok := info.Var(cfg.InArray)
+		if !ok {
+			return fmt.Errorf("%s: step %d of stream %q has no array %q", cfg.Name, step, cfg.InStream, cfg.InArray)
+		}
+		reserved, err := kernel.ReservedAxes(v, info)
+		if err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		axis, err := ChooseAxis(cfg.Policy, v.Shape(), reserved...)
+		if err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		box := PartitionBox(v.Shape(), axis, size, rank)
+		block, err := r.ReadBox(env.Ctx(), cfg.InArray, box)
+		if err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		out, err := kernel.Transform(&StepInput{Info: info, Var: v, Box: box, Block: block, Env: env, Reader: r})
+		if err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		if err := w.BeginStep(); err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		if cfg.ForwardAttrs {
+			for k, val := range info.Attrs {
+				if err := w.SetAttribute(k, val); err != nil {
+					return err
+				}
+			}
+		}
+		for k, val := range out.Attrs {
+			if err := w.SetAttribute(k, val); err != nil {
+				return err
+			}
+		}
+		if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		if err := w.EndStep(env.Ctx()); err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		if err := r.EndStep(); err != nil {
+			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		}
+		if env.Metrics != nil {
+			env.Metrics.RecordStep(step, time.Since(begin),
+				int64(block.Size()*8), int64(len(out.Data)*8))
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package sb is the SmartBlock component framework — the paper's primary
+// contribution (§III). It defines what a generic, reusable in situ
+// workflow component is in this reproduction:
+//
+//   - a Component is an SPMD body executed by every rank of its own
+//     communicator (package mpi), configured entirely through run-time
+//     string arguments — never recompiled per workflow;
+//
+//   - every rank receives an Env giving it the component's communicator,
+//     the stream transport, its arguments, and a metrics collector;
+//
+//   - components exchange self-describing timesteps (package adios) over
+//     named streams (package flexpath), discover the global shape of what
+//     they receive, and partition it evenly across their ranks with
+//     bounding-box selections.
+//
+// The RunMap loop in kernel.go captures the shared shape of the paper's
+// data-transformation components (Select, Magnitude, Dim-Reduce): read a
+// partitioned block, transform it locally, republish. Components with
+// different shapes (Histogram's reduction to a file, the all-in-one
+// baseline) implement Component directly.
+package sb
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/adios"
+	"repro/internal/flexpath"
+	"repro/internal/mpi"
+)
+
+// Transport is the stream fabric a component attaches to. Both the
+// in-process broker and the TCP client satisfy it.
+type Transport interface {
+	// AttachWriter joins the writer group of a stream as rank of size,
+	// with the given queue depth (0 = transport default).
+	AttachWriter(stream string, rank, size, depth int) (adios.BlockWriter, error)
+	// AttachReader joins the reader group of a stream as rank of size.
+	AttachReader(stream string, rank, size int) (adios.BlockReader, error)
+}
+
+// BrokerTransport adapts the in-process flexpath.Broker to Transport.
+type BrokerTransport struct {
+	Broker *flexpath.Broker
+}
+
+// AttachWriter implements Transport.
+func (t BrokerTransport) AttachWriter(stream string, rank, size, depth int) (adios.BlockWriter, error) {
+	w, err := t.Broker.AttachWriter(stream, rank, size, depth)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// AttachReader implements Transport.
+func (t BrokerTransport) AttachReader(stream string, rank, size int) (adios.BlockReader, error) {
+	r, err := t.Broker.AttachReader(stream, rank, size)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ClientTransport adapts a TCP flexpath.Client to Transport, letting a
+// component process attach to a broker served in another process.
+type ClientTransport struct {
+	Client *flexpath.Client
+}
+
+// AttachWriter implements Transport.
+func (t ClientTransport) AttachWriter(stream string, rank, size, depth int) (adios.BlockWriter, error) {
+	w, err := t.Client.AttachWriter(stream, rank, size, depth)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// AttachReader implements Transport.
+func (t ClientTransport) AttachReader(stream string, rank, size int) (adios.BlockReader, error) {
+	r, err := t.Client.AttachReader(stream, rank, size)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Env is the per-rank runtime environment of a component.
+type Env struct {
+	// Comm is the component's communicator; the rank runs as Comm.Rank()
+	// of Comm.Size().
+	Comm *mpi.Comm
+	// Transport is the stream fabric shared by the whole workflow.
+	Transport Transport
+	// Args are the component's run-time arguments, exactly as they would
+	// appear after the executable name in the paper's aprun lines.
+	Args []string
+	// QueueDepth configures writer-side buffering for streams this
+	// component publishes (0 = transport default).
+	QueueDepth int
+	// Metrics, when non-nil, collects per-timestep measurements.
+	Metrics *Metrics
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Ctx returns the cancellation context governing this rank.
+func (e *Env) Ctx() context.Context { return e.Comm.Context() }
+
+func (e *Env) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// OpenReader attaches this rank to a stream's reader group (sized to the
+// component's communicator) and wraps it in the self-describing layer.
+func (e *Env) OpenReader(stream string) (*adios.Reader, error) {
+	br, err := e.Transport.AttachReader(stream, e.Comm.Rank(), e.Comm.Size())
+	if err != nil {
+		return nil, err
+	}
+	return adios.NewReader(br), nil
+}
+
+// OpenWriter attaches this rank to a stream's writer group (sized to the
+// component's communicator) and wraps it in the self-describing layer.
+func (e *Env) OpenWriter(stream string) (*adios.Writer, error) {
+	return e.OpenWriterGroup(stream, nil, 0)
+}
+
+// OpenWriterGroup is OpenWriter with an optional ADIOS group declaration
+// (writes are validated against it) and a default queue depth, normally
+// the XML method's QUEUE_SIZE. Precedence for the depth: the Env's
+// configured depth (the launch script's -q flag overrides the config at
+// job-submission time), then the given default, then the transport
+// default.
+func (e *Env) OpenWriterGroup(stream string, group *adios.Group, depth int) (*adios.Writer, error) {
+	if e.QueueDepth != 0 {
+		depth = e.QueueDepth
+	}
+	bw, err := e.Transport.AttachWriter(stream, e.Comm.Rank(), e.Comm.Size(), depth)
+	if err != nil {
+		return nil, err
+	}
+	return adios.NewWriter(bw, group), nil
+}
+
+// Component is a generic, reusable workflow building block. Run is the
+// SPMD body: it executes once per rank, and the ranks coordinate through
+// env.Comm and the streams they open. Configuration comes exclusively
+// from env.Args so that a compiled component can serve any workflow
+// (§IV: "There is no need to re-compile SmartBlock components when using
+// them in different workflows").
+type Component interface {
+	// Name identifies the component kind (e.g. "select").
+	Name() string
+	// Run executes one rank of the component until its input streams end.
+	Run(env *Env) error
+}
+
+// UsageError reports malformed component arguments, carrying the usage
+// line that the paper presents for each component (Figs. 1–3).
+type UsageError struct {
+	Component string
+	Usage     string
+	Problem   string
+}
+
+func (e *UsageError) Error() string {
+	return fmt.Sprintf("%s: %s (usage: %s %s)", e.Component, e.Problem, e.Component, e.Usage)
+}

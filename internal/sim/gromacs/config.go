@@ -1,0 +1,47 @@
+package gromacs
+
+import (
+	"fmt"
+
+	"repro/internal/adios"
+)
+
+// ConfigXML is the simulation's ADIOS configuration (§IV): the
+// two-dimensional coordinate variable, its dimension variables, the
+// static coordinate header, and the FLEXPATH method binding.
+const ConfigXML = `
+<adios-config>
+  <adios-group name="trajectory">
+    <var name="atoms" type="integer"/>
+    <var name="coords" type="integer"/>
+    <var name="positions" type="double" dimensions="atoms,coords"/>
+    <attribute name="header.coords" value="x,y,z"/>
+  </adios-group>
+  <method group="trajectory" method="FLEXPATH" parameters="QUEUE_SIZE=2"/>
+</adios-config>`
+
+// writerGroup parses ConfigXML, renames the positions variable to the
+// run-time array name, and returns the declaration plus the method's
+// queue depth.
+func writerGroup(array string) (*adios.Group, int, error) {
+	cfg, err := adios.ParseConfig([]byte(ConfigXML))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gromacs: embedded config: %w", err)
+	}
+	g := cfg.Group("trajectory")
+	if g == nil {
+		return nil, 0, fmt.Errorf("gromacs: embedded config lacks group %q", "trajectory")
+	}
+	renamed := *g
+	renamed.Vars = append([]adios.VarDef(nil), g.Vars...)
+	for i := range renamed.Vars {
+		if renamed.Vars[i].Name == "positions" {
+			renamed.Vars[i].Name = array
+		}
+	}
+	depth := 0
+	if m := cfg.Method("trajectory"); m != nil {
+		depth = m.QueueDepth()
+	}
+	return &renamed, depth, nil
+}

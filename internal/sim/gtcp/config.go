@@ -1,0 +1,49 @@
+package gtcp
+
+import (
+	"fmt"
+
+	"repro/internal/adios"
+)
+
+// ConfigXML is the simulation's ADIOS configuration (§IV): the
+// three-dimensional grid variable with its dimension variables, the
+// static quantity header, and the FLEXPATH method binding.
+const ConfigXML = `
+<adios-config>
+  <adios-group name="toroid">
+    <var name="slices" type="integer"/>
+    <var name="points" type="integer"/>
+    <var name="quantities" type="integer"/>
+    <var name="grid" type="double" dimensions="slices,points,quantities"/>
+    <attribute name="header.quantities"
+        value="density,temperature_par,temperature_perp,pressure_par,pressure_perp,energy_flux,potential"/>
+  </adios-group>
+  <method group="toroid" method="FLEXPATH" parameters="QUEUE_SIZE=2"/>
+</adios-config>`
+
+// writerGroup parses ConfigXML, renames the grid variable to the
+// run-time array name, and returns the declaration plus the method's
+// queue depth.
+func writerGroup(array string) (*adios.Group, int, error) {
+	cfg, err := adios.ParseConfig([]byte(ConfigXML))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gtcp: embedded config: %w", err)
+	}
+	g := cfg.Group("toroid")
+	if g == nil {
+		return nil, 0, fmt.Errorf("gtcp: embedded config lacks group %q", "toroid")
+	}
+	renamed := *g
+	renamed.Vars = append([]adios.VarDef(nil), g.Vars...)
+	for i := range renamed.Vars {
+		if renamed.Vars[i].Name == "grid" {
+			renamed.Vars[i].Name = array
+		}
+	}
+	depth := 0
+	if m := cfg.Method("toroid"); m != nil {
+		depth = m.QueueDepth()
+	}
+	return &renamed, depth, nil
+}

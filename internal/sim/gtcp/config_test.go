@@ -1,0 +1,44 @@
+package gtcp
+
+import (
+	"testing"
+
+	"repro/internal/adios"
+)
+
+func TestEmbeddedConfigParses(t *testing.T) {
+	cfg, err := adios.ParseConfig([]byte(ConfigXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Group("toroid") == nil {
+		t.Fatal("group missing")
+	}
+	if cfg.Method("toroid").QueueDepth() != 2 {
+		t.Fatal("queue depth not declared")
+	}
+}
+
+func TestWriterGroupRenamesArray(t *testing.T) {
+	g, depth, err := writerGroup("mydata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if g.Var("mydata") == nil {
+		t.Fatal("renamed variable missing")
+	}
+	if g.Var("grid") != nil {
+		t.Fatal("original variable name still present")
+	}
+	// The original declaration is untouched (writerGroup copies).
+	g2, _, err := writerGroup("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Var("grid") == nil {
+		t.Fatal("second call polluted by first rename")
+	}
+}

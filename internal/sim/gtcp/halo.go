@@ -1,0 +1,73 @@
+package gtcp
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Toroidal halo exchange: the torus is decomposed into contiguous bands
+// of slices per rank, and the toroidal coupling term needs each band's
+// neighbors — the last slice of the previous band and the first slice of
+// the next, *periodically*: rank 0's lower neighbor is the last rank's
+// final slice, closing the torus. The exchange carries one slice plane
+// (points values) per evolved field, the same ghost-cell pattern a real
+// toroidal PIC/fluid code performs each step.
+
+// Direction-distinct tags: with two ranks, both neighbors are the same
+// peer, so the upward-traveling and downward-traveling slices must not
+// be matchable against each other.
+const (
+	gtcpHaloUpTag   = 202 // carries a band's LAST slice to the next rank
+	gtcpHaloDownTag = 203 // carries a band's FIRST slice to the previous rank
+)
+
+// slicePlane is the evolved fields of one toroidal slice, keyed by the
+// same field indices as the local arrays.
+type slicePlane struct {
+	Fields [][]float64
+}
+
+// evolvedFields are the quantities carrying dynamics; pressures are
+// diagnostic and derived locally.
+var evolvedFields = []int{qDensity, qTempPar, qTempPerp, qFlux, qPotential}
+
+// copySlice extracts slice sl of this rank's band.
+func copySlice(field [][]float64, sl, np int) slicePlane {
+	out := slicePlane{Fields: make([][]float64, len(evolvedFields))}
+	for k, q := range evolvedFields {
+		out.Fields[k] = append([]float64(nil), field[q][sl*np:(sl+1)*np]...)
+	}
+	return out
+}
+
+// exchangeToroidalHalos swaps boundary slices with the periodic
+// neighbors and returns the ghost slices below (previous band's last)
+// and above (next band's first). With one rank the torus closes locally:
+// the ghosts are this rank's own boundary slices.
+func exchangeToroidalHalos(comm *mpi.Comm, field [][]float64, count, np int) (below, above slicePlane, err error) {
+	size := comm.Size()
+	if size == 1 {
+		return copySlice(field, count-1, np), copySlice(field, 0, np), nil
+	}
+	rank := comm.Rank()
+	down := (rank + size - 1) % size
+	up := (rank + 1) % size
+	if err := mpi.SendT(comm, down, gtcpHaloDownTag, copySlice(field, 0, np)); err != nil {
+		return slicePlane{}, slicePlane{}, fmt.Errorf("gtcp: halo send down: %w", err)
+	}
+	if err := mpi.SendT(comm, up, gtcpHaloUpTag, copySlice(field, count-1, np)); err != nil {
+		return slicePlane{}, slicePlane{}, fmt.Errorf("gtcp: halo send up: %w", err)
+	}
+	// The below ghost is the previous band's last slice (its up-send);
+	// the above ghost is the next band's first slice (its down-send).
+	below, _, err = mpi.RecvT[slicePlane](comm, down, gtcpHaloUpTag)
+	if err != nil {
+		return slicePlane{}, slicePlane{}, fmt.Errorf("gtcp: halo recv below: %w", err)
+	}
+	above, _, err = mpi.RecvT[slicePlane](comm, up, gtcpHaloDownTag)
+	if err != nil {
+		return slicePlane{}, slicePlane{}, fmt.Errorf("gtcp: halo recv above: %w", err)
+	}
+	return below, above, nil
+}

@@ -1,0 +1,153 @@
+package gtcp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/ndarray"
+	"repro/internal/sb"
+)
+
+// fillBand gives every slice a value encoding its global index, so ghost
+// provenance is checkable: field value = globalSlice*1000 + point.
+func fillBand(offset, count, np int) [][]float64 {
+	field := make([][]float64, len(Quantities))
+	for q := range field {
+		field[q] = make([]float64, count*np)
+	}
+	for _, q := range evolvedFields {
+		for sl := 0; sl < count; sl++ {
+			for p := 0; p < np; p++ {
+				field[q][sl*np+p] = float64((offset+sl)*1000 + p)
+			}
+		}
+	}
+	return field
+}
+
+func TestToroidalHaloPeriodicity(t *testing.T) {
+	const slices, np = 12, 8
+	for _, ranks := range []int{1, 2, 3, 4} {
+		err := mpi.Run(ranks, func(comm *mpi.Comm) error {
+			offset, count := ndarray.Partition1D(slices, comm.Size(), comm.Rank())
+			field := fillBand(offset, count, np)
+			below, above, err := exchangeToroidalHalos(comm, field, count, np)
+			if err != nil {
+				return err
+			}
+			// The below ghost must be the globally previous slice (periodic)
+			// and the above ghost the globally next slice.
+			wantBelow := (offset - 1 + slices) % slices
+			wantAbove := (offset + count) % slices
+			for k := range evolvedFields {
+				for p := 0; p < np; p++ {
+					if got := below.Fields[k][p]; got != float64(wantBelow*1000+p) {
+						return fmt.Errorf("ranks=%d rank=%d below[%d][%d] = %v, want slice %d",
+							ranks, comm.Rank(), k, p, got, wantBelow)
+					}
+					if got := above.Fields[k][p]; got != float64(wantAbove*1000+p) {
+						return fmt.Errorf("ranks=%d rank=%d above[%d][%d] = %v, want slice %d",
+							ranks, comm.Rank(), k, p, got, wantAbove)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestToroidalDiffusionSmoothsAcrossRanks(t *testing.T) {
+	// A hot spot confined to one rank's band must leak into the
+	// neighboring rank's band through the toroidal term — conservation of
+	// the coupling across the decomposition boundary.
+	const slices, np, ranks = 4, 6, 2
+	sim := New("-", "grid", slices, np, 1, 1)
+	leaked := make([]float64, ranks)
+	err := mpi.Run(ranks, func(comm *mpi.Comm) error {
+		offset, count := ndarray.Partition1D(slices, comm.Size(), comm.Rank())
+		field := fillBand(offset, count, np)
+		// Flat background except a spike in rank 0's last slice.
+		for _, q := range evolvedFields {
+			for i := range field[q] {
+				field[q][i] = 1.0
+			}
+		}
+		if comm.Rank() == 0 {
+			for p := 0; p < np; p++ {
+				field[qDensity][(count-1)*np+p] = 100.0
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		for cycle := 0; cycle < 3; cycle++ {
+			below, above, err := exchangeToroidalHalos(comm, field, count, np)
+			if err != nil {
+				return err
+			}
+			// Toroidal pass only: replicate evolve's stencil without the
+			// heating/noise terms by zeroing Dt-driven extras — easiest is
+			// to call evolve and check rank 1's density rose above the
+			// background it would have without coupling.
+			sim.evolve(field, offset, count, rng, below, above)
+		}
+		if comm.Rank() == 1 {
+			peak := 0.0
+			for p := 0; p < np; p++ {
+				if d := field[qDensity][p] - 1.0; d > peak {
+					peak = d
+				}
+			}
+			leaked[1] = peak
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked[1] <= 0.01 {
+		t.Fatalf("hot spot did not diffuse across the rank boundary: leak = %v", leaked[1])
+	}
+}
+
+func TestRunRejectsMoreRanksThanSlices(t *testing.T) {
+	sim := New("-", "grid", 2, 8, 1, 1)
+	err := mpi.Run(4, func(comm *mpi.Comm) error {
+		return sim.Run(&sb.Env{Comm: comm, Transport: nil})
+	})
+	if err == nil {
+		t.Fatal("gtcp accepted more ranks than slices")
+	}
+}
+
+func TestEvolveStaysFinite(t *testing.T) {
+	const slices, np = 6, 16
+	sim := New("-", "grid", slices, np, 1, 1)
+	err := mpi.Run(2, func(comm *mpi.Comm) error {
+		offset, count := ndarray.Partition1D(slices, comm.Size(), comm.Rank())
+		field := fillBand(offset, count, np)
+		rng := rand.New(rand.NewSource(2))
+		for cycle := 0; cycle < 50; cycle++ {
+			below, above, err := exchangeToroidalHalos(comm, field, count, np)
+			if err != nil {
+				return err
+			}
+			sim.evolve(field, offset, count, rng, below, above)
+		}
+		for _, q := range evolvedFields {
+			for _, v := range field[q] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("field diverged")
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

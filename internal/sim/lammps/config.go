@@ -1,0 +1,51 @@
+package lammps
+
+import (
+	"fmt"
+
+	"repro/internal/adios"
+)
+
+// ConfigXML is the simulation's ADIOS configuration — the counterpart of
+// the "approximately 25-line XML file" each instrumented simulation
+// needs (§IV). It declares the dump's array variable, its dimension
+// variables, and the static quantity header, and binds the group to the
+// FLEXPATH method with a default queue size.
+const ConfigXML = `
+<adios-config>
+  <adios-group name="particles">
+    <var name="particles" type="integer"/>
+    <var name="props" type="integer"/>
+    <var name="atoms" type="double" dimensions="particles,props"/>
+    <attribute name="header.props" value="ID,Type,vx,vy,vz"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH" parameters="QUEUE_SIZE=2"/>
+</adios-config>`
+
+// writerGroup parses ConfigXML and returns the group declaration with
+// its array variable renamed to the run-time array name, plus the
+// method's queue depth. Validation of every Write against this group is
+// what catches an instrumented simulation drifting from its declared
+// output contract.
+func writerGroup(array string) (*adios.Group, int, error) {
+	cfg, err := adios.ParseConfig([]byte(ConfigXML))
+	if err != nil {
+		return nil, 0, fmt.Errorf("lammps: embedded config: %w", err)
+	}
+	g := cfg.Group("particles")
+	if g == nil {
+		return nil, 0, fmt.Errorf("lammps: embedded config lacks group %q", "particles")
+	}
+	renamed := *g
+	renamed.Vars = append([]adios.VarDef(nil), g.Vars...)
+	for i := range renamed.Vars {
+		if renamed.Vars[i].Name == "atoms" {
+			renamed.Vars[i].Name = array
+		}
+	}
+	depth := 0
+	if m := cfg.Method("particles"); m != nil {
+		depth = m.QueueDepth()
+	}
+	return &renamed, depth, nil
+}

@@ -1,0 +1,113 @@
+package lammps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Halo exchange: each rank owns a contiguous, row-major range of lattice
+// particles, so a particle's left neighbor (g-1) and up neighbor
+// (g-cols) may live on the previous rank, and its right/down neighbors
+// on the next. Before each force evaluation the ranks exchange a
+// one-lattice-row ghost region with both neighbors — the same
+// communication structure a real spatial-decomposition MD code performs
+// every step, here expressed with the runtime's tagged point-to-point
+// primitives.
+
+// haloTag namespaces the exchange messages; integrate is the only
+// point-to-point user inside the simulation.
+const haloTag = 101
+
+// halo is one side's ghost copy of a neighbor rank's boundary strip.
+type halo struct {
+	offset int // global index of the strip's first particle
+	x, y   []float64
+	broken []bool
+}
+
+// strip packages this rank's boundary region of width w starting at
+// local index lo (clamped to the local extent).
+func (st *state) strip(lo, w int) halo {
+	if lo < 0 {
+		w += lo
+		lo = 0
+	}
+	if lo+w > st.n {
+		w = st.n - lo
+	}
+	if w < 0 {
+		w = 0
+	}
+	h := halo{
+		offset: st.offset + lo,
+		x:      append([]float64(nil), st.x[lo:lo+w]...),
+		y:      append([]float64(nil), st.y[lo:lo+w]...),
+		broken: append([]bool(nil), st.broken[lo:lo+w]...),
+	}
+	return h
+}
+
+// exchangeHalos swaps boundary strips with the neighboring ranks and
+// returns the ghost regions below (previous rank) and above (next rank).
+// With a single rank both halos are empty. The exchange is deadlock-free
+// by construction: sends are buffered and never block.
+func exchangeHalos(comm *mpi.Comm, st *state) (below, above halo, err error) {
+	rank, size := comm.Rank(), comm.Size()
+	w := st.cols
+	if rank > 0 {
+		if err := mpi.SendT(comm, rank-1, haloTag, st.strip(0, w)); err != nil {
+			return halo{}, halo{}, fmt.Errorf("lammps: halo send down: %w", err)
+		}
+	}
+	if rank < size-1 {
+		if err := mpi.SendT(comm, rank+1, haloTag, st.strip(st.n-w, w)); err != nil {
+			return halo{}, halo{}, fmt.Errorf("lammps: halo send up: %w", err)
+		}
+	}
+	if rank > 0 {
+		h, _, err := mpi.RecvT[halo](comm, rank-1, haloTag)
+		if err != nil {
+			return halo{}, halo{}, fmt.Errorf("lammps: halo recv below: %w", err)
+		}
+		below = h
+	}
+	if rank < size-1 {
+		h, _, err := mpi.RecvT[halo](comm, rank+1, haloTag)
+		if err != nil {
+			return halo{}, halo{}, fmt.Errorf("lammps: halo recv above: %w", err)
+		}
+		above = h
+	}
+	return below, above, nil
+}
+
+// lookup resolves a neighbor's current position by global index, checking
+// the local slab first and then both ghost regions. ok is false when the
+// neighbor is broken (no bond force) or outside the ghost reach.
+func lookup(st *state, below, above halo, g int) (x, y float64, ok bool) {
+	if g < 0 {
+		return 0, 0, false
+	}
+	switch {
+	case g >= st.offset && g < st.offset+st.n:
+		i := g - st.offset
+		if st.broken[i] {
+			return 0, 0, false
+		}
+		return st.x[i], st.y[i], true
+	case g >= below.offset && g < below.offset+len(below.x):
+		i := g - below.offset
+		if below.broken[i] {
+			return 0, 0, false
+		}
+		return below.x[i], below.y[i], true
+	case g >= above.offset && g < above.offset+len(above.x):
+		i := g - above.offset
+		if above.broken[i] {
+			return 0, 0, false
+		}
+		return above.x[i], above.y[i], true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,142 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/components"
+	"repro/internal/sb"
+)
+
+// StreamDeclarer is optionally implemented by components that can state,
+// from their parsed arguments, which streams they subscribe to and which
+// they publish. Lint uses it to check a workflow's wiring before
+// anything launches — the class of mistake the paper's launch scripts
+// invite (a typo in one stream name wedges the whole job, since readers
+// block forever waiting for a writer that never comes).
+type StreamDeclarer interface {
+	InputStreams() []string
+	OutputStreams() []string
+}
+
+// LintIssue is one wiring problem found in a spec.
+type LintIssue struct {
+	// Severity is "error" for wiring that cannot work (a subscribed
+	// stream nobody publishes) and "warning" for suspicious but runnable
+	// wiring (a published stream nobody consumes).
+	Severity string
+	Message  string
+}
+
+func (i LintIssue) String() string { return i.Severity + ": " + i.Message }
+
+// Lint instantiates the spec's components (without running them) and
+// cross-checks the stream graph:
+//
+//   - every subscribed stream must have exactly one publishing stage;
+//   - a published stream nobody subscribes to is flagged (the writer
+//     will fill its queue and stall once the buffer is exhausted);
+//   - two stages publishing the same stream is an error (a stream has
+//     one writer group);
+//   - self-loops (a stage consuming its own output) are an error.
+//
+// Stages whose components do not implement StreamDeclarer are skipped
+// conservatively: streams they might touch are not reported at all.
+func Lint(spec Spec) ([]LintIssue, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	type stageStreams struct {
+		name   string
+		ins    []string
+		outs   []string
+		opaque bool
+	}
+	stages := make([]stageStreams, 0, len(spec.Stages))
+	anyOpaque := false
+	for i, st := range spec.Stages {
+		comp := st.Instance
+		if comp == nil {
+			var err error
+			comp, err = components.New(st.Component, st.Args)
+			if err != nil {
+				return nil, fmt.Errorf("workflow %q stage %d: %w", spec.Name, i, err)
+			}
+		}
+		ss := stageStreams{name: fmt.Sprintf("stage %d (%s)", i, comp.Name())}
+		if d, ok := comp.(StreamDeclarer); ok {
+			ss.ins = d.InputStreams()
+			ss.outs = d.OutputStreams()
+		} else {
+			ss.opaque = true
+			anyOpaque = true
+		}
+		stages = append(stages, ss)
+	}
+
+	var issues []LintIssue
+	publishers := map[string][]string{}
+	subscribers := map[string][]string{}
+	for _, ss := range stages {
+		for _, out := range ss.outs {
+			publishers[out] = append(publishers[out], ss.name)
+		}
+		for _, in := range ss.ins {
+			subscribers[in] = append(subscribers[in], ss.name)
+		}
+		for _, in := range ss.ins {
+			for _, out := range ss.outs {
+				if in == out {
+					issues = append(issues, LintIssue{"error",
+						fmt.Sprintf("%s consumes its own output stream %q", ss.name, in)})
+				}
+			}
+		}
+	}
+	for stream, pubs := range publishers {
+		if len(pubs) > 1 {
+			issues = append(issues, LintIssue{"error",
+				fmt.Sprintf("stream %q published by multiple stages: %s", stream, strings.Join(pubs, ", "))})
+		}
+	}
+	for stream, subs := range subscribers {
+		if len(publishers[stream]) == 0 && !anyOpaque {
+			issues = append(issues, LintIssue{"error",
+				fmt.Sprintf("stream %q subscribed by %s but published by no stage", stream, strings.Join(subs, ", "))})
+		}
+	}
+	for stream, pubs := range publishers {
+		if len(subscribers[stream]) == 0 && !anyOpaque {
+			issues = append(issues, LintIssue{"warning",
+				fmt.Sprintf("stream %q published by %s but consumed by no stage", stream, strings.Join(pubs, ", "))})
+		}
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Severity != issues[j].Severity {
+			return issues[i].Severity < issues[j].Severity // errors first
+		}
+		return issues[i].Message < issues[j].Message
+	})
+	return issues, nil
+}
+
+// compile-time checks that the built-in components declare their streams.
+var (
+	_ StreamDeclarer = (*components.Select)(nil)
+	_ StreamDeclarer = (*components.Magnitude)(nil)
+	_ StreamDeclarer = (*components.DimReduce)(nil)
+	_ StreamDeclarer = (*components.Histogram)(nil)
+	_ StreamDeclarer = (*components.AIO)(nil)
+	_ StreamDeclarer = (*components.Fork)(nil)
+	_ StreamDeclarer = (*components.AllPairs)(nil)
+	_ StreamDeclarer = (*components.FileWriter)(nil)
+	_ StreamDeclarer = (*components.FileReader)(nil)
+	_ StreamDeclarer = (*components.Stats)(nil)
+	_ StreamDeclarer = (*components.Scale)(nil)
+	_ StreamDeclarer = (*components.Sample)(nil)
+	_ StreamDeclarer = (*components.StepSample)(nil)
+	_ StreamDeclarer = (*components.Concat)(nil)
+	_ StreamDeclarer = (*components.SVGHistogram)(nil)
+	_ sb.Component   = (*components.Select)(nil)
+)

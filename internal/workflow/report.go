@@ -1,0 +1,64 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report renders a human-readable post-run summary of a workflow: one
+// line per stage with its allocation, steps processed, data moved, and
+// mean per-step active time — the quantities the paper's evaluation
+// reasons about when sizing component allocations (§V-D: "Such
+// experiments allow users to better determine how to allocate resources
+// to SmartBlock workflows").
+func Report(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workflow %s: %s end-to-end, %d processes in %d stages\n",
+		res.Spec.Name, res.Elapsed.Round(time.Millisecond), res.TotalProcs(), len(res.Stages))
+	for i, st := range res.Stages {
+		name := st.Stage.Component
+		if name == "" && st.Component != nil {
+			name = st.Component.Name()
+		}
+		fmt.Fprintf(&sb, "  stage %d  %-12s procs=%-4d", i, name, st.Stage.Procs)
+		if st.Err != nil {
+			fmt.Fprintf(&sb, " FAILED: %v\n", st.Err)
+			continue
+		}
+		if st.Metrics == nil {
+			sb.WriteString(" (no metrics)\n")
+			continue
+		}
+		steps := st.Metrics.Steps()
+		if len(steps) == 0 {
+			sb.WriteString(" steps=0\n")
+			continue
+		}
+		var totalIn, totalOut int64
+		var totalDur time.Duration
+		for _, s := range steps {
+			totalIn += s.BytesIn
+			totalOut += s.BytesOut
+			totalDur += s.MeanDur
+		}
+		meanStep := totalDur / time.Duration(len(steps))
+		fmt.Fprintf(&sb, " steps=%-4d in=%-10s out=%-10s step=%s\n",
+			len(steps), byteSize(totalIn), byteSize(totalOut), meanStep.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// byteSize renders a byte count with a binary-prefix unit.
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

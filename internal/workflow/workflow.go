@@ -1,0 +1,183 @@
+// Package workflow assembles and launches SmartBlock workflows: a set of
+// components (simulation drivers included) that are "launched
+// simultaneously using a script" (§V-A) and wired together purely by
+// stream and array names. Each stage runs as its own MPI world — the
+// paper's one-executable-per-component model — over a shared stream
+// transport, and FlexPath's blocking rendezvous makes the launch order
+// irrelevant.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/components"
+	"repro/internal/mpi"
+	"repro/internal/sb"
+)
+
+// Stage is one aprun line of a workflow: a component kind, its run-time
+// arguments, and the number of processes to allocate to it.
+type Stage struct {
+	// Component is the registered component name ("select", "histogram",
+	// "lammps", …). Ignored if Instance is set.
+	Component string
+	// Args are the component's positional run-time arguments.
+	Args []string
+	// Procs is the number of ranks in the component's communicator.
+	Procs int
+	// QueueDepth overrides the writer-side stream buffering for streams
+	// this stage publishes (0 = transport default).
+	QueueDepth int
+	// Instance, when non-nil, is a pre-built component to run instead of
+	// instantiating Component/Args from the registry — used by callers
+	// that need a handle on the component afterwards (e.g. to collect
+	// Histogram results).
+	Instance sb.Component
+}
+
+// Spec is a complete workflow: a name and its stages.
+type Spec struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate performs static checks on a spec.
+func (s Spec) Validate() error {
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("workflow %q has no stages", s.Name)
+	}
+	for i, st := range s.Stages {
+		if st.Procs <= 0 {
+			return fmt.Errorf("workflow %q stage %d: procs must be positive, got %d", s.Name, i, st.Procs)
+		}
+		if st.Instance == nil && st.Component == "" {
+			return fmt.Errorf("workflow %q stage %d: no component", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// StageResult is the outcome of one stage.
+type StageResult struct {
+	Stage     Stage
+	Component sb.Component
+	Metrics   *sb.Metrics
+	Err       error
+}
+
+// Result is the outcome of a workflow run.
+type Result struct {
+	Spec    Spec
+	Elapsed time.Duration // start of launch to last stage finished
+	Stages  []StageResult
+}
+
+// Metrics returns the metrics collector of the first stage running the
+// named component kind, or nil.
+func (r *Result) Metrics(component string) *sb.Metrics {
+	for _, st := range r.Stages {
+		if st.Metrics != nil && st.Metrics.Component() == component {
+			return st.Metrics
+		}
+	}
+	return nil
+}
+
+// Err returns the most informative stage error, or nil. When one stage
+// fails, the run context is cancelled and every other stage reports
+// cancellation fallout; Err prefers the root cause over that fallout.
+func (r *Result) Err() error {
+	var fallback error
+	for _, st := range r.Stages {
+		if st.Err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("workflow %q stage %q: %w", r.Spec.Name, st.Stage.Component, st.Err)
+		if errors.Is(st.Err, context.Canceled) || errors.Is(st.Err, mpi.ErrAborted) {
+			if fallback == nil {
+				fallback = wrapped
+			}
+			continue
+		}
+		return wrapped
+	}
+	return fallback
+}
+
+// TotalProcs sums the process allocation across stages — the divisor of
+// the paper's end-to-end per-process throughput (Table I).
+func (r *Result) TotalProcs() int {
+	n := 0
+	for _, st := range r.Stages {
+		n += st.Stage.Procs
+	}
+	return n
+}
+
+// Options tune a workflow run.
+type Options struct {
+	// Logf receives diagnostic messages from components; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Run launches every stage of the workflow concurrently over the given
+// transport and waits for all of them to finish. The first stage error
+// cancels the whole run (unblocking components waiting on streams) but
+// all stages are still awaited so the returned Result is complete.
+func Run(ctx context.Context, transport sb.Transport, spec Spec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &Result{Spec: spec, Stages: make([]StageResult, len(spec.Stages))}
+	// Instantiate everything before launching anything, so argument
+	// errors surface synchronously rather than as a wedged workflow.
+	for i, st := range spec.Stages {
+		comp := st.Instance
+		if comp == nil {
+			var err error
+			comp, err = components.New(st.Component, st.Args)
+			if err != nil {
+				return nil, fmt.Errorf("workflow %q stage %d: %w", spec.Name, i, err)
+			}
+		}
+		res.Stages[i] = StageResult{
+			Stage:     st,
+			Component: comp,
+			Metrics:   sb.NewMetrics(comp.Name(), st.Procs),
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range res.Stages {
+		wg.Add(1)
+		go func(sr *StageResult) {
+			defer wg.Done()
+			err := mpi.RunCtx(runCtx, sr.Stage.Procs, func(comm *mpi.Comm) error {
+				env := &sb.Env{
+					Comm:       comm,
+					Transport:  transport,
+					Args:       sr.Stage.Args,
+					QueueDepth: sr.Stage.QueueDepth,
+					Metrics:    sr.Metrics,
+					Logf:       opts.Logf,
+				}
+				return sr.Component.Run(env)
+			})
+			if err != nil {
+				sr.Err = err
+				cancel() // release stages blocked on streams this one owned
+			}
+		}(&res.Stages[i])
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, res.Err()
+}
