@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race chaos
+
+# The full pre-merge gate: static checks, build, and the race-enabled
+# test suite.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The fault-injection suite on its own (seeded, deterministic plans).
+chaos:
+	$(GO) test ./internal/workflow -run TestChaos -v

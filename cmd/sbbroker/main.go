@@ -2,9 +2,14 @@
 // rendezvous point for workflows whose components run as separate OS
 // processes (via sbrun -broker or sbcomp):
 //
-//	sbbroker [-addr :7777]
+//	sbbroker [-addr :7777] [-drain 10s]
 //
-// It prints the bound address and runs until interrupted.
+// It prints the bound address and runs until interrupted. On SIGINT or
+// SIGTERM it shuts down gracefully: it stops accepting connections,
+// waits up to -drain for attached components to finish their streams,
+// then severs whatever remains — and logs a per-stream post-mortem
+// (writers, readers, queued steps, failures) so a wedged or failed
+// workflow can be diagnosed after the fact.
 package main
 
 import (
@@ -13,24 +18,52 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/flexpath"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address (port 0 picks a free port)")
+	drain := flag.Duration("drain", 10*time.Second, "how long to wait for open streams to drain on shutdown")
 	flag.Parse()
 
-	srv, err := flexpath.NewServer(flexpath.NewBroker(), *addr)
+	broker := flexpath.NewBroker()
+	srv, err := flexpath.NewServer(broker, *addr)
 	if err != nil {
 		log.Fatalf("sbbroker: %v", err)
 	}
 	fmt.Printf("sbbroker listening on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	if err := srv.Close(); err != nil {
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("sbbroker: received %s, draining streams for up to %s", s, *drain)
+	err = srv.Shutdown(*drain)
+	logStreamStats(broker)
+	if err != nil {
 		log.Fatalf("sbbroker: %v", err)
+	}
+}
+
+// logStreamStats emits the shutdown post-mortem: one line per stream.
+func logStreamStats(broker *flexpath.Broker) {
+	stats := broker.StreamStats()
+	if len(stats) == 0 {
+		log.Printf("sbbroker: no streams were created")
+		return
+	}
+	for _, st := range stats {
+		state := "open"
+		switch {
+		case st.Failed != "":
+			state = "FAILED: " + st.Failed
+		case st.Ended:
+			state = "ended"
+		}
+		log.Printf("sbbroker: stream %-20s writers=%d/%d readers=%d/%d queued=%d published=%d minstep=%d %s",
+			st.Name, st.WritersLive, st.WriterSize, st.ReadersLive, st.ReaderSize,
+			st.QueuedSteps, st.StepsPublished, st.MinStep, state)
 	}
 }

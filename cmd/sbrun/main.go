@@ -1,7 +1,7 @@
 // Command sbrun launches a complete SmartBlock workflow from an
 // aprun-style job script (the paper's Fig. 8 format):
 //
-//	sbrun [-v] [-broker host:port] workflow.sh
+//	sbrun [-v] [-broker host:port] [-max-restarts N] [-step-timeout D] workflow.sh
 //
 // Every aprun line becomes a component stage; all stages launch
 // simultaneously and rendezvous on their stream names. With -broker the
@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/flexpath"
 	"repro/internal/launch"
@@ -39,6 +40,9 @@ func main() {
 	verbose := flag.Bool("v", false, "log component diagnostics")
 	lintOnly := flag.Bool("lint", false, "check the workflow's stream wiring and exit without running")
 	broker := flag.String("broker", "", "address of a remote sbbroker (default: in-process broker)")
+	maxRestarts := flag.Int("max-restarts", 0, "supervised restarts per stage for retryable failures (0 disables)")
+	restartBackoff := flag.Duration("restart-backoff", 0, "delay before the first stage restart, doubling per retry (0 = 50ms default)")
+	stepTimeout := flag.Duration("step-timeout", 0, "bound on every blocking stream operation per stage (0 disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbrun [flags] workflow.sh\n\n")
 		flag.PrintDefaults()
@@ -86,12 +90,18 @@ func main() {
 		transport = sb.BrokerTransport{Broker: flexpath.NewBroker()}
 	}
 
-	opts := workflow.Options{}
+	opts := workflow.Options{
+		Restart: workflow.RestartPolicy{
+			MaxRestarts: *maxRestarts,
+			Backoff:     *restartBackoff,
+			StepTimeout: *stepTimeout,
+		},
+	}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	res, err := workflow.Run(ctx, transport, spec, opts)

@@ -91,6 +91,22 @@ func NewReader(br BlockReader) *Reader {
 	return &Reader{br: br}
 }
 
+// NewReaderAt wraps a transport reader rank resuming at the given step —
+// the supervised-restart path, where a re-attached transport handle
+// reports the group's common resume point (flexpath NextStep) and
+// consumption continues from there instead of step 0.
+func NewReaderAt(br BlockReader, step int) *Reader {
+	r := NewReader(br)
+	if step > 0 {
+		r.step = step
+	}
+	return r
+}
+
+// NextStep returns the timestep the next BeginStep will open — 0 on a
+// fresh stream, or the resume point on a reader re-attached mid-stream.
+func (r *Reader) NextStep() int { return r.step }
+
 // BeginStep blocks until the next timestep is available and returns its
 // metadata. It returns io.EOF once the stream has ended.
 func (r *Reader) BeginStep(ctx context.Context) (*StepInfo, error) {

@@ -40,6 +40,18 @@ func NewWriter(bw BlockWriter, group *Group) *Writer {
 	return &Writer{bw: bw, group: group, sticky: map[string]string{}}
 }
 
+// NewWriterAt wraps a transport writer rank resuming at the given step —
+// the supervised-restart path, where a re-attached transport handle
+// reports how far the previous incarnation got (flexpath NextStep) and
+// publishing must continue from there, not from 0.
+func NewWriterAt(bw BlockWriter, group *Group, step int) *Writer {
+	w := NewWriter(bw, group)
+	if step > 0 {
+		w.step = step
+	}
+	return w
+}
+
 // SetStickyAttribute records an attribute carried on every subsequent
 // timestep (e.g. the quantity header) without re-declaring it per step.
 func (w *Writer) SetStickyAttribute(name, value string) { w.sticky[name] = value }

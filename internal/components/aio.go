@@ -135,6 +135,11 @@ func (a *AIO) Run(env *sb.Env) error {
 		OnResult: func(step int, result StepHistogram) error {
 			result.Step = step
 			a.mu.Lock()
+			// A supervised restart can re-deliver an already-recorded step.
+			if n := len(a.results); n > 0 && a.results[n-1].Step >= step {
+				a.mu.Unlock()
+				return nil
+			}
 			a.results = append(a.results, result)
 			a.mu.Unlock()
 			if out != nil {

@@ -109,6 +109,11 @@ func (h *Histogram) Run(env *sb.Env) error {
 		OnResult: func(step int, result StepHistogram) error {
 			result.Step = step
 			h.mu.Lock()
+			// A supervised restart can re-deliver an already-recorded step.
+			if n := len(h.results); n > 0 && h.results[n-1].Step >= step {
+				h.mu.Unlock()
+				return nil
+			}
 			h.results = append(h.results, result)
 			h.mu.Unlock()
 			if out != nil {

@@ -98,6 +98,12 @@ func (s *Stats) Run(env *sb.Env) error {
 		OnResult: func(step int, result StepStats) error {
 			result.Step = step
 			s.mu.Lock()
+			// A supervised restart can re-deliver a step the previous
+			// incarnation already recorded; results are keyed by step.
+			if n := len(s.results); n > 0 && s.results[n-1].Step >= step {
+				s.mu.Unlock()
+				return nil
+			}
 			s.results = append(s.results, result)
 			s.mu.Unlock()
 			if out != nil {

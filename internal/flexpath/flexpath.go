@@ -18,6 +18,23 @@
 // in-process Broker in this file (ranks are goroutines sharing memory)
 // and a TCP broker (Serve/Dial) for multi-process deployments.
 //
+// Fault model: every rank handle ends in exactly one of three ways.
+//
+//   - Close — graceful retirement. A writer group that fully closes ends
+//     the stream (readers see io.EOF); a closed reader rank stops gating
+//     step retirement so departed consumers cannot wedge writers.
+//   - Detach — supervised suspension. The rank releases its group slot
+//     without ending or failing the stream; a replacement handle may
+//     re-attach later and resume from NextStep. Used by the workflow
+//     supervisor to restart a crashed-but-retryable component without
+//     losing buffered timesteps.
+//   - Crash — writer loss. The stream is marked failed; readers blocked
+//     on incomplete steps get ErrWriterLost instead of waiting forever,
+//     while steps that completed before the crash stay drainable. The
+//     in-process broker learns of crashes by this explicit notification;
+//     the TCP server infers them from heartbeat-lease expiry or an
+//     unclean disconnect.
+//
 // Block payloads are opaque []byte; the self-describing encoding layered
 // on top lives in package adios.
 package flexpath
@@ -27,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -41,6 +59,11 @@ var (
 	// ErrStepRetired is returned when a reader asks for a timestep that
 	// the full reader group already released.
 	ErrStepRetired = errors.New("flexpath: timestep already retired")
+	// ErrWriterLost is returned by reader operations on a stream whose
+	// writer group lost a rank mid-stream (crash, lease expiry, unclean
+	// disconnect). It is distinct from io.EOF: the stream did not end, it
+	// failed, and retrying against the same stream cannot succeed.
+	ErrWriterLost = errors.New("flexpath: writer lost mid-stream")
 )
 
 // Stats summarizes transport activity, for benchmarks and tests.
@@ -49,6 +72,21 @@ type Stats struct {
 	BlocksFetched  int   // FetchBlock calls served
 	BytesPublished int64 // payload + metadata bytes accepted
 	BytesFetched   int64 // payload bytes served to readers
+}
+
+// StreamStat is a post-mortem snapshot of one stream's broker-side
+// state, logged by sbbroker on shutdown.
+type StreamStat struct {
+	Name           string
+	WriterSize     int // declared group size (0 = no writer group yet)
+	ReaderSize     int
+	WritersLive    int // handles currently attached
+	ReadersLive    int
+	QueuedSteps    int // buffered, unretired timesteps
+	StepsPublished int // fully published timesteps over the stream's life
+	MinStep        int // lowest unretired step
+	Ended          bool
+	Failed         string // non-empty once a writer was lost
 }
 
 // stepState is one buffered timestep of one stream.
@@ -67,17 +105,41 @@ type stream struct {
 	writerSize int // 0 until the writer group attaches
 	readerSize int // 0 until the reader group attaches
 
-	writerAttached int // ranks attached so far
-	readerAttached int
+	writerLive []bool // per writer rank: a handle is currently attached
+	writerDone []bool // per writer rank: closed gracefully
 
-	writersClosed  int
+	writersClosed  int   // count of writerDone
 	lastByRank     []int // per writer rank: next step it will publish
 	ended          bool
-	lastStep       int // valid once ended: highest common fully-published step
-	minStep        int // lowest unretired step
+	lastStep       int   // valid once ended: highest common fully-published step
+	failed         error // non-nil once a writer was lost; wraps ErrWriterLost
+	minStep        int   // lowest unretired step
 	steps          map[int]*stepState
 	stepsPublished int
-	readerClosed   map[int]bool // reader ranks that closed their handle
+
+	readerLive   []bool
+	readerClosed map[int]bool // reader ranks that departed gracefully
+	readerNext   []int        // per reader rank: next step it has not released
+}
+
+func (s *stream) liveWriters() int {
+	n := 0
+	for _, l := range s.writerLive {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *stream) liveReaders() int {
+	n := 0
+	for _, l := range s.readerLive {
+		if l {
+			n++
+		}
+	}
+	return n
 }
 
 // Broker is the in-process rendezvous point for named streams. One Broker
@@ -102,6 +164,32 @@ func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.stats
+}
+
+// StreamStats returns a per-stream snapshot, sorted by stream name.
+func (b *Broker) StreamStats() []StreamStat {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]StreamStat, 0, len(b.streams))
+	for _, s := range b.streams {
+		st := StreamStat{
+			Name:           s.name,
+			WriterSize:     s.writerSize,
+			ReaderSize:     s.readerSize,
+			WritersLive:    s.liveWriters(),
+			ReadersLive:    s.liveReaders(),
+			QueuedSteps:    len(s.steps),
+			StepsPublished: s.stepsPublished,
+			MinStep:        s.minStep,
+			Ended:          s.ended,
+		}
+		if s.failed != nil {
+			st.Failed = s.failed.Error()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 func (b *Broker) getStream(name string) *stream {
@@ -147,7 +235,9 @@ type Writer struct {
 // AttachWriter joins the writer group of the named stream as the given
 // rank of size ranks. Every rank of the group must attach with the same
 // size and queue depth; depth 0 selects DefaultQueueDepth. A stream has
-// exactly one writer group for its lifetime.
+// exactly one writer group for its lifetime, but a rank slot whose
+// handle closed or detached may be re-occupied (supervised restart); the
+// new handle resumes publishing at NextStep.
 func (b *Broker) AttachWriter(stream string, rank, size, depth int) (*Writer, error) {
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("flexpath: invalid writer rank %d of %d for stream %q", rank, size, stream)
@@ -165,20 +255,38 @@ func (b *Broker) AttachWriter(stream string, rank, size, depth int) (*Writer, er
 		s.writerSize = size
 		s.queueDepth = depth
 		s.lastByRank = make([]int, size)
+		s.writerLive = make([]bool, size)
+		s.writerDone = make([]bool, size)
 	} else if s.writerSize != size {
 		return nil, fmt.Errorf("flexpath: stream %q writer group size conflict: %d vs %d", stream, size, s.writerSize)
 	} else if s.queueDepth != depth {
 		return nil, fmt.Errorf("flexpath: stream %q queue depth conflict: %d vs %d", stream, depth, s.queueDepth)
 	}
+	if s.failed != nil {
+		return nil, s.failed
+	}
 	if s.ended {
 		return nil, fmt.Errorf("flexpath: stream %q writer group already closed", stream)
 	}
-	if s.writerAttached >= size {
-		return nil, fmt.Errorf("flexpath: stream %q already has a full writer group", stream)
+	if s.writerLive[rank] {
+		return nil, fmt.Errorf("flexpath: stream %q writer rank %d already attached", stream, rank)
 	}
-	s.writerAttached++
+	if s.writerDone[rank] {
+		// Revive a gracefully closed slot for a supervised restart.
+		s.writerDone[rank] = false
+		s.writersClosed--
+	}
+	s.writerLive[rank] = true
 	b.cond.Broadcast()
 	return &Writer{b: b, s: s, rank: rank}, nil
+}
+
+// NextStep returns the step this rank will publish next — the resume
+// point for a handle re-attached after a detach.
+func (w *Writer) NextStep() int {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	return w.s.lastByRank[w.rank]
 }
 
 // PublishBlock queues this rank's block for the given timestep. Steps
@@ -193,17 +301,25 @@ func (w *Writer) PublishBlock(ctx context.Context, step int, meta, payload []byt
 		return ErrClosed
 	}
 	s := w.s
+	if s.failed != nil {
+		return s.failed
+	}
 	if step != s.lastByRank[w.rank] {
 		return fmt.Errorf("flexpath: stream %q writer rank %d published step %d, expected %d",
 			s.name, w.rank, step, s.lastByRank[w.rank])
 	}
 	// Block while the queue window [minStep, minStep+depth) excludes step.
-	err := b.wait(ctx, func() bool { return w.closed || step < s.minStep+s.queueDepth })
+	err := b.wait(ctx, func() bool {
+		return w.closed || s.failed != nil || step < s.minStep+s.queueDepth
+	})
 	if err != nil {
 		return err
 	}
 	if w.closed {
 		return ErrClosed
+	}
+	if s.failed != nil {
+		return s.failed
 	}
 	st, ok := s.steps[step]
 	if !ok {
@@ -231,20 +347,26 @@ func (w *Writer) PublishBlock(ctx context.Context, step int, meta, payload []byt
 	return nil
 }
 
-// Close retires this writer rank. When every rank of the group has
-// closed, the stream ends at the highest timestep all ranks published;
-// readers see io.EOF beyond it.
+// Close retires this writer rank gracefully. When every rank of the
+// group has closed, the stream ends at the highest timestep all ranks
+// published; readers see io.EOF beyond it. Close is idempotent: closing
+// an already-closed handle is a no-op returning nil, so concurrent
+// cancellation paths cannot double-decrement the group's refcounts.
 func (w *Writer) Close() error {
 	b := w.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return nil
 	}
 	w.closed = true
 	s := w.s
-	s.writersClosed++
-	if s.writersClosed == s.writerSize {
+	s.writerLive[w.rank] = false
+	if !s.writerDone[w.rank] {
+		s.writerDone[w.rank] = true
+		s.writersClosed++
+	}
+	if s.writersClosed == s.writerSize && !s.ended {
 		last := s.lastByRank[0]
 		for _, n := range s.lastByRank[1:] {
 			if n < last {
@@ -253,6 +375,50 @@ func (w *Writer) Close() error {
 		}
 		s.ended = true
 		s.lastStep = last - 1
+	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// Detach releases this rank's slot without closing or failing the
+// stream: buffered steps stay buffered, the stream does not end, and a
+// replacement handle may re-attach and resume at NextStep. This is the
+// supervised-restart path; a detached rank that never re-attaches leaves
+// its peers blocked, so only a supervisor that will either re-attach or
+// eventually Crash/Close the stream should use it.
+func (w *Writer) Detach() error {
+	b := w.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.s.writerLive[w.rank] = false
+	b.cond.Broadcast()
+	return nil
+}
+
+// Crash reports this writer rank lost (component crash, lease expiry).
+// The stream is marked failed: readers blocked on incomplete steps — and
+// the group's surviving writers — get ErrWriterLost instead of waiting
+// forever, while steps completed before the crash stay drainable. Crash
+// on an already-closed handle is a no-op.
+func (w *Writer) Crash(cause error) error {
+	b := w.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	s := w.s
+	s.writerLive[w.rank] = false
+	if s.failed == nil && !s.ended {
+		if cause == nil {
+			cause = errors.New("writer crashed")
+		}
+		s.failed = fmt.Errorf("%w: stream %q writer rank %d: %v", ErrWriterLost, s.name, w.rank, cause)
 	}
 	b.cond.Broadcast()
 	return nil
@@ -269,7 +435,9 @@ type Reader struct {
 // AttachReader joins the reader group of the named stream as the given
 // rank of size ranks. The stream need not exist yet — attaching creates
 // it, and subsequent reads block until a writer group appears (launch-
-// order independence). A stream has exactly one reader group.
+// order independence). A stream has exactly one reader group, but a rank
+// slot whose handle closed or detached may be re-occupied (supervised
+// restart); the new handle should resume consuming at NextStep.
 func (b *Broker) AttachReader(stream string, rank, size int) (*Reader, error) {
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("flexpath: invalid reader rank %d of %d for stream %q", rank, size, stream)
@@ -279,15 +447,49 @@ func (b *Broker) AttachReader(stream string, rank, size int) (*Reader, error) {
 	s := b.getStream(stream)
 	if s.readerSize == 0 {
 		s.readerSize = size
+		s.readerLive = make([]bool, size)
+		s.readerNext = make([]int, size)
 	} else if s.readerSize != size {
 		return nil, fmt.Errorf("flexpath: stream %q reader group size conflict: %d vs %d", stream, size, s.readerSize)
 	}
-	if s.readerAttached >= size {
-		return nil, fmt.Errorf("flexpath: stream %q already has a full reader group", stream)
+	if s.readerLive[rank] {
+		return nil, fmt.Errorf("flexpath: stream %q reader rank %d already attached", stream, rank)
 	}
-	s.readerAttached++
+	s.readerLive[rank] = true
+	delete(s.readerClosed, rank) // revive: this rank gates retirement again
+	if s.readerNext[rank] < s.minStep {
+		// A rank revived after a graceful close may have un-gated steps
+		// that then retired; it can only resume inside the live window.
+		s.readerNext[rank] = s.minStep
+	}
 	b.cond.Broadcast()
 	return &Reader{b: b, s: s, rank: rank}, nil
+}
+
+// NextStep returns the safe resume point for a handle re-attached after
+// a detach: the lowest step not yet released by every rank of the reader
+// group. Restarted groups resume from a common step so collective
+// components stay aligned; steps a rank already released are simply
+// re-read (they cannot have retired while another rank still gates
+// them).
+func (r *Reader) NextStep() int {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := r.s
+	next := 0
+	for i, n := range s.readerNext {
+		if i == 0 || n < next {
+			next = n
+		}
+	}
+	if next < s.minStep {
+		// Stale bookkeeping from a rank that closed without releasing:
+		// steps below the window start are retired and unrecoverable, so
+		// they cannot be a resume point.
+		next = s.minStep
+	}
+	return next
 }
 
 // WriterSize blocks until the writer group attaches and returns its size.
@@ -295,18 +497,23 @@ func (r *Reader) WriterSize(ctx context.Context) (int, error) {
 	b := r.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.wait(ctx, func() bool { return r.closed || r.s.writerSize > 0 }); err != nil {
+	if err := b.wait(ctx, func() bool { return r.closed || r.s.writerSize > 0 || r.s.failed != nil }); err != nil {
 		return 0, err
 	}
 	if r.closed {
 		return 0, ErrClosed
 	}
-	return r.s.writerSize, nil
+	if r.s.writerSize > 0 {
+		return r.s.writerSize, nil
+	}
+	return 0, r.s.failed
 }
 
 // StepMeta blocks until the given timestep is fully published and returns
 // each writer rank's metadata blob, indexed by writer rank. It returns
-// io.EOF once the stream has ended before reaching step.
+// io.EOF once the stream has ended before reaching step, and ErrWriterLost
+// if a writer crashed before completing it; steps fully published before
+// a crash remain readable.
 func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 	b := r.b
 	b.mu.Lock()
@@ -316,7 +523,7 @@ func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: step %d below window start %d", ErrStepRetired, step, s.minStep)
 	}
 	err := b.wait(ctx, func() bool {
-		if r.closed {
+		if r.closed || s.failed != nil {
 			return true
 		}
 		if st, ok := s.steps[step]; ok && s.writerSize > 0 && st.pubCount == s.writerSize {
@@ -334,6 +541,9 @@ func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 		out := make([][]byte, s.writerSize)
 		copy(out, st.metas)
 		return out, nil
+	}
+	if s.failed != nil {
+		return nil, s.failed
 	}
 	return nil, io.EOF
 }
@@ -353,6 +563,9 @@ func (r *Reader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, 
 	}
 	st, ok := s.steps[step]
 	if !ok || st.pubCount != s.writerSize {
+		if s.failed != nil {
+			return nil, s.failed
+		}
 		return nil, fmt.Errorf("flexpath: stream %q step %d not yet published", s.name, step)
 	}
 	if writerRank < 0 || writerRank >= s.writerSize {
@@ -374,6 +587,9 @@ func (r *Reader) ReleaseStep(step int) error {
 		return ErrClosed
 	}
 	s := r.s
+	if step+1 > s.readerNext[r.rank] {
+		s.readerNext[r.rank] = step + 1
+	}
 	if step < s.minStep {
 		return nil // already retired
 	}
@@ -409,18 +625,37 @@ func (s *stream) retireHead() bool {
 // Close retires this reader rank. A closed rank no longer gates step
 // retirement, so a consumer that departs early (including a crashed one)
 // cannot wedge upstream writers — the remaining ranks', or nobody's,
-// releases decide.
+// releases decide. Close is idempotent: a second close is a no-op
+// returning nil.
 func (r *Reader) Close() error {
 	b := r.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if r.closed {
-		return ErrClosed
+		return nil
 	}
 	r.closed = true
+	r.s.readerLive[r.rank] = false
 	r.s.readerClosed[r.rank] = true
 	for r.s.retireHead() {
 	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// Detach releases this rank's slot without departing the reader group:
+// the rank keeps gating step retirement, so no buffered step can retire
+// out from under a supervised restart. A replacement handle re-attaches
+// and resumes at NextStep.
+func (r *Reader) Detach() error {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.s.readerLive[r.rank] = false
 	b.cond.Broadcast()
 	return nil
 }

@@ -457,8 +457,8 @@ func TestWriterCloseTwice(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Close(); !errors.Is(err, ErrClosed) {
-		t.Fatalf("second close = %v", err)
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close = %v, want nil (Close is idempotent)", err)
 	}
 	ctx := ctxT(t)
 	if err := w.PublishBlock(ctx, 0, nil, nil); !errors.Is(err, ErrClosed) {

@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // This file adds a TCP incarnation of the transport: a Server fronts a
@@ -17,11 +19,21 @@ import (
 // binary protocol. Components are oblivious to which incarnation they
 // run over — the adios layer only sees BlockWriter/BlockReader.
 //
-// Framing: every message is u32 length, u8 opcode, body. Strings and
-// byte slices are u32 length + bytes. Each rank handle owns one
-// connection and issues strictly blocking request/response pairs, which
-// matches the transport's rendezvous semantics: a blocked PublishBlock
-// or StepMeta simply leaves the response pending.
+// Framing: every message is u32 length, u32 CRC-32 (IEEE) of the rest,
+// u8 opcode, body. The checksum turns silent wire corruption into a
+// detected framing error instead of a garbage decode. Strings and byte
+// slices are u32 length + bytes. Each rank handle owns one connection
+// and issues strictly blocking request/response pairs, which matches the
+// transport's rendezvous semantics: a blocked PublishBlock or StepMeta
+// simply leaves the response pending.
+//
+// Writer liveness: writer handles hold a lease on the broker. The client
+// sends one-way opHeartbeat frames (interleaved with requests under a
+// write lock) carrying a TTL; once the server has seen the first beat it
+// enforces a read deadline of that TTL, so a writer whose process stops
+// beating — or whose connection drops without a clean opCloseWriter /
+// opDetachWriter — is Crashed rather than Closed, marking its streams
+// failed (ErrWriterLost) instead of silently truncating them.
 
 // Protocol opcodes (requests).
 const (
@@ -34,6 +46,11 @@ const (
 	opReleaseStep
 	opCloseReader
 	opWriterSize
+	opDetachWriter
+	opDetachReader
+	opCrashWriter
+	opHeartbeat // one-way: no response is sent
+	opCancel    // one-way: aborts the in-flight blocking request
 )
 
 // Response status codes.
@@ -42,6 +59,8 @@ const (
 	stErr
 	stEOF
 	stRetired
+	stWriterLost
+	stCancelled
 )
 
 // maxFrame bounds a single message; a corrupt length prefix must not
@@ -49,9 +68,12 @@ const (
 const maxFrame = 1 << 30
 
 func writeFrame(w io.Writer, op byte, body []byte) error {
-	var hdr [5]byte
+	var hdr [9]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+1))
-	hdr[4] = op
+	crc := crc32.ChecksumIEEE([]byte{op})
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = op
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -60,17 +82,21 @@ func writeFrame(w io.Writer, op byte, body []byte) error {
 }
 
 func readFrame(r io.Reader) (op byte, body []byte, err error) {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
 	if n < 1 || n > maxFrame {
 		return 0, nil, fmt.Errorf("flexpath: invalid frame length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, err
+	}
+	if got := crc32.ChecksumIEEE(buf); got != want {
+		return 0, nil, fmt.Errorf("flexpath: frame checksum mismatch (got %08x, want %08x): corrupted frame", got, want)
 	}
 	return buf[0], buf[1:], nil
 }
@@ -134,8 +160,9 @@ func (f *frameReader) str() string { return string(f.bytes()) }
 
 // Server exposes a Broker over TCP. Every accepted connection serves one
 // rank handle (writer or reader) for its lifetime; dropping the
-// connection closes the handle, so a crashed remote component releases
-// its stream obligations exactly like a closed in-process handle.
+// connection closes a reader handle (the rank departed) but Crashes a
+// writer handle (the stream fails with ErrWriterLost) unless the peer
+// first sent a clean close or detach.
 type Server struct {
 	broker *Broker
 	ln     net.Listener
@@ -160,9 +187,26 @@ func NewServer(broker *Broker, addr string) (*Server, error) {
 // Addr returns the listening address, for clients to Dial.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and severs every connection.
+// Broker returns the broker this server fronts.
+func (s *Server) Broker() *Broker { return s.broker }
+
+// Close stops accepting and severs every connection immediately.
 func (s *Server) Close() error {
+	return s.Shutdown(0)
+}
+
+// Shutdown stops accepting new connections, then waits up to grace for
+// the attached rank handles to finish their streams before severing
+// whatever connections remain. A grace of 0 severs immediately (Close).
+func (s *Server) Shutdown(grace time.Duration) error {
 	err := s.ln.Close()
+	if grace > 0 {
+		select {
+		case <-s.done: // every connection drained on its own
+			return err
+		case <-time.After(grace):
+		}
+	}
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
@@ -200,8 +244,17 @@ func respondErr(conn net.Conn, err error) error {
 	switch {
 	case errors.Is(err, io.EOF):
 		f.u8(stEOF)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The request's wait was aborted (peer-sent opCancel or connection
+		// teardown), not refused: a distinct status lets the client tell
+		// "your cancel landed" apart from a broker rejection.
+		f.u8(stCancelled)
+		f.str(err.Error())
 	case errors.Is(err, ErrStepRetired):
 		f.u8(stRetired)
+		f.str(err.Error())
+	case errors.Is(err, ErrWriterLost):
+		f.u8(stWriterLost)
 		f.str(err.Error())
 	default:
 		f.u8(stErr)
@@ -230,18 +283,53 @@ type frame struct {
 // feeds frames to the processing loop and cancels the connection context
 // when the peer goes away, so a broker operation blocked on behalf of a
 // dead peer (e.g. a StepMeta rendezvous) unwinds instead of leaking.
+//
+// The receive goroutine also implements the writer lease: opHeartbeat
+// frames are consumed inline (never blocking on the processing loop, so
+// beats keep flowing while a publish is parked on a full queue) and each
+// one re-arms the connection read deadline with the TTL it carries. Once
+// armed, a writer that stops beating for a TTL is treated as lost.
+//
+// opCancel frames are likewise consumed inline: they abort the blocking
+// request currently in flight, which then answers with stCancelled. The
+// connection's framing stays synchronized, so a handle whose context was
+// cancelled can still detach cleanly instead of being mistaken for a
+// crashed writer. A client sends at most one cancel per request and
+// issues no further cancellable requests on the connection after one, so
+// a cancel can never abort the wrong operation.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	frames := make(chan frame)
+	cancelCh := make(chan struct{}, 1)
 	go func() {
 		defer cancel()
 		defer close(frames)
+		var leaseTTL time.Duration
 		for {
 			op, body, err := readFrame(conn)
 			if err != nil {
 				return
+			}
+			if op == opHeartbeat {
+				fr := &frameReader{buf: body}
+				if ttl := time.Duration(fr.u32()) * time.Millisecond; fr.err == nil && ttl > 0 {
+					leaseTTL = ttl
+				}
+			}
+			if leaseTTL > 0 {
+				conn.SetReadDeadline(time.Now().Add(leaseTTL))
+			}
+			if op == opHeartbeat {
+				continue
+			}
+			if op == opCancel {
+				select {
+				case cancelCh <- struct{}{}:
+				default:
+				}
+				continue
 			}
 			select {
 			case frames <- frame{op: op, body: body}:
@@ -250,6 +338,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}()
+	// arm scopes a blocking broker operation to a context an opCancel
+	// frame aborts; the returned release must be called when the
+	// operation finishes.
+	arm := func() (context.Context, func()) {
+		opCtx, opCancelFn := context.WithCancel(ctx)
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-cancelCh:
+				opCancelFn()
+			case <-done:
+			}
+		}()
+		return opCtx, func() { close(done); opCancelFn() }
+	}
 	next := func() (frame, bool) {
 		f, ok := <-frames
 		return f, ok
@@ -275,11 +378,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			respondErr(conn, err)
 			return
 		}
-		if respondOK(conn, nil) != nil {
-			w.Close()
+		if respondOK(conn, func(f *frameWriter) { f.u32(uint32(w.NextStep())) }) != nil {
+			w.Crash(errors.New("connection lost during attach"))
 			return
 		}
-		s.serveWriter(ctx, conn, next, w)
+		s.serveWriter(conn, next, arm, w)
 	case opAttachReader:
 		fr := &frameReader{buf: body}
 		stream := fr.str()
@@ -294,18 +397,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			respondErr(conn, err)
 			return
 		}
-		if respondOK(conn, nil) != nil {
+		if respondOK(conn, func(f *frameWriter) { f.u32(uint32(r.NextStep())) }) != nil {
 			r.Close()
 			return
 		}
-		s.serveReader(ctx, conn, next, r)
+		s.serveReader(conn, next, arm, r)
 	default:
 		respondErr(conn, fmt.Errorf("flexpath: first message must attach, got opcode %d", op))
 	}
 }
 
-func (s *Server) serveWriter(ctx context.Context, conn net.Conn, next func() (frame, bool), w *Writer) {
-	defer w.Close() // covers peer crash; double close is harmless here
+func (s *Server) serveWriter(conn net.Conn, next func() (frame, bool), arm func() (context.Context, func()), w *Writer) {
+	// A connection that drops without a clean close or detach is a lost
+	// writer: fail the stream rather than silently truncating it. Crash
+	// is a no-op if an opcode below already settled the handle.
+	defer w.Crash(errors.New("writer connection lost"))
 	for {
 		f, ok := next()
 		if !ok {
@@ -322,7 +428,10 @@ func (s *Server) serveWriter(ctx context.Context, conn net.Conn, next func() (fr
 				respondErr(conn, fr.err)
 				return
 			}
-			if err := w.PublishBlock(ctx, step, meta, payload); err != nil {
+			opCtx, release := arm()
+			err := w.PublishBlock(opCtx, step, meta, payload)
+			release()
+			if err != nil {
 				if respondErr(conn, err) != nil {
 					return
 				}
@@ -339,6 +448,24 @@ func (s *Server) serveWriter(ctx context.Context, conn net.Conn, next func() (fr
 				respondOK(conn, nil)
 			}
 			return
+		case opDetachWriter:
+			err := w.Detach()
+			if err != nil {
+				respondErr(conn, err)
+			} else {
+				respondOK(conn, nil)
+			}
+			return
+		case opCrashWriter:
+			fr := &frameReader{buf: body}
+			cause := fr.str()
+			err := w.Crash(errors.New(cause))
+			if err != nil {
+				respondErr(conn, err)
+			} else {
+				respondOK(conn, nil)
+			}
+			return
 		default:
 			respondErr(conn, fmt.Errorf("flexpath: unexpected opcode %d on writer connection", op))
 			return
@@ -346,7 +473,7 @@ func (s *Server) serveWriter(ctx context.Context, conn net.Conn, next func() (fr
 	}
 }
 
-func (s *Server) serveReader(ctx context.Context, conn net.Conn, next func() (frame, bool), r *Reader) {
+func (s *Server) serveReader(conn net.Conn, next func() (frame, bool), arm func() (context.Context, func()), r *Reader) {
 	defer r.Close()
 	for {
 		f, ok := next()
@@ -357,7 +484,9 @@ func (s *Server) serveReader(ctx context.Context, conn net.Conn, next func() (fr
 		fr := &frameReader{buf: body}
 		switch op {
 		case opWriterSize:
-			n, err := r.WriterSize(ctx)
+			opCtx, release := arm()
+			n, err := r.WriterSize(opCtx)
+			release()
 			if err != nil {
 				if respondErr(conn, err) != nil {
 					return
@@ -373,7 +502,9 @@ func (s *Server) serveReader(ctx context.Context, conn net.Conn, next func() (fr
 				respondErr(conn, fr.err)
 				return
 			}
-			metas, err := r.StepMeta(ctx, step)
+			opCtx, release := arm()
+			metas, err := r.StepMeta(opCtx, step)
+			release()
 			if err != nil {
 				if respondErr(conn, err) != nil {
 					return
@@ -395,7 +526,9 @@ func (s *Server) serveReader(ctx context.Context, conn net.Conn, next func() (fr
 				respondErr(conn, fr.err)
 				return
 			}
-			payload, err := r.FetchBlock(ctx, step, writerRank)
+			opCtx, release := arm()
+			payload, err := r.FetchBlock(opCtx, step, writerRank)
+			release()
 			if err != nil {
 				if respondErr(conn, err) != nil {
 					return
@@ -422,6 +555,14 @@ func (s *Server) serveReader(ctx context.Context, conn net.Conn, next func() (fr
 			}
 		case opCloseReader:
 			err := r.Close()
+			if err != nil {
+				respondErr(conn, err)
+			} else {
+				respondOK(conn, nil)
+			}
+			return
+		case opDetachReader:
+			err := r.Detach()
 			if err != nil {
 				respondErr(conn, err)
 			} else {

@@ -239,8 +239,11 @@ func TestTCPRetiredStepError(t *testing.T) {
 }
 
 func TestTCPWriterDisconnectEndsStream(t *testing.T) {
-	// A writer whose process dies (connection drop without Close) must
-	// still end the stream so readers get EOF rather than hanging.
+	// A writer whose process dies (connection drop without a clean Close
+	// or Detach) is a crash: already-published steps stay readable, but
+	// blocked readers get ErrWriterLost rather than hanging — or rather
+	// than a misleading EOF that would pass truncated output off as
+	// complete.
 	srv, client := startServer(t)
 	ctx := ctxT(t)
 	w, err := client.AttachWriter("dc.fp", 0, 1, 0)
@@ -262,8 +265,8 @@ func TestTCPWriterDisconnectEndsStream(t *testing.T) {
 	if _, err := r.StepMeta(ctx, 0); err != nil {
 		t.Fatalf("published step lost after writer crash: %v", err)
 	}
-	if _, err := r.StepMeta(ctx, 1); !errors.Is(err, io.EOF) {
-		t.Fatalf("StepMeta(1) = %v, want EOF after writer crash", err)
+	if _, err := r.StepMeta(ctx, 1); !errors.Is(err, ErrWriterLost) {
+		t.Fatalf("StepMeta(1) = %v, want ErrWriterLost after writer crash", err)
 	}
 }
 
@@ -321,8 +324,8 @@ func TestTCPClosedHandleErrors(t *testing.T) {
 	if err := w.PublishBlock(ctx, 0, nil, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("publish on closed = %v", err)
 	}
-	if err := w.Close(); !errors.Is(err, ErrClosed) {
-		t.Fatalf("double close = %v", err)
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close = %v, want nil (Close is idempotent)", err)
 	}
 	if err := r.Close(); err != nil {
 		t.Fatal(err)

@@ -206,12 +206,25 @@ func RunCtx(ctx context.Context, size int, fn func(*Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
+	// Prefer the root cause over abort fallout: when rank N fails, the
+	// other ranks unwind with ErrAborted/Canceled, and rank order must not
+	// let that fallout mask the error that actually started the abort —
+	// callers (the workflow supervisor) classify the returned error to
+	// decide whether a restart can help.
+	var fallout error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, ErrAborted) || errors.Is(err, context.Canceled) {
+			if fallout == nil {
+				fallout = err
+			}
+			continue
+		}
+		return err
 	}
-	return nil
+	return fallout
 }
 
 // Send delivers payload to rank dst with the given tag. It never blocks

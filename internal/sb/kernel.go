@@ -84,7 +84,8 @@ func RunMap(env *Env, cfg MapConfig, kernel MapKernel) error {
 	defer w.Close()
 
 	rank, size := env.Comm.Rank(), env.Comm.Size()
-	for step := 0; ; step++ {
+	for {
+		step := r.NextStep() // absolute: a re-attached reader resumes mid-stream
 		info, err := r.BeginStep(env.Ctx())
 		if errors.Is(err, io.EOF) {
 			env.logf("%s rank %d: input stream %q ended after %d steps", cfg.Name, rank, cfg.InStream, step)
@@ -115,26 +116,31 @@ func RunMap(env *Env, cfg MapConfig, kernel MapKernel) error {
 		if err != nil {
 			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
 		}
-		if err := w.BeginStep(); err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		if cfg.ForwardAttrs {
-			for k, val := range info.Attrs {
+		// Exactly-once republish: a restarted rank that crashed between
+		// publishing step N and releasing its input re-reads step N but
+		// must not publish it twice — the resumed writer is already past it.
+		if w.Steps() <= step {
+			if err := w.BeginStep(); err != nil {
+				return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+			}
+			if cfg.ForwardAttrs {
+				for k, val := range info.Attrs {
+					if err := w.SetAttribute(k, val); err != nil {
+						return err
+					}
+				}
+			}
+			for k, val := range out.Attrs {
 				if err := w.SetAttribute(k, val); err != nil {
 					return err
 				}
 			}
-		}
-		for k, val := range out.Attrs {
-			if err := w.SetAttribute(k, val); err != nil {
-				return err
+			if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
+				return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
 			}
-		}
-		if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		if err := w.EndStep(env.Ctx()); err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+			if err := w.EndStep(env.Ctx()); err != nil {
+				return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+			}
 		}
 		if err := r.EndStep(); err != nil {
 			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)

@@ -57,7 +57,8 @@ func RunReduce[T any](env *Env, cfg ReduceConfig[T], kernel ReduceKernel[T]) err
 	defer r.Close()
 
 	rank, size := env.Comm.Rank(), env.Comm.Size()
-	for step := 0; ; step++ {
+	for {
+		step := r.NextStep() // absolute: a re-attached reader resumes mid-stream
 		info, err := r.BeginStep(env.Ctx())
 		if errors.Is(err, io.EOF) {
 			return nil

@@ -24,6 +24,7 @@ package sb
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/adios"
 	"repro/internal/flexpath"
@@ -100,6 +101,17 @@ type Env struct {
 	// QueueDepth configures writer-side buffering for streams this
 	// component publishes (0 = transport default).
 	QueueDepth int
+	// Handles, when non-nil, routes this rank's transport handles through
+	// the workflow supervisor's lifecycle (see HandleSet): closes after a
+	// failure are deferred so the supervisor can detach (restart) or
+	// crash (propagate) instead, and re-attached handles resume at the
+	// transport's reported NextStep. Nil leaves handle lifecycle entirely
+	// to the component — the unsupervised behavior.
+	Handles *HandleSet
+	// StepTimeout, when positive, bounds every blocking transport
+	// operation of a managed handle (publish, step wait, fetch). It only
+	// applies when Handles is set.
+	StepTimeout time.Duration
 	// Metrics, when non-nil, collects per-timestep measurements.
 	Metrics *Metrics
 	// Logf, when non-nil, receives diagnostic messages.
@@ -117,12 +129,25 @@ func (e *Env) logf(format string, args ...any) {
 
 // OpenReader attaches this rank to a stream's reader group (sized to the
 // component's communicator) and wraps it in the self-describing layer.
+// Under a supervisor (Env.Handles set) the handle is managed — its
+// lifecycle is settled by the supervisor after a failure — and resumes
+// at the transport's reported NextStep after a supervised re-attach.
 func (e *Env) OpenReader(stream string) (*adios.Reader, error) {
 	br, err := e.Transport.AttachReader(stream, e.Comm.Rank(), e.Comm.Size())
 	if err != nil {
+		if e.Handles != nil {
+			e.Handles.noteErr(err)
+		}
 		return nil, err
 	}
-	return adios.NewReader(br), nil
+	next := 0
+	if s, ok := br.(stepper); ok {
+		next = s.NextStep()
+	}
+	if e.Handles != nil {
+		br = e.Handles.manageReader(e, br)
+	}
+	return adios.NewReaderAt(br, next), nil
 }
 
 // OpenWriter attaches this rank to a stream's writer group (sized to the
@@ -143,9 +168,19 @@ func (e *Env) OpenWriterGroup(stream string, group *adios.Group, depth int) (*ad
 	}
 	bw, err := e.Transport.AttachWriter(stream, e.Comm.Rank(), e.Comm.Size(), depth)
 	if err != nil {
+		if e.Handles != nil {
+			e.Handles.noteErr(err)
+		}
 		return nil, err
 	}
-	return adios.NewWriter(bw, group), nil
+	next := 0
+	if s, ok := bw.(stepper); ok {
+		next = s.NextStep()
+	}
+	if e.Handles != nil {
+		bw = e.Handles.manageWriter(e, bw)
+	}
+	return adios.NewWriterAt(bw, group, next), nil
 }
 
 // Component is a generic, reusable workflow building block. Run is the

@@ -40,7 +40,9 @@ func (p *chaosProducer) Run(env *sb.Env) error {
 	}
 	defer w.Close()
 	rank, size := env.Comm.Rank(), env.Comm.Size()
-	for s := 0; s < p.steps; s++ {
+	// Resume-aware: after a supervised restart the re-attached writer
+	// reports how far the previous incarnation published.
+	for s := w.Steps(); s < p.steps; s++ {
 		g := p.global(s)
 		box := ndarray.PartitionAlong(g.Shape(), 0, size, rank)
 		block, err := g.CopyBox(box)

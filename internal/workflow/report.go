@@ -22,6 +22,9 @@ func Report(res *Result) string {
 			name = st.Component.Name()
 		}
 		fmt.Fprintf(&sb, "  stage %d  %-12s procs=%-4d", i, name, st.Stage.Procs)
+		if st.Restarts > 0 {
+			fmt.Fprintf(&sb, " restarts=%-2d", st.Restarts)
+		}
 		if st.Err != nil {
 			fmt.Fprintf(&sb, " FAILED: %v\n", st.Err)
 			continue

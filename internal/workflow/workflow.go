@@ -11,10 +11,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/components"
+	"repro/internal/flexpath"
 	"repro/internal/mpi"
 	"repro/internal/sb"
 )
@@ -66,7 +70,10 @@ type StageResult struct {
 	Stage     Stage
 	Component sb.Component
 	Metrics   *sb.Metrics
-	Err       error
+	// Restarts counts supervised restarts this stage consumed; a stage
+	// that succeeded after recovery reports Err == nil, Restarts > 0.
+	Restarts int
+	Err      error
 }
 
 // Result is the outcome of a workflow run.
@@ -118,10 +125,66 @@ func (r *Result) TotalProcs() int {
 	return n
 }
 
+// RestartPolicy governs how the per-stage supervisor reacts to failures.
+// The zero value disables both restarts and step deadlines — the
+// unsupervised behavior.
+type RestartPolicy struct {
+	// MaxRestarts bounds supervised restarts per stage. A stage whose
+	// component fails with a retryable error (see Retryable) is detached
+	// from its streams and re-launched, re-attaching at the current step;
+	// once the budget is exhausted the failure is terminal.
+	MaxRestarts int
+	// Backoff is the delay before the first restart; it doubles per
+	// consecutive restart of the stage, capped at 2s. Zero selects 50ms.
+	Backoff time.Duration
+	// StepTimeout, when positive, bounds every blocking stream operation
+	// of the stage's components, so a stalled peer surfaces as a
+	// retryable context.DeadlineExceeded instead of an eternal hang.
+	StepTimeout time.Duration
+}
+
 // Options tune a workflow run.
 type Options struct {
 	// Logf receives diagnostic messages from components; nil silences them.
 	Logf func(format string, args ...any)
+	// Restart is the per-stage supervision policy.
+	Restart RestartPolicy
+}
+
+// Retryable classifies an error from a stage run: true if a supervised
+// restart has a chance of helping (transient transport faults, injected
+// chaos, timeouts from stalled peers, connection-level failures), false
+// for deterministic failures (usage errors), cancellation fallout, and
+// failures the fabric has already declared permanent (ErrWriterLost — the
+// stream is failed; re-attaching cannot succeed).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	// Terminal classes first: some transient-looking chains wrap these.
+	if errors.Is(err, context.Canceled) || errors.Is(err, mpi.ErrAborted) ||
+		errors.Is(err, flexpath.ErrWriterLost) || errors.Is(err, flexpath.ErrClosed) {
+		return false
+	}
+	// Self-declared transient errors (e.g. the fault injector's).
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	// Step deadline: the wait was bounded precisely so it could be retried.
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	// Connection-level failures a broker restart or reconnect can heal.
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return false
 }
 
 // Run launches every stage of the workflow concurrently over the given
@@ -160,24 +223,80 @@ func Run(ctx context.Context, transport sb.Transport, spec Spec, opts Options) (
 		wg.Add(1)
 		go func(sr *StageResult) {
 			defer wg.Done()
-			err := mpi.RunCtx(runCtx, sr.Stage.Procs, func(comm *mpi.Comm) error {
-				env := &sb.Env{
-					Comm:       comm,
-					Transport:  transport,
-					Args:       sr.Stage.Args,
-					QueueDepth: sr.Stage.QueueDepth,
-					Metrics:    sr.Metrics,
-					Logf:       opts.Logf,
-				}
-				return sr.Component.Run(env)
-			})
-			if err != nil {
-				sr.Err = err
-				cancel() // release stages blocked on streams this one owned
-			}
+			superviseStage(runCtx, cancel, transport, sr, opts)
 		}(&res.Stages[i])
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 	return res, res.Err()
+}
+
+// maxStageBackoff caps the supervisor's doubling restart delay.
+const maxStageBackoff = 2 * time.Second
+
+// superviseStage runs one stage to completion under the restart policy:
+// launch, and on a retryable failure detach the stage's stream handles
+// (freeing its group slots without ending or failing the streams), back
+// off, and re-launch — the re-attached handles resume at the transport's
+// current step. A terminal failure (non-retryable, restart budget
+// exhausted, or run already cancelled) crashes the surviving writer
+// handles — downstream readers get ErrWriterLost, not a truncated EOF —
+// records the stage error, and cancels the run.
+func superviseStage(runCtx context.Context, cancel context.CancelFunc, transport sb.Transport, sr *StageResult, opts Options) {
+	policy := opts.Restart
+	backoff := policy.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	name := sr.Stage.Component
+	if name == "" && sr.Component != nil {
+		name = sr.Component.Name()
+	}
+	for attempt := 0; ; attempt++ {
+		handles := sb.NewHandleSet()
+		err := mpi.RunCtx(runCtx, sr.Stage.Procs, func(comm *mpi.Comm) error {
+			env := &sb.Env{
+				Comm:        comm,
+				Transport:   transport,
+				Args:        sr.Stage.Args,
+				QueueDepth:  sr.Stage.QueueDepth,
+				Metrics:     sr.Metrics,
+				Logf:        opts.Logf,
+				Handles:     handles,
+				StepTimeout: policy.StepTimeout,
+			}
+			runErr := sr.Component.Run(env)
+			// A succeeded rank's handles close immediately (its streams can
+			// end/retire without waiting out slower peers); a failed rank
+			// poisons the set, deferring settlement to the supervisor below.
+			handles.FinishRank(env, runErr)
+			return runErr
+		})
+		if err == nil {
+			handles.Finish(sb.FinishClose, nil)
+			return
+		}
+		if Retryable(err) && attempt < policy.MaxRestarts && runCtx.Err() == nil {
+			handles.Finish(sb.FinishDetach, err)
+			sr.Restarts++
+			if opts.Logf != nil {
+				opts.Logf("workflow: stage %q failed (%v); restart %d/%d in %s",
+					name, err, sr.Restarts, policy.MaxRestarts, backoff)
+			}
+			select {
+			case <-runCtx.Done():
+				// The run died while we were backing off; report our original
+				// error rather than silently swallowing it.
+			case <-time.After(backoff):
+				if backoff *= 2; backoff > maxStageBackoff {
+					backoff = maxStageBackoff
+				}
+				continue
+			}
+		}
+		handles.Finish(sb.FinishCrash, err)
+		sr.Err = err
+		cancel() // release stages blocked on streams this one owned
+		return
+	}
 }
