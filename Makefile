@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos
+.PHONY: check build test vet race chaos bench
 
 # The full pre-merge gate: static checks, build, and the race-enabled
 # test suite.
@@ -21,3 +21,9 @@ race:
 # The fault-injection suite on its own (seeded, deterministic plans).
 chaos:
 	$(GO) test ./internal/workflow -run TestChaos -v
+
+# The root benchmark suite (paper tables/figures) at reduced scale, with
+# the machine-readable results written to BENCH_PR2.json. The raw
+# `go test -bench` lines stay visible on stderr via cmd/benchjson.
+bench:
+	SBBENCH_SIZE=0.25 $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR2.json

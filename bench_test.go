@@ -37,6 +37,7 @@ func BenchmarkTable1GTCPWeakScaling(b *testing.B) {
 	scales := bench.DefaultGTCPScales(sizeFactor())
 	for _, scale := range scales {
 		b.Run(fmt.Sprintf("%s/procs=%d", scale.Name, scale.TotalProcs()), func(b *testing.B) {
+			b.ReportAllocs()
 			var last bench.GTCPWeakResult
 			for i := 0; i < b.N; i++ {
 				results, err := bench.RunGTCPWeak(context.Background(), []bench.GTCPScale{scale})
@@ -55,6 +56,7 @@ func BenchmarkFig9PerComponentThroughput(b *testing.B) {
 	scales := bench.DefaultGTCPScales(sizeFactor())
 	for _, scale := range scales {
 		b.Run(scale.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rows []bench.Fig9Row
 			for i := 0; i < b.N; i++ {
 				results, err := bench.RunGTCPWeak(context.Background(), []bench.GTCPScale{scale})
@@ -74,6 +76,7 @@ func BenchmarkTable2AIOComparison(b *testing.B) {
 	scales := bench.DefaultAIOScales(sizeFactor())
 	for _, scale := range scales {
 		b.Run(fmt.Sprintf("%s/MB=%s", scale.Name, bench.Sizef(scale.OutputBytes())), func(b *testing.B) {
+			b.ReportAllocs()
 			var row bench.AIOComparisonRow
 			for i := 0; i < b.N; i++ {
 				rows, err := bench.RunAIOComparison(context.Background(), []bench.AIOScale{scale})
@@ -96,6 +99,7 @@ func BenchmarkFig10MagnitudeStrongScaling(b *testing.B) {
 		one := cfg
 		one.MagProcsSweep = []int{magProcs}
 		b.Run(fmt.Sprintf("magProcs=%d", magProcs), func(b *testing.B) {
+			b.ReportAllocs()
 			var row bench.Fig10Row
 			for i := 0; i < b.N; i++ {
 				rows, err := bench.RunMagnitudeStrongScaling(context.Background(), one)
@@ -114,6 +118,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 	particles := int(20000 * sizeFactor())
 	for _, depth := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			var rows []bench.AblationRow
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -128,6 +133,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 }
 
 func BenchmarkAblationFusion(b *testing.B) {
+	b.ReportAllocs()
 	particles := int(20000 * sizeFactor())
 	var rows []bench.AblationRow
 	for i := 0; i < b.N; i++ {
@@ -142,6 +148,7 @@ func BenchmarkAblationFusion(b *testing.B) {
 }
 
 func BenchmarkAblationPartitionAxis(b *testing.B) {
+	b.ReportAllocs()
 	points := int(4096 * sizeFactor())
 	var rows []bench.AblationRow
 	for i := 0; i < b.N; i++ {
@@ -156,6 +163,7 @@ func BenchmarkAblationPartitionAxis(b *testing.B) {
 }
 
 func BenchmarkAblationTransport(b *testing.B) {
+	b.ReportAllocs()
 	atoms := int(50000 * sizeFactor())
 	var rows []bench.AblationRow
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object on stdout, keyed by benchmark name:
+//
+//	{
+//	  "BenchmarkTable2AIOComparison/scale-1/MB=0.2": {
+//	    "ns_op": 204800000,
+//	    "bytes_op": 5565243,
+//	    "allocs_op": 2024,
+//	    "metrics": {"aio-s": 0.21, "overhead-%": 3.1}
+//	  },
+//	  ...
+//	}
+//
+// ns/op, B/op, and allocs/op land in dedicated fields; every other
+// `value unit` pair a benchmark reports via b.ReportMetric is collected
+// under "metrics". Non-benchmark lines (PASS, ok, goos/goarch headers)
+// pass through to stderr so the run remains visible when stdout is
+// redirected into a file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	NsOp     float64            `json:"ns_op"`
+	BytesOp  float64            `json:"bytes_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results := map[string]*benchResult{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		// fields: name, iterations, then (value, unit) pairs.
+		name := fields[0]
+		r := &benchResult{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsOp = v
+			case "B/op":
+				r.BytesOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results[name] = r
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// Deterministic output: encode via an ordered intermediate.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	for i, n := range names {
+		blob, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&buf, "  %q: %s", n, blob)
+		if i < len(names)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+	os.Stdout.WriteString(buf.String())
+}

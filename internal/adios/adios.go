@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/ndarray"
+	"repro/internal/pool"
 )
 
 // BlockWriter is the transport-side contract for one writer rank: it
@@ -33,6 +34,17 @@ import (
 type BlockWriter interface {
 	PublishBlock(ctx context.Context, step int, meta, payload []byte) error
 	Close() error
+}
+
+// RefBlockWriter is the zero-copy publishing capability: a transport
+// that implements it accepts ownership of pooled buffers, recycling them
+// once the step retires instead of leaving each step's blobs to the
+// garbage collector. PublishBlockRef consumes both references whether or
+// not it succeeds — the caller must not touch meta or payload afterward.
+// The Writer in this package probes for it and falls back to
+// PublishBlock on transports that don't offer it.
+type RefBlockWriter interface {
+	PublishBlockRef(ctx context.Context, step int, meta, payload *pool.Buf) error
 }
 
 // BlockReader is the transport-side contract for one reader rank.

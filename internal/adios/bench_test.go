@@ -22,6 +22,7 @@ func benchMeta() *BlockMeta {
 }
 
 func BenchmarkEncodeMeta(b *testing.B) {
+	b.ReportAllocs()
 	m := benchMeta()
 	for i := 0; i < b.N; i++ {
 		EncodeMeta(m)
@@ -29,6 +30,7 @@ func BenchmarkEncodeMeta(b *testing.B) {
 }
 
 func BenchmarkDecodeMeta(b *testing.B) {
+	b.ReportAllocs()
 	buf := EncodeMeta(benchMeta())
 	b.SetBytes(int64(len(buf)))
 	b.ResetTimer()
@@ -48,6 +50,7 @@ func benchPayloadData(n int) ([]string, [][]float64) {
 }
 
 func BenchmarkEncodePayload1MB(b *testing.B) {
+	b.ReportAllocs()
 	names, data := benchPayloadData(128 * 1024) // 1 MiB of float64
 	b.SetBytes(int64(len(data[0]) * 8))
 	b.ResetTimer()
@@ -57,6 +60,7 @@ func BenchmarkEncodePayload1MB(b *testing.B) {
 }
 
 func BenchmarkDecodePayload1MB(b *testing.B) {
+	b.ReportAllocs()
 	names, data := benchPayloadData(128 * 1024)
 	buf := EncodePayload(names, data)
 	b.SetBytes(int64(len(data[0]) * 8))

@@ -246,8 +246,13 @@ func (r *Reader) ReadAll(ctx context.Context, varName string) (*ndarray.Array, e
 
 // blockValues fetches and decodes one writer rank's payload, caching the
 // decoded form for the remainder of the step so several ReadBox calls
-// (or several variables) fetch each block at most once.
+// (or several variables) fetch each block at most once. The decoded
+// slices may alias the transport's frame (see DecodePayload), which is
+// why EndStep drops this cache before releasing the step.
 func (r *Reader) blockValues(ctx context.Context, writerRank int, varName string) ([]float64, error) {
+	if r.decoded == nil {
+		r.decoded = map[int]map[string][]float64{}
+	}
 	byVar, ok := r.decoded[writerRank]
 	if !ok {
 		blob, err := r.br.FetchBlock(ctx, r.info.Step, writerRank)
@@ -269,25 +274,34 @@ func (r *Reader) blockValues(ctx context.Context, writerRank int, varName string
 
 // EndStep releases the current timestep back to the transport, allowing
 // the writer-side queue to advance, and arms the reader for the next one.
+//
+// The decoded-payload cache is dropped BEFORE the release: its value
+// slices may alias transport-owned frames (zero-copy decode), and on a
+// pooled transport the step's buffers may be recycled the moment this
+// rank's release retires the step.
 func (r *Reader) EndStep() error {
 	if !r.inStep {
 		return fmt.Errorf("adios: EndStep without BeginStep")
 	}
+	r.decoded = nil
 	if err := r.br.ReleaseStep(r.step); err != nil {
 		return err
 	}
 	r.inStep = false
 	r.info = nil
-	r.decoded = nil
 	r.step++
 	return nil
 }
 
-// Close ends this rank's participation in the stream.
+// Close ends this rank's participation in the stream. Decoded views are
+// dropped first: a closed rank stops gating step retirement, so frames
+// it was reading may recycle immediately.
 func (r *Reader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	r.decoded = nil
+	r.info = nil
 	return r.br.Close()
 }

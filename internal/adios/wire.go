@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"repro/internal/ndarray"
 )
@@ -29,10 +30,24 @@ import (
 //	u32 nvars; per var: str name, u64 nvalues, nvalues * f64
 //
 // Strings are u32 length + bytes.
+//
+// Float blocks move in bulk: on a little-endian host the encoder
+// reinterprets the []float64 as raw bytes (one memmove instead of a
+// per-value store loop), and the decoder returns a []float64 view that
+// aliases the frame when the values happen to sit on an 8-byte boundary.
+// A big-endian host, or an unaligned frame, falls back to the portable
+// per-value path, so the bytes on the wire are identical everywhere.
 const (
 	metaMagic    = "SBM1"
 	payloadMagic = "SBP1"
 )
+
+// hostLittleEndian reports whether float64 bits can be moved to and from
+// the little-endian wire format with a plain memory copy.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 type wireWriter struct{ buf []byte }
 
@@ -45,6 +60,14 @@ func (w *wireWriter) str(s string) {
 }
 func (w *wireWriter) f64s(vals []float64) {
 	w.u64(uint64(len(vals)))
+	if len(vals) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		src := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vals))), len(vals)*8)
+		w.buf = append(w.buf, src...)
+		return
+	}
 	for _, v := range vals {
 		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
 	}
@@ -114,6 +137,9 @@ func (r *wireReader) str() string {
 	return s
 }
 
+// f64s decodes one float block. On a little-endian host with the block
+// 8-byte aligned in the frame, the returned slice ALIASES r.buf — zero
+// copy. Callers own the aliasing contract (see DecodePayload).
 func (r *wireReader) f64s() []float64 {
 	n := r.u64()
 	if r.err != nil {
@@ -123,10 +149,23 @@ func (r *wireReader) f64s() []float64 {
 		r.fail("truncated float block of %d values", n)
 		return nil
 	}
+	if n == 0 {
+		return []float64{}
+	}
+	src := r.buf[r.pos : r.pos+int(n)*8]
+	r.pos += int(n) * 8
+	if hostLittleEndian {
+		if uintptr(unsafe.Pointer(unsafe.SliceData(src)))%8 == 0 {
+			return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(src))), n)
+		}
+		// Unaligned frame: one memmove into fresh, aligned storage.
+		out := make([]float64, n)
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(out))), len(src)), src)
+		return out
+	}
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
-		r.pos += 8
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
 	}
 	return out
 }
@@ -143,9 +182,29 @@ func (r *wireReader) magic(want string) {
 	r.pos += len(want)
 }
 
-// EncodeMeta serializes a block's metadata.
-func EncodeMeta(m *BlockMeta) []byte {
-	w := &wireWriter{}
+// MetaSize returns the exact encoded size of a metadata blob, so a
+// caller can encode into a pre-sized buffer without reallocation.
+func MetaSize(m *BlockMeta) int {
+	n := len(metaMagic) + 4 + 4 // magic, step, nvars
+	for _, v := range m.Vars {
+		n += 4 + len(v.Name) + 1 // name, ndim
+		for _, d := range v.GlobalDims {
+			n += 4 + len(d.Name) + 8 // label, size
+		}
+		n += len(v.GlobalDims) * 16 // box offset+count per dim
+	}
+	n += 4 // nattrs
+	for k, v := range m.Attrs {
+		n += 4 + len(k) + 4 + len(v)
+	}
+	return n
+}
+
+// AppendMeta serializes a block's metadata onto dst and returns the
+// extended slice. With cap(dst)-len(dst) >= MetaSize(m) no allocation
+// occurs and the result shares dst's backing array.
+func AppendMeta(dst []byte, m *BlockMeta) []byte {
+	w := &wireWriter{buf: dst}
 	w.buf = append(w.buf, metaMagic...)
 	w.u32(uint32(m.Step))
 	w.u32(uint32(len(m.Vars)))
@@ -174,15 +233,27 @@ func EncodeMeta(m *BlockMeta) []byte {
 	return w.buf
 }
 
-// DecodeMeta parses a metadata blob produced by EncodeMeta.
+// EncodeMeta serializes a block's metadata into a fresh, exactly-sized
+// buffer.
+func EncodeMeta(m *BlockMeta) []byte {
+	return AppendMeta(make([]byte, 0, MetaSize(m)), m)
+}
+
+// DecodeMeta parses a metadata blob produced by EncodeMeta. The returned
+// BlockMeta shares nothing with buf.
 func DecodeMeta(buf []byte) (*BlockMeta, error) {
 	r := &wireReader{buf: buf}
 	r.magic(metaMagic)
-	m := &BlockMeta{Step: int(r.u32()), Attrs: map[string]string{}}
+	m := &BlockMeta{Step: int(r.u32())}
 	nvars := int(r.u32())
 	if r.err != nil {
 		return nil, r.err
 	}
+	// Pre-size from the decoded counts, capped against the buffer length:
+	// each declared variable occupies at least 5 body bytes and each
+	// attribute at least 8, so larger counts are certainly truncated and
+	// must not provoke a giant allocation.
+	m.Vars = make([]VarMeta, 0, min(nvars, len(buf)/5+1))
 	for i := 0; i < nvars && r.err == nil; i++ {
 		var v VarMeta
 		v.Name = r.str()
@@ -200,6 +271,7 @@ func DecodeMeta(buf []byte) (*BlockMeta, error) {
 		m.Vars = append(m.Vars, v)
 	}
 	nattrs := int(r.u32())
+	m.Attrs = make(map[string]string, min(nattrs, len(buf)/8+1))
 	for i := 0; i < nattrs && r.err == nil; i++ {
 		k := r.str()
 		m.Attrs[k] = r.str()
@@ -213,10 +285,21 @@ func DecodeMeta(buf []byte) (*BlockMeta, error) {
 	return m, nil
 }
 
-// EncodePayload serializes the per-variable data blocks. names and data
-// must be parallel slices.
-func EncodePayload(names []string, data [][]float64) []byte {
-	w := &wireWriter{}
+// PayloadSize returns the exact encoded size of a payload blob. names
+// and data must be parallel slices.
+func PayloadSize(names []string, data [][]float64) int {
+	n := len(payloadMagic) + 4
+	for i, name := range names {
+		n += 4 + len(name) + 8 + 8*len(data[i])
+	}
+	return n
+}
+
+// AppendPayload serializes the per-variable data blocks onto dst and
+// returns the extended slice. With cap(dst)-len(dst) >= PayloadSize no
+// allocation occurs and the result shares dst's backing array.
+func AppendPayload(dst []byte, names []string, data [][]float64) []byte {
+	w := &wireWriter{buf: dst}
 	w.buf = append(w.buf, payloadMagic...)
 	w.u32(uint32(len(names)))
 	for i, name := range names {
@@ -226,7 +309,21 @@ func EncodePayload(names []string, data [][]float64) []byte {
 	return w.buf
 }
 
+// EncodePayload serializes the per-variable data blocks into a fresh,
+// exactly-sized buffer. names and data must be parallel slices.
+func EncodePayload(names []string, data [][]float64) []byte {
+	return AppendPayload(make([]byte, 0, PayloadSize(names, data)), names, data)
+}
+
 // DecodePayload parses a payload blob into a name → values map.
+//
+// Aliasing contract: where a float block sits 8-byte aligned in buf (the
+// common case for buffers produced by EncodePayload/AppendPayload from
+// offset 0), the returned value slices are views into buf itself — no
+// copy is made. The views are valid exactly as long as buf is: a caller
+// fetching frames from a pooled transport must drop every decoded view
+// before releasing the step that owns the frame. Callers that need the
+// values to outlive buf must copy them out.
 func DecodePayload(buf []byte) (map[string][]float64, error) {
 	r := &wireReader{buf: buf}
 	r.magic(payloadMagic)

@@ -1,0 +1,85 @@
+package adios
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzPayloadF64RoundTrip drives the bulk f64 codec with arbitrary bit
+// patterns through both decode paths: the aligned zero-copy path (the
+// decoded slice aliases the frame) and the misaligned fallback (the
+// frame is shifted one byte off 8-byte alignment, forcing the copy
+// path). Every value must round-trip bit-exactly, NaN payloads included.
+func FuzzPayloadF64RoundTrip(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, true)
+	nan := binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN()))
+	f.Add(nan, false)
+	f.Add(binary.LittleEndian.AppendUint64(nan, math.Float64bits(math.Inf(-1))), true)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0}, true)
+	f.Fuzz(func(t *testing.T, raw []byte, misalign bool) {
+		vals := make([]float64, len(raw)/8)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		names := []string{"v"}
+		data := [][]float64{vals}
+		enc := EncodePayload(names, data)
+		if want := PayloadSize(names, data); len(enc) != want {
+			t.Fatalf("PayloadSize = %d, encoded %d bytes", want, len(enc))
+		}
+		frame := enc
+		if misalign {
+			// A fresh allocation is 8-aligned; slicing one byte in yields
+			// a frame whose float block cannot be 8-aligned if the
+			// original's was.
+			shifted := make([]byte, len(enc)+1)
+			copy(shifted[1:], enc)
+			frame = shifted[1:]
+		}
+		got, err := DecodePayload(frame)
+		if err != nil {
+			t.Fatalf("DecodePayload: %v", err)
+		}
+		dec, ok := got["v"]
+		if !ok || len(dec) != len(vals) {
+			t.Fatalf("decoded %d values, want %d", len(dec), len(vals))
+		}
+		for i := range vals {
+			if math.Float64bits(dec[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("value %d: got %x, want %x", i, math.Float64bits(dec[i]), math.Float64bits(vals[i]))
+			}
+		}
+	})
+}
+
+// FuzzMetaRoundTrip feeds arbitrary strings through the metadata codec,
+// exercising the count-preallocation guards in DecodeMeta.
+func FuzzMetaRoundTrip(f *testing.F) {
+	f.Add("atoms", "props", "ID,Type", 3)
+	f.Add("", "", "", 0)
+	f.Fuzz(func(t *testing.T, varName, attrKey, attrVal string, step int) {
+		// Steps travel as u32 on the wire.
+		step &= math.MaxInt32
+		m := &BlockMeta{
+			Step:  step,
+			Vars:  []VarMeta{{Name: varName}},
+			Attrs: map[string]string{attrKey: attrVal},
+		}
+		enc := EncodeMeta(m)
+		if want := MetaSize(m); len(enc) != want {
+			t.Fatalf("MetaSize = %d, encoded %d bytes", want, len(enc))
+		}
+		got, err := DecodeMeta(enc)
+		if err != nil {
+			t.Fatalf("DecodeMeta: %v", err)
+		}
+		if got.Step != step || len(got.Vars) != 1 || got.Vars[0].Name != varName {
+			t.Fatalf("got %+v", got)
+		}
+		if got.Attrs[attrKey] != attrVal {
+			t.Fatalf("attr %q = %q, want %q", attrKey, got.Attrs[attrKey], attrVal)
+		}
+	})
+}

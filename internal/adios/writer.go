@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ndarray"
+	"repro/internal/pool"
 )
 
 // Writer is one rank's handle for publishing self-describing timesteps on
@@ -70,8 +71,15 @@ func (w *Writer) BeginStep() error {
 	w.names = w.names[:0]
 	w.data = w.data[:0]
 	w.vars = w.vars[:0]
-	w.attrs = map[string]string{}
-	w.written = map[string]bool{}
+	// Reuse the per-step maps across timesteps: with hundreds of steps a
+	// fresh map per step is pure allocator churn.
+	if w.attrs == nil {
+		w.attrs = make(map[string]string, len(w.sticky)+4)
+		w.written = make(map[string]bool, 4)
+	} else {
+		clear(w.attrs)
+		clear(w.written)
+	}
 	for k, v := range w.sticky {
 		w.attrs[k] = v
 	}
@@ -136,18 +144,48 @@ func (w *Writer) WriteArray(name string, arr *ndarray.Array) error {
 // EndStep seals and publishes the open timestep. The call returns once
 // the transport has accepted the block — with an asynchronous transport
 // this overlaps downstream consumption with the producer's next step.
+//
+// On a transport with the RefBlockWriter capability the step is encoded
+// into pooled buffers sized by an exact pre-pass and published by
+// ownership transfer, so the transport can recycle the storage when the
+// step retires; otherwise fresh buffers are encoded and handed over.
 func (w *Writer) EndStep(ctx context.Context) error {
 	if !w.inStep {
 		return fmt.Errorf("adios: EndStep without BeginStep")
 	}
-	meta := EncodeMeta(&BlockMeta{Step: w.step, Vars: w.vars, Attrs: w.attrs})
-	payload := EncodePayload(w.names, w.data)
-	if err := w.bw.PublishBlock(ctx, w.step, meta, payload); err != nil {
+	bm := &BlockMeta{Step: w.step, Vars: w.vars, Attrs: w.attrs}
+	var err error
+	if rw, ok := w.bw.(RefBlockWriter); ok {
+		meta := encodeInto(pool.Get(MetaSize(bm)), func(dst []byte) []byte {
+			return AppendMeta(dst, bm)
+		})
+		payload := encodeInto(pool.Get(PayloadSize(w.names, w.data)), func(dst []byte) []byte {
+			return AppendPayload(dst, w.names, w.data)
+		})
+		err = rw.PublishBlockRef(ctx, w.step, meta, payload)
+	} else {
+		err = w.bw.PublishBlock(ctx, w.step, EncodeMeta(bm), EncodePayload(w.names, w.data))
+	}
+	if err != nil {
 		return err
 	}
 	w.inStep = false
 	w.step++
 	return nil
+}
+
+// encodeInto runs an append-style encoder over b's storage. The size
+// pre-passes are exact, so enc lands in b's backing array with b's exact
+// length; the check is defensive — if an encoder ever outgrows its
+// pre-pass the freshly allocated result is wrapped instead of publishing
+// a stale pooled buffer.
+func encodeInto(b *pool.Buf, enc func(dst []byte) []byte) *pool.Buf {
+	out := enc(b.Bytes()[:0])
+	if len(out) == b.Len() && &out[0] == &b.Bytes()[0] {
+		return b
+	}
+	b.Release()
+	return pool.Wrap(out)
 }
 
 // Steps reports how many timesteps have been published.

@@ -131,13 +131,43 @@ func ComputeHistogram(comm *mpi.Comm, local []float64, bins int) (StepHistogram,
 	if bins <= 0 {
 		return StepHistogram{}, fmt.Errorf("histogram: bins must be positive, got %d", bins)
 	}
+	// The min/max scan and the binning loop both shard across the kernel
+	// worker pool: each shard scans (or bins into) private state, and the
+	// shard results merge in shard order, keeping the outcome identical
+	// to the serial loop.
+	shards := sb.ShardCount(len(local))
 	localMin, localMax := math.Inf(1), math.Inf(-1)
-	for _, v := range local {
-		if v < localMin {
-			localMin = v
+	if shards == 1 {
+		for _, v := range local {
+			if v < localMin {
+				localMin = v
+			}
+			if v > localMax {
+				localMax = v
+			}
 		}
-		if v > localMax {
-			localMax = v
+	} else {
+		mins := make([]float64, shards)
+		maxs := make([]float64, shards)
+		sb.RunShards(len(local), shards, func(s, lo, hi int) {
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, v := range local[lo:hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			mins[s], maxs[s] = mn, mx
+		})
+		for s := 0; s < shards; s++ {
+			if mins[s] < localMin {
+				localMin = mins[s]
+			}
+			if maxs[s] > localMax {
+				localMax = maxs[s]
+			}
 		}
 	}
 	globalMin, err := mpi.Allreduce(comm, localMin, mpi.Min[float64])
@@ -151,17 +181,37 @@ func ComputeHistogram(comm *mpi.Comm, local []float64, bins int) (StepHistogram,
 	counts := make([]float64, bins)
 	if globalMin <= globalMax { // false only for a globally empty array
 		width := (globalMax - globalMin) / float64(bins)
-		for _, v := range local {
-			var b int
-			if width == 0 {
-				b = 0 // all values identical: single occupied bin
-			} else {
-				b = int((v - globalMin) / width)
-				if b >= bins { // v == globalMax lands in the last bin
-					b = bins - 1
+		binRange := func(counts []float64, vals []float64) {
+			for _, v := range vals {
+				var b int
+				if width == 0 {
+					b = 0 // all values identical: single occupied bin
+				} else {
+					b = int((v - globalMin) / width)
+					if b >= bins { // v == globalMax lands in the last bin
+						b = bins - 1
+					}
+				}
+				counts[b]++
+			}
+		}
+		if shards == 1 {
+			binRange(counts, local)
+		} else {
+			// Per-shard partial bins, merged in shard order: counts are
+			// additions of whole numbers, so the merged result is exactly
+			// the serial result.
+			partials := make([][]float64, shards)
+			sb.RunShards(len(local), shards, func(s, lo, hi int) {
+				pc := make([]float64, bins)
+				binRange(pc, local[lo:hi])
+				partials[s] = pc
+			})
+			for _, pc := range partials {
+				for i, c := range pc {
+					counts[i] += c
 				}
 			}
-			counts[b]++
 		}
 	}
 	merged, err := mpi.AllreduceFloat64s(comm, counts, mpi.Sum[float64])

@@ -70,14 +70,18 @@ func (m *Magnitude) Transform(in *StepIn) (*StepOut, error) {
 	}
 	data := in.Block.Data()
 	out := make([]float64, points)
-	for p := 0; p < points; p++ {
-		sum := 0.0
-		row := data[p*comps : (p+1)*comps]
-		for _, c := range row {
-			sum += c * c
+	// Each point is independent, so the loop shards across the kernel
+	// worker pool (serial on a single-core host).
+	sb.ParallelFor(points, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			sum := 0.0
+			row := data[p*comps : (p+1)*comps]
+			for _, c := range row {
+				sum += c * c
+			}
+			out[p] = math.Sqrt(sum)
 		}
-		out[p] = math.Sqrt(sum)
-	}
+	})
 	return &StepOut{
 		GlobalDims: []ndarray.Dim{{Name: in.Var.Dims[0].Name, Size: in.Var.Dims[0].Size}},
 		Box: ndarray.Box{

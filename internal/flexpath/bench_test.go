@@ -58,6 +58,7 @@ func benchExchange(b *testing.B, attachW func() (interface {
 }
 
 func BenchmarkInprocExchange1MB(b *testing.B) {
+	b.ReportAllocs()
 	broker := NewBroker()
 	benchExchange(b,
 		func() (interface {
@@ -77,6 +78,7 @@ func BenchmarkInprocExchange1MB(b *testing.B) {
 }
 
 func BenchmarkTCPExchange1MB(b *testing.B) {
+	b.ReportAllocs()
 	srv, err := NewServer(NewBroker(), "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

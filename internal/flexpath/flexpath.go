@@ -46,6 +46,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"repro/internal/pool"
 )
 
 // DefaultQueueDepth is the writer-side buffer capacity, in timesteps,
@@ -89,12 +91,27 @@ type StreamStat struct {
 	Failed         string // non-empty once a writer was lost
 }
 
-// stepState is one buffered timestep of one stream.
+// stepState is one buffered timestep of one stream. Blocks are held as
+// refcounted buffers: the broker owns one reference from publish until
+// retirement, and hands the same storage to every reader of the fan-out
+// (borrowed for the life of the step, or retained via the *Refs
+// accessors for uses that may outlive it, like a TCP response write).
 type stepState struct {
-	metas    [][]byte
-	payloads [][]byte
+	metas    []*pool.Buf
+	payloads []*pool.Buf
 	pubCount int
 	released map[int]bool // reader ranks that released this step
+}
+
+// free drops the broker's references on every stored block, recycling
+// pooled storage. Caller must have removed the step from the stream.
+func (st *stepState) free() {
+	for _, b := range st.metas {
+		b.Release()
+	}
+	for _, b := range st.payloads {
+		b.Release()
+	}
 }
 
 // stream is the broker-side state of one named stream.
@@ -292,8 +309,26 @@ func (w *Writer) NextStep() int {
 // PublishBlock queues this rank's block for the given timestep. Steps
 // must be published in order 0,1,2,… per rank. The call blocks while the
 // stream's queue window is full (asynchronous buffering), returning when
-// the block is accepted — not when it is consumed.
+// the block is accepted — not when it is consumed. The broker stores the
+// slices without copying; the caller must not mutate them after publish.
 func (w *Writer) PublishBlock(ctx context.Context, step int, meta, payload []byte) error {
+	return w.PublishBlockRef(ctx, step, pool.Wrap(meta), pool.Wrap(payload))
+}
+
+// PublishBlockRef is PublishBlock with ownership transfer: the broker
+// takes both references (consuming them even on error), holds the blocks
+// for the step's fan-out, and recycles pooled storage when the step
+// retires. This is the zero-copy publish path (adios.RefBlockWriter).
+func (w *Writer) PublishBlockRef(ctx context.Context, step int, meta, payload *pool.Buf) error {
+	err := w.publishRef(ctx, step, meta, payload)
+	if err != nil {
+		meta.Release()
+		payload.Release()
+	}
+	return err
+}
+
+func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.Buf) error {
 	b := w.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -324,8 +359,8 @@ func (w *Writer) PublishBlock(ctx context.Context, step int, meta, payload []byt
 	st, ok := s.steps[step]
 	if !ok {
 		st = &stepState{
-			metas:    make([][]byte, s.writerSize),
-			payloads: make([][]byte, s.writerSize),
+			metas:    make([]*pool.Buf, s.writerSize),
+			payloads: make([]*pool.Buf, s.writerSize),
 			released: make(map[int]bool),
 		}
 		s.steps[step] = st
@@ -334,7 +369,7 @@ func (w *Writer) PublishBlock(ctx context.Context, step int, meta, payload []byt
 	st.payloads[w.rank] = payload
 	st.pubCount++
 	s.lastByRank[w.rank] = step + 1
-	b.stats.BytesPublished += int64(len(meta) + len(payload))
+	b.stats.BytesPublished += int64(meta.Len() + payload.Len())
 	if st.pubCount == s.writerSize {
 		s.stepsPublished++
 		b.stats.StepsPublished++
@@ -514,10 +549,48 @@ func (r *Reader) WriterSize(ctx context.Context) (int, error) {
 // io.EOF once the stream has ended before reaching step, and ErrWriterLost
 // if a writer crashed before completing it; steps fully published before
 // a crash remain readable.
+//
+// The returned slices are views of broker-held (possibly pooled)
+// storage: they are valid until this rank releases or closes — after
+// that the step may retire and the storage recycle.
 func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 	b := r.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	st, err := r.stepMetaLocked(ctx, step)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(st.metas))
+	for i, m := range st.metas {
+		out[i] = m.Bytes()
+	}
+	return out, nil
+}
+
+// StepMetaRefs is StepMeta returning retained references: each blob
+// stays valid until the caller releases it, even if the step retires
+// underneath (used by the TCP server, whose response write races other
+// ranks' releases). The caller must Release every returned Buf.
+func (r *Reader) StepMetaRefs(ctx context.Context, step int) ([]*pool.Buf, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, err := r.stepMetaLocked(ctx, step)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*pool.Buf, len(st.metas))
+	for i, m := range st.metas {
+		out[i] = m.Retain()
+	}
+	return out, nil
+}
+
+// stepMetaLocked blocks until step is fully published and returns its
+// state. Caller holds the broker lock.
+func (r *Reader) stepMetaLocked(ctx context.Context, step int) (*stepState, error) {
+	b := r.b
 	s := r.s
 	if step < s.minStep {
 		return nil, fmt.Errorf("%w: step %d below window start %d", ErrStepRetired, step, s.minStep)
@@ -538,9 +611,7 @@ func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 		return nil, ErrClosed
 	}
 	if st, ok := s.steps[step]; ok && st.pubCount == s.writerSize {
-		out := make([][]byte, s.writerSize)
-		copy(out, st.metas)
-		return out, nil
+		return st, nil
 	}
 	if s.failed != nil {
 		return nil, s.failed
@@ -549,11 +620,38 @@ func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 }
 
 // FetchBlock returns the payload writer rank wrote for the given step.
-// The step must be currently available (published and not retired).
+// The step must be currently available (published and not retired). The
+// returned slice is a view of broker-held (possibly pooled) storage,
+// valid until this rank releases the step or closes.
 func (r *Reader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error) {
 	b := r.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	buf, err := r.fetchLocked(step, writerRank)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FetchBlockRef is FetchBlock returning a retained reference, valid
+// until the caller releases it regardless of step retirement. The caller
+// must Release the returned Buf.
+func (r *Reader) FetchBlockRef(ctx context.Context, step, writerRank int) (*pool.Buf, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf, err := r.fetchLocked(step, writerRank)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Retain(), nil
+}
+
+// fetchLocked looks up one writer rank's payload. Caller holds the
+// broker lock.
+func (r *Reader) fetchLocked(step, writerRank int) (*pool.Buf, error) {
+	b := r.b
 	if r.closed {
 		return nil, ErrClosed
 	}
@@ -572,7 +670,7 @@ func (r *Reader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, 
 		return nil, fmt.Errorf("flexpath: writer rank %d out of range [0,%d)", writerRank, s.writerSize)
 	}
 	b.stats.BlocksFetched++
-	b.stats.BytesFetched += int64(len(st.payloads[writerRank]))
+	b.stats.BytesFetched += int64(st.payloads[writerRank].Len())
 	return st.payloads[writerRank], nil
 }
 
@@ -605,8 +703,8 @@ func (r *Reader) ReleaseStep(step int) error {
 }
 
 // retireHead drops the head step if every reader rank has either
-// released it or closed its handle. Caller holds the broker lock.
-// Reports whether a step was retired.
+// released it or closed its handle, recycling the step's pooled blocks.
+// Caller holds the broker lock. Reports whether a step was retired.
 func (s *stream) retireHead() bool {
 	st, ok := s.steps[s.minStep]
 	if !ok || s.readerSize == 0 || st.pubCount != s.writerSize {
@@ -619,6 +717,7 @@ func (s *stream) retireHead() bool {
 	}
 	delete(s.steps, s.minStep)
 	s.minStep++
+	st.free()
 	return true
 }
 

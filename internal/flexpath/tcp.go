@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/pool"
 )
 
 // This file adds a TCP incarnation of the transport: a Server fronts a
@@ -74,14 +76,38 @@ func writeFrame(w io.Writer, op byte, body []byte) error {
 	crc = crc32.Update(crc, crc32.IEEETable, body)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	hdr[8] = op
-	if _, err := w.Write(hdr[:]); err != nil {
+	if len(body) == 0 {
+		_, err := w.Write(hdr[:])
 		return err
 	}
-	_, err := w.Write(body)
+	// One gathered write (writev on a TCP conn): header and body hit the
+	// wire together without first being merged into a fresh buffer.
+	bufs := net.Buffers{hdr[:], body}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
-func readFrame(r io.Reader) (op byte, body []byte, err error) {
+// grow returns (*scratch)[:n], reallocating only when the capacity is
+// insufficient — the frame-buffer reuse primitive.
+func grow(scratch *[]byte, n int) []byte {
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	*scratch = (*scratch)[:n]
+	return *scratch
+}
+
+// readFrameInto reads one frame, placing the body in a scratch buffer
+// chosen by pick(op) — grown as needed and reused across calls, so a
+// steady stream of frames stops allocating once the buffers reach
+// steady-state size. The returned body aliases the chosen scratch and is
+// valid only until that scratch is next used.
+//
+// The opcode is read ahead of the rest of the body precisely so pick can
+// route control frames (heartbeat, cancel) to a different buffer than
+// request frames: control frames arrive while a request body is still
+// being processed, and must not clobber it.
+func readFrameInto(r io.Reader, pick func(op byte) *[]byte) (op byte, body []byte, err error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -91,14 +117,28 @@ func readFrame(r io.Reader) (op byte, body []byte, err error) {
 	if n < 1 || n > maxFrame {
 		return 0, nil, fmt.Errorf("flexpath: invalid frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	var opb [1]byte
+	if _, err := io.ReadFull(r, opb[:]); err != nil {
 		return 0, nil, err
 	}
-	if got := crc32.ChecksumIEEE(buf); got != want {
-		return 0, nil, fmt.Errorf("flexpath: frame checksum mismatch (got %08x, want %08x): corrupted frame", got, want)
+	op = opb[0]
+	body = grow(pick(op), int(n)-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
 	}
-	return buf[0], buf[1:], nil
+	crc := crc32.ChecksumIEEE(opb[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	if crc != want {
+		return 0, nil, fmt.Errorf("flexpath: frame checksum mismatch (got %08x, want %08x): corrupted frame", crc, want)
+	}
+	return op, body, nil
+}
+
+// readFrame reads one frame into fresh storage (attach paths and tests;
+// the hot paths use readFrameInto with a reused scratch).
+func readFrame(r io.Reader) (op byte, body []byte, err error) {
+	var scratch []byte
+	return readFrameInto(r, func(byte) *[]byte { return &scratch })
 }
 
 // frameWriter appends protocol primitives to a buffer.
@@ -239,8 +279,11 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func respondErr(conn net.Conn, err error) error {
-	f := &frameWriter{}
+// respondErr and respondOK build responses in a per-connection scratch
+// buffer (resp), reused across the connection's lifetime.
+func respondErr(conn net.Conn, resp *[]byte, err error) error {
+	f := &frameWriter{buf: (*resp)[:0]}
+	defer func() { *resp = f.buf[:0] }()
 	switch {
 	case errors.Is(err, io.EOF):
 		f.u8(stEOF)
@@ -263,8 +306,9 @@ func respondErr(conn net.Conn, err error) error {
 	return writeFrame(conn, 0, f.buf)
 }
 
-func respondOK(conn net.Conn, body func(*frameWriter)) error {
-	f := &frameWriter{}
+func respondOK(conn net.Conn, resp *[]byte, body func(*frameWriter)) error {
+	f := &frameWriter{buf: (*resp)[:0]}
+	defer func() { *resp = f.buf[:0] }()
 	f.u8(stOK)
 	if body != nil {
 		body(f)
@@ -307,8 +351,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		defer cancel()
 		defer close(frames)
 		var leaseTTL time.Duration
+		// Request bodies land in reqScratch, reused frame after frame: the
+		// peer issues strictly blocking request/response pairs, so by the
+		// time the next request's bytes arrive the previous body has been
+		// fully consumed and its response written. Control frames
+		// (heartbeat, cancel) can arrive mid-request and therefore go to a
+		// separate ctlScratch so they cannot clobber an in-flight body.
+		var reqScratch, ctlScratch []byte
+		pick := func(op byte) *[]byte {
+			if op == opHeartbeat || op == opCancel {
+				return &ctlScratch
+			}
+			return &reqScratch
+		}
 		for {
-			op, body, err := readFrame(conn)
+			op, body, err := readFrameInto(conn, pick)
 			if err != nil {
 				return
 			}
@@ -357,6 +414,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		f, ok := <-frames
 		return f, ok
 	}
+	// Response scratch, shared by every response this connection writes.
+	var resp []byte
 	first, ok := next()
 	if !ok {
 		return
@@ -370,44 +429,44 @@ func (s *Server) serveConn(conn net.Conn) {
 		size := int(fr.u32())
 		depth := int(fr.u32())
 		if fr.err != nil {
-			respondErr(conn, fr.err)
+			respondErr(conn, &resp, fr.err)
 			return
 		}
 		w, err := s.broker.AttachWriter(stream, rank, size, depth)
 		if err != nil {
-			respondErr(conn, err)
+			respondErr(conn, &resp, err)
 			return
 		}
-		if respondOK(conn, func(f *frameWriter) { f.u32(uint32(w.NextStep())) }) != nil {
+		if respondOK(conn, &resp, func(f *frameWriter) { f.u32(uint32(w.NextStep())) }) != nil {
 			w.Crash(errors.New("connection lost during attach"))
 			return
 		}
-		s.serveWriter(conn, next, arm, w)
+		s.serveWriter(conn, &resp, next, arm, w)
 	case opAttachReader:
 		fr := &frameReader{buf: body}
 		stream := fr.str()
 		rank := int(fr.u32())
 		size := int(fr.u32())
 		if fr.err != nil {
-			respondErr(conn, fr.err)
+			respondErr(conn, &resp, fr.err)
 			return
 		}
 		r, err := s.broker.AttachReader(stream, rank, size)
 		if err != nil {
-			respondErr(conn, err)
+			respondErr(conn, &resp, err)
 			return
 		}
-		if respondOK(conn, func(f *frameWriter) { f.u32(uint32(r.NextStep())) }) != nil {
+		if respondOK(conn, &resp, func(f *frameWriter) { f.u32(uint32(r.NextStep())) }) != nil {
 			r.Close()
 			return
 		}
-		s.serveReader(conn, next, arm, r)
+		s.serveReader(conn, &resp, next, arm, r)
 	default:
-		respondErr(conn, fmt.Errorf("flexpath: first message must attach, got opcode %d", op))
+		respondErr(conn, &resp, fmt.Errorf("flexpath: first message must attach, got opcode %d", op))
 	}
 }
 
-func (s *Server) serveWriter(conn net.Conn, next func() (frame, bool), arm func() (context.Context, func()), w *Writer) {
+func (s *Server) serveWriter(conn net.Conn, resp *[]byte, next func() (frame, bool), arm func() (context.Context, func()), w *Writer) {
 	// A connection that drops without a clean close or detach is a lost
 	// writer: fail the stream rather than silently truncating it. Crash
 	// is a no-op if an opcode below already settled the handle.
@@ -422,38 +481,46 @@ func (s *Server) serveWriter(conn net.Conn, next func() (frame, bool), arm func(
 		case opPublish:
 			fr := &frameReader{buf: body}
 			step := int(fr.u32())
-			meta := append([]byte(nil), fr.bytes()...)
-			payload := append([]byte(nil), fr.bytes()...)
+			metaB := fr.bytes()
+			payloadB := fr.bytes()
 			if fr.err != nil {
-				respondErr(conn, fr.err)
+				respondErr(conn, resp, fr.err)
 				return
 			}
+			// The frame body is the receive goroutine's scratch; the broker
+			// needs storage that outlives it. Copy into pooled buffers and
+			// transfer ownership, so the bytes recycle when the step retires
+			// instead of accumulating per step.
+			meta := pool.Get(len(metaB))
+			copy(meta.Bytes(), metaB)
+			payload := pool.Get(len(payloadB))
+			copy(payload.Bytes(), payloadB)
 			opCtx, release := arm()
-			err := w.PublishBlock(opCtx, step, meta, payload)
+			err := w.PublishBlockRef(opCtx, step, meta, payload)
 			release()
 			if err != nil {
-				if respondErr(conn, err) != nil {
+				if respondErr(conn, resp, err) != nil {
 					return
 				}
 				continue
 			}
-			if respondOK(conn, nil) != nil {
+			if respondOK(conn, resp, nil) != nil {
 				return
 			}
 		case opCloseWriter:
 			err := w.Close()
 			if err != nil {
-				respondErr(conn, err)
+				respondErr(conn, resp, err)
 			} else {
-				respondOK(conn, nil)
+				respondOK(conn, resp, nil)
 			}
 			return
 		case opDetachWriter:
 			err := w.Detach()
 			if err != nil {
-				respondErr(conn, err)
+				respondErr(conn, resp, err)
 			} else {
-				respondOK(conn, nil)
+				respondOK(conn, resp, nil)
 			}
 			return
 		case opCrashWriter:
@@ -461,19 +528,19 @@ func (s *Server) serveWriter(conn net.Conn, next func() (frame, bool), arm func(
 			cause := fr.str()
 			err := w.Crash(errors.New(cause))
 			if err != nil {
-				respondErr(conn, err)
+				respondErr(conn, resp, err)
 			} else {
-				respondOK(conn, nil)
+				respondOK(conn, resp, nil)
 			}
 			return
 		default:
-			respondErr(conn, fmt.Errorf("flexpath: unexpected opcode %d on writer connection", op))
+			respondErr(conn, resp, fmt.Errorf("flexpath: unexpected opcode %d on writer connection", op))
 			return
 		}
 	}
 }
 
-func (s *Server) serveReader(conn net.Conn, next func() (frame, bool), arm func() (context.Context, func()), r *Reader) {
+func (s *Server) serveReader(conn net.Conn, resp *[]byte, next func() (frame, bool), arm func() (context.Context, func()), r *Reader) {
 	defer r.Close()
 	for {
 		f, ok := next()
@@ -488,89 +555,98 @@ func (s *Server) serveReader(conn net.Conn, next func() (frame, bool), arm func(
 			n, err := r.WriterSize(opCtx)
 			release()
 			if err != nil {
-				if respondErr(conn, err) != nil {
+				if respondErr(conn, resp, err) != nil {
 					return
 				}
 				continue
 			}
-			if respondOK(conn, func(f *frameWriter) { f.u32(uint32(n)) }) != nil {
+			if respondOK(conn, resp, func(f *frameWriter) { f.u32(uint32(n)) }) != nil {
 				return
 			}
 		case opStepMeta:
 			step := int(fr.u32())
 			if fr.err != nil {
-				respondErr(conn, fr.err)
+				respondErr(conn, resp, fr.err)
 				return
 			}
 			opCtx, release := arm()
-			metas, err := r.StepMeta(opCtx, step)
+			// Hold references across the response write: another rank's
+			// release could retire the step — and recycle its pooled
+			// buffers — while the bytes are still being serialized.
+			metas, err := r.StepMetaRefs(opCtx, step)
 			release()
 			if err != nil {
-				if respondErr(conn, err) != nil {
+				if respondErr(conn, resp, err) != nil {
 					return
 				}
 				continue
 			}
-			if respondOK(conn, func(f *frameWriter) {
+			werr := respondOK(conn, resp, func(f *frameWriter) {
 				f.u32(uint32(len(metas)))
 				for _, m := range metas {
-					f.bytes(m)
+					f.bytes(m.Bytes())
 				}
-			}) != nil {
+			})
+			for _, m := range metas {
+				m.Release()
+			}
+			if werr != nil {
 				return
 			}
 		case opFetchBlock:
 			step := int(fr.u32())
 			writerRank := int(fr.u32())
 			if fr.err != nil {
-				respondErr(conn, fr.err)
+				respondErr(conn, resp, fr.err)
 				return
 			}
 			opCtx, release := arm()
-			payload, err := r.FetchBlock(opCtx, step, writerRank)
+			payload, err := r.FetchBlockRef(opCtx, step, writerRank)
 			release()
 			if err != nil {
-				if respondErr(conn, err) != nil {
+				if respondErr(conn, resp, err) != nil {
 					return
 				}
 				continue
 			}
-			if respondOK(conn, func(f *frameWriter) { f.bytes(payload) }) != nil {
+			werr := respondOK(conn, resp, func(f *frameWriter) { f.bytes(payload.Bytes()) })
+			payload.Release()
+			if werr != nil {
 				return
 			}
 		case opReleaseStep:
 			step := int(fr.u32())
 			if fr.err != nil {
-				respondErr(conn, fr.err)
+				respondErr(conn, resp, fr.err)
 				return
 			}
 			if err := r.ReleaseStep(step); err != nil {
-				if respondErr(conn, err) != nil {
+				if respondErr(conn, resp, err) != nil {
 					return
 				}
 				continue
 			}
-			if respondOK(conn, nil) != nil {
+			if respondOK(conn, resp, nil) != nil {
 				return
 			}
 		case opCloseReader:
 			err := r.Close()
 			if err != nil {
-				respondErr(conn, err)
+				respondErr(conn, resp, err)
 			} else {
-				respondOK(conn, nil)
+				respondOK(conn, resp, nil)
 			}
 			return
 		case opDetachReader:
 			err := r.Detach()
 			if err != nil {
-				respondErr(conn, err)
+				respondErr(conn, resp, err)
 			} else {
-				respondOK(conn, nil)
+				respondOK(conn, resp, nil)
 			}
 			return
 		default:
-			respondErr(conn, fmt.Errorf("flexpath: unexpected opcode %d on reader connection", op))
+			respondErr(conn, resp, fmt.Errorf("flexpath: unexpected opcode %d on reader connection", op))
 			return
 		}
 	}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/pool"
 )
 
 // Backoff shapes the retry schedule for transient dial and attach
@@ -181,7 +183,15 @@ func (e *remoteCancelled) Transient() bool { return true }
 // does not issue further cancellable operations on the handle, so a
 // late-landing cancel can only ever abort an operation that was itself
 // already doomed.
-func call(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, body []byte) (*frameReader, error) {
+// rbuf, when non-nil, is a handle-owned scratch the response is read
+// into and the returned frameReader aliases; it is reused on the next
+// call, so any response bytes that must outlive the call are copied out
+// by the caller. A nil rbuf reads into fresh storage (attach path).
+func call(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, body []byte, rbuf *[]byte) (*frameReader, error) {
+	if rbuf == nil {
+		var local []byte
+		rbuf = &local
+	}
 	cancellable := ctx != nil && ctx.Done() != nil
 	if cancellable {
 		if err := ctx.Err(); err != nil {
@@ -206,7 +216,7 @@ func call(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, body []b
 	if err != nil {
 		return nil, wrapNetErr(ctx, err)
 	}
-	_, resp, err := readFrame(conn)
+	_, resp, err := readFrameInto(conn, func(byte) *[]byte { return rbuf })
 	if err != nil {
 		return nil, wrapNetErr(ctx, err)
 	}
@@ -249,7 +259,7 @@ func (c *Client) attach(op byte, body []byte) (net.Conn, *frameReader, error) {
 			return nil, nil, err
 		}
 		var fr *frameReader
-		fr, err = call(nil, conn, nil, op, body)
+		fr, err = call(nil, conn, nil, op, body, nil)
 		if err == nil {
 			return conn, fr, nil
 		}
@@ -273,6 +283,8 @@ type RemoteWriter struct {
 	mu     sync.Mutex
 	closed bool
 	hbStop chan struct{}
+	fbuf   []byte // publish frame scratch, guarded by mu
+	rbuf   []byte // response read scratch, guarded by mu
 }
 
 // AttachWriter joins the writer group of a stream on the remote broker.
@@ -331,21 +343,36 @@ func (w *RemoteWriter) heartbeat(interval, ttl time.Duration) {
 func (w *RemoteWriter) NextStep() int { return w.next }
 
 // PublishBlock queues this rank's block for the given step, blocking
-// while the remote queue window is full.
+// while the remote queue window is full. The request frame and response
+// are staged in handle-owned scratch buffers, so a steady publish loop
+// allocates nothing on this side of the wire.
 func (w *RemoteWriter) PublishBlock(ctx context.Context, step int, meta, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
-	f := &frameWriter{}
+	f := &frameWriter{buf: w.fbuf[:0]}
 	f.u32(uint32(step))
 	f.bytes(meta)
 	f.bytes(payload)
-	_, err := call(ctx, w.conn, &w.wmu, opPublish, f.buf)
+	w.fbuf = f.buf
+	_, err := call(ctx, w.conn, &w.wmu, opPublish, f.buf, &w.rbuf)
 	if err == nil && step >= w.next {
 		w.next = step + 1
 	}
+	return err
+}
+
+// PublishBlockRef is the pooled-buffer publishing capability
+// (adios.RefBlockWriter): the bytes are serialized into the request
+// frame and the references released — over TCP the pooled storage never
+// leaves this process, so consuming the refs immediately returns it to
+// the pool for the producer's next step.
+func (w *RemoteWriter) PublishBlockRef(ctx context.Context, step int, meta, payload *pool.Buf) error {
+	err := w.PublishBlock(ctx, step, meta.Bytes(), payload.Bytes())
+	meta.Release()
+	payload.Release()
 	return err
 }
 
@@ -361,7 +388,7 @@ func (w *RemoteWriter) settle(op byte, body []byte) error {
 	if w.hbStop != nil {
 		close(w.hbStop)
 	}
-	_, err := call(nil, w.conn, &w.wmu, op, body)
+	_, err := call(nil, w.conn, &w.wmu, op, body, &w.rbuf)
 	w.c.release(w.conn)
 	return err
 }
@@ -397,6 +424,8 @@ type RemoteReader struct {
 
 	mu     sync.Mutex
 	closed bool
+	fbuf   []byte // request frame scratch, guarded by mu
+	rbuf   []byte // response read scratch, guarded by mu
 }
 
 // AttachReader joins the reader group of a stream on the remote broker.
@@ -424,7 +453,7 @@ func (r *RemoteReader) WriterSize(ctx context.Context) (int, error) {
 	if r.closed {
 		return 0, ErrClosed
 	}
-	fr, err := call(ctx, r.conn, &r.wmu, opWriterSize, nil)
+	fr, err := call(ctx, r.conn, &r.wmu, opWriterSize, nil, &r.rbuf)
 	if err != nil {
 		return 0, err
 	}
@@ -439,9 +468,10 @@ func (r *RemoteReader) StepMeta(ctx context.Context, step int) ([][]byte, error)
 	if r.closed {
 		return nil, ErrClosed
 	}
-	f := &frameWriter{}
+	f := &frameWriter{buf: r.fbuf[:0]}
 	f.u32(uint32(step))
-	fr, err := call(ctx, r.conn, &r.wmu, opStepMeta, f.buf)
+	r.fbuf = f.buf
+	fr, err := call(ctx, r.conn, &r.wmu, opStepMeta, f.buf, &r.rbuf)
 	if err != nil {
 		return nil, err
 	}
@@ -463,10 +493,11 @@ func (r *RemoteReader) FetchBlock(ctx context.Context, step, writerRank int) ([]
 	if r.closed {
 		return nil, ErrClosed
 	}
-	f := &frameWriter{}
+	f := &frameWriter{buf: r.fbuf[:0]}
 	f.u32(uint32(step))
 	f.u32(uint32(writerRank))
-	fr, err := call(ctx, r.conn, &r.wmu, opFetchBlock, f.buf)
+	r.fbuf = f.buf
+	fr, err := call(ctx, r.conn, &r.wmu, opFetchBlock, f.buf, &r.rbuf)
 	if err != nil {
 		return nil, err
 	}
@@ -484,9 +515,10 @@ func (r *RemoteReader) ReleaseStep(step int) error {
 	if r.closed {
 		return ErrClosed
 	}
-	f := &frameWriter{}
+	f := &frameWriter{buf: r.fbuf[:0]}
 	f.u32(uint32(step))
-	_, err := call(nil, r.conn, &r.wmu, opReleaseStep, f.buf)
+	r.fbuf = f.buf
+	_, err := call(nil, r.conn, &r.wmu, opReleaseStep, f.buf, &r.rbuf)
 	if err == nil && step >= r.next {
 		r.next = step + 1
 	}
@@ -500,7 +532,7 @@ func (r *RemoteReader) settle(op byte) error {
 		return nil
 	}
 	r.closed = true
-	_, err := call(nil, r.conn, &r.wmu, op, nil)
+	_, err := call(nil, r.conn, &r.wmu, op, nil, &r.rbuf)
 	r.c.release(r.conn)
 	return err
 }

@@ -5,6 +5,7 @@ import (
 )
 
 func BenchmarkSendRecvPingPong(b *testing.B) {
+	b.ReportAllocs()
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := 0; i < b.N; i++ {
@@ -33,6 +34,7 @@ func BenchmarkSendRecvPingPong(b *testing.B) {
 }
 
 func BenchmarkBarrier8(b *testing.B) {
+	b.ReportAllocs()
 	err := Run(8, func(c *Comm) error {
 		for i := 0; i < b.N; i++ {
 			if err := c.Barrier(); err != nil {
@@ -47,6 +49,7 @@ func BenchmarkBarrier8(b *testing.B) {
 }
 
 func BenchmarkAllreduce8(b *testing.B) {
+	b.ReportAllocs()
 	err := Run(8, func(c *Comm) error {
 		for i := 0; i < b.N; i++ {
 			if _, err := Allreduce(c, float64(c.Rank()), Sum[float64]); err != nil {
@@ -61,6 +64,7 @@ func BenchmarkAllreduce8(b *testing.B) {
 }
 
 func BenchmarkAllreduceFloat64s8x1024(b *testing.B) {
+	b.ReportAllocs()
 	buf := make([]float64, 1024)
 	b.SetBytes(int64(len(buf) * 8))
 	err := Run(8, func(c *Comm) error {

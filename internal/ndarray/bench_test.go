@@ -14,6 +14,7 @@ func benchArray3D(b *testing.B, x, y, z int) *Array {
 }
 
 func BenchmarkTranspose(b *testing.B) {
+	b.ReportAllocs()
 	a := benchArray3D(b, 64, 64, 64)
 	b.SetBytes(int64(a.Size() * 8))
 	b.ResetTimer()
@@ -25,6 +26,7 @@ func BenchmarkTranspose(b *testing.B) {
 }
 
 func BenchmarkDimReduceAdjacent(b *testing.B) {
+	b.ReportAllocs()
 	// Remove an axis that already follows the grow axis: pure reshape path.
 	a := benchArray3D(b, 64, 64, 64)
 	b.SetBytes(int64(a.Size() * 8))
@@ -37,6 +39,7 @@ func BenchmarkDimReduceAdjacent(b *testing.B) {
 }
 
 func BenchmarkDimReduceTransposing(b *testing.B) {
+	b.ReportAllocs()
 	// Remove a leading axis into a trailing one: requires re-arrangement.
 	a := benchArray3D(b, 64, 64, 64)
 	b.SetBytes(int64(a.Size() * 8))
@@ -49,6 +52,7 @@ func BenchmarkDimReduceTransposing(b *testing.B) {
 }
 
 func BenchmarkCopyBox(b *testing.B) {
+	b.ReportAllocs()
 	a := benchArray3D(b, 64, 64, 64)
 	box := Box{Offsets: []int{8, 8, 8}, Counts: []int{48, 48, 48}}
 	b.SetBytes(int64(box.Volume() * 8))
@@ -61,6 +65,7 @@ func BenchmarkCopyBox(b *testing.B) {
 }
 
 func BenchmarkCopyRegion(b *testing.B) {
+	b.ReportAllocs()
 	src := benchArray3D(b, 64, 64, 64)
 	dst := New(Dim{"x", 64}, Dim{"y", 64}, Dim{"z", 64})
 	counts := []int{48, 48, 48}
@@ -74,6 +79,7 @@ func BenchmarkCopyRegion(b *testing.B) {
 }
 
 func BenchmarkSelectIndices(b *testing.B) {
+	b.ReportAllocs()
 	a := New(Dim{"particles", 100000}, Dim{"props", 5})
 	for i := range a.Data() {
 		a.Data()[i] = float64(i)
@@ -88,6 +94,7 @@ func BenchmarkSelectIndices(b *testing.B) {
 }
 
 func BenchmarkPartitionAlong(b *testing.B) {
+	b.ReportAllocs()
 	shape := []int{1 << 20, 5}
 	for i := 0; i < b.N; i++ {
 		PartitionAlong(shape, 0, 64, i%64)

@@ -4,6 +4,12 @@ import (
 	"fmt"
 )
 
+// ShardRunner runs fn over contiguous sub-ranges covering [0,n); the
+// sub-ranges may execute concurrently. It is how this package's
+// data-movement kernels shard across a worker pool without importing
+// one: callers pass sb.ParallelFor (or nil for serial execution).
+type ShardRunner func(n int, fn func(lo, hi int))
+
 // Transpose returns a new array whose dimension i is the input's dimension
 // perm[i]. perm must be a permutation of [0,NDim). Labels travel with
 // their dimensions. The data is physically re-ordered into row-major
@@ -11,6 +17,14 @@ import (
 // paper observes is required because "programming languages understand
 // multi-dimensional data as being in a specific order in memory" (§III-A4).
 func (a *Array) Transpose(perm ...int) (*Array, error) {
+	return a.TransposeWith(nil, perm...)
+}
+
+// TransposeWith is Transpose with the output walk sharded by run (nil =
+// serial). Each shard walks its own [lo,hi) slice of the output's
+// row-major order, seeding the source offset from lo, so the result is
+// identical to the serial walk.
+func (a *Array) TransposeWith(run ShardRunner, perm ...int) (*Array, error) {
 	n := len(a.dims)
 	if len(perm) != n {
 		return nil, fmt.Errorf("ndarray: transpose permutation has %d entries for %d-d array", len(perm), n)
@@ -31,22 +45,34 @@ func (a *Array) Transpose(perm ...int) (*Array, error) {
 		return out, nil
 	}
 	srcStrides := a.Strides()
-	// Walk the output in row-major order, computing the matching source
-	// linear offset incrementally.
 	outShape := out.Shape()
-	idx := make([]int, n)
-	srcPos := 0
-	for dst := range out.data {
-		out.data[dst] = a.data[srcPos]
-		for i := n - 1; i >= 0; i-- {
-			idx[i]++
-			srcPos += srcStrides[perm[i]]
-			if idx[i] < outShape[i] {
-				break
-			}
-			srcPos -= idx[i] * srcStrides[perm[i]]
-			idx[i] = 0
+	outStrides := StridesOf(outShape)
+	// Walk a range of the output in row-major order, computing the
+	// matching source linear offset incrementally.
+	fill := func(lo, hi int) {
+		idx := make([]int, n)
+		srcPos := 0
+		for i := 0; i < n; i++ {
+			idx[i] = (lo / outStrides[i]) % outShape[i]
+			srcPos += idx[i] * srcStrides[perm[i]]
 		}
+		for dst := lo; dst < hi; dst++ {
+			out.data[dst] = a.data[srcPos]
+			for i := n - 1; i >= 0; i-- {
+				idx[i]++
+				srcPos += srcStrides[perm[i]]
+				if idx[i] < outShape[i] {
+					break
+				}
+				srcPos -= idx[i] * srcStrides[perm[i]]
+				idx[i] = 0
+			}
+		}
+	}
+	if run == nil {
+		fill(0, len(out.data))
+	} else {
+		run(len(out.data), fill)
 	}
 	return out, nil
 }
@@ -59,6 +85,12 @@ func (a *Array) Transpose(perm ...int) (*Array, error) {
 // axis's label. When the removed axis already immediately follows the
 // grow axis no data movement occurs beyond one copy.
 func (a *Array) DimReduce(remove, grow int) (*Array, error) {
+	return a.DimReduceWith(nil, remove, grow)
+}
+
+// DimReduceWith is DimReduce with the underlying transpose sharded by
+// run (nil = serial).
+func (a *Array) DimReduceWith(run ShardRunner, remove, grow int) (*Array, error) {
 	n := len(a.dims)
 	if n < 2 {
 		return nil, fmt.Errorf("ndarray: dim-reduce requires at least 2 dimensions, have %d", n)
@@ -84,7 +116,7 @@ func (a *Array) DimReduce(remove, grow int) (*Array, error) {
 			perm = append(perm, remove)
 		}
 	}
-	t, err := a.Transpose(perm...)
+	t, err := a.TransposeWith(run, perm...)
 	if err != nil {
 		return nil, err
 	}

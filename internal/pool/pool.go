@@ -1,0 +1,143 @@
+// Package pool provides size-classed, reference-counted byte buffers
+// for the transport hot path. Every timestep that crosses the stream
+// fabric needs a metadata blob and a payload blob; without pooling each
+// one is a fresh heap allocation that the garbage collector must later
+// chase. A Buf instead travels with an explicit reference count: the
+// publishing writer hands ownership to the broker, the broker hands
+// borrowed views (or retained refs) to N readers, and when the step
+// retires the storage returns to a sync.Pool keyed by size class.
+//
+// Ownership contract:
+//
+//   - Get returns a Buf with one reference, owned by the caller.
+//   - Retain adds a reference (a second holder, e.g. a TCP response in
+//     flight while the step could retire underneath it).
+//   - Release drops one reference; the final Release recycles the
+//     storage. Using Bytes() after the final Release is a use-after-free
+//     in spirit — the bytes may be overwritten by an unrelated step.
+//   - Wrap adopts a caller-owned slice without pooling: Release is
+//     bookkeeping only and the bytes are never recycled. It lets one
+//     code path serve both pooled and unpooled producers.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are powers of two from 1<<minClassBits to 1<<maxClassBits.
+// Requests larger than the top class are allocated directly and never
+// recycled (they are rare: a payload that big dominates its own cost).
+const (
+	minClassBits = 8  // 256 B
+	maxClassBits = 26 // 64 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var classes [numClasses]sync.Pool
+
+// Stats counts pool traffic, for tests and leak diagnosis.
+type Stats struct {
+	Gets     atomic.Int64 // Get calls served
+	News     atomic.Int64 // Gets that had to allocate fresh storage
+	Recycles atomic.Int64 // final Releases that returned storage to a class
+}
+
+var stats Stats
+
+// StatsSnapshot returns the current counter values.
+func StatsSnapshot() (gets, news, recycles int64) {
+	return stats.Gets.Load(), stats.News.Load(), stats.Recycles.Load()
+}
+
+// Buf is a reference-counted byte buffer. The zero value is not usable;
+// obtain one from Get or Wrap.
+type Buf struct {
+	data  []byte
+	refs  atomic.Int32
+	class int32 // class index, or -1 for unpooled storage
+}
+
+// classFor returns the smallest class whose capacity holds n, or -1 if n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minClassBits+c) {
+		c++
+	}
+	return c
+}
+
+// Get returns a Buf whose Bytes() has length n (contents unspecified)
+// and one reference.
+func Get(n int) *Buf {
+	stats.Gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		stats.News.Add(1)
+		b := &Buf{data: make([]byte, n), class: -1}
+		b.refs.Store(1)
+		return b
+	}
+	if v := classes[c].Get(); v != nil {
+		b := v.(*Buf)
+		b.data = b.data[:n]
+		b.refs.Store(1)
+		return b
+	}
+	stats.News.Add(1)
+	b := &Buf{data: make([]byte, n, 1<<(minClassBits+c)), class: int32(c)}
+	b.refs.Store(1)
+	return b
+}
+
+// Wrap adopts a caller-owned slice as an unpooled Buf with one
+// reference. Release never recycles the storage, so views of a wrapped
+// Buf stay valid as long as the slice itself.
+func Wrap(p []byte) *Buf {
+	b := &Buf{data: p, class: -1}
+	b.refs.Store(1)
+	return b
+}
+
+// Bytes returns the buffer contents. The view is valid only while the
+// caller holds a reference.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Len returns the buffer length.
+func (b *Buf) Len() int { return len(b.data) }
+
+// Refs returns the current reference count (for tests).
+func (b *Buf) Refs() int { return int(b.refs.Load()) }
+
+// Retain adds a reference and returns b for chaining.
+func (b *Buf) Retain() *Buf {
+	if b.refs.Add(1) <= 1 {
+		panic("pool: Retain of released Buf")
+	}
+	return b
+}
+
+// Release drops one reference. The final Release returns pooled storage
+// to its size class; further use of Bytes() is invalid.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("pool: Release of already-released Buf")
+	}
+	if b.class < 0 {
+		return // unpooled or oversized: leave it to the GC
+	}
+	stats.Recycles.Add(1)
+	b.data = b.data[:cap(b.data)]
+	classes[b.class].Put(b)
+}

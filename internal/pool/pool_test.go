@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1},
+		{1 << 20, 12}, {1 << 26, 18}, {1<<26 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetReleaseRecycles(t *testing.T) {
+	b := Get(1000)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", b.Len())
+	}
+	if cap(b.Bytes()) != 1024 {
+		t.Fatalf("cap = %d, want 1024", cap(b.Bytes()))
+	}
+	b.Bytes()[0] = 0xAB
+	b.Release()
+	// The next same-class Get should (in a single-goroutine test) see the
+	// recycled storage.
+	b2 := Get(512)
+	if b2.Len() != 512 {
+		t.Fatalf("Len = %d, want 512", b2.Len())
+	}
+	b2.Release()
+}
+
+func TestWrapNeverRecycles(t *testing.T) {
+	p := []byte{1, 2, 3}
+	b := Wrap(p)
+	b.Retain()
+	b.Release()
+	b.Release()
+	if &p[0] != &b.Bytes()[0] {
+		t.Fatal("Wrap must alias the caller slice")
+	}
+}
+
+func TestOversizedUnpooled(t *testing.T) {
+	b := Get(1<<26 + 1)
+	if b.class != -1 {
+		t.Fatalf("oversized Buf has class %d, want -1", b.class)
+	}
+	b.Release()
+}
+
+func TestRetainReleasePanics(t *testing.T) {
+	b := Get(16)
+	b.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Retain after final Release did not panic")
+			}
+		}()
+		b.Retain()
+	}()
+}
+
+// TestConcurrentRetainRelease hammers the refcount from many goroutines:
+// each holder retains, reads, and releases while the owner releases its
+// own ref, so recycling races against late readers only if the count is
+// wrong.
+func TestConcurrentRetainRelease(t *testing.T) {
+	const rounds, holders = 200, 8
+	for r := 0; r < rounds; r++ {
+		b := Get(4096)
+		for i := range b.Bytes() {
+			b.Bytes()[i] = byte(r)
+		}
+		var wg sync.WaitGroup
+		for h := 0; h < holders; h++ {
+			b.Retain()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := b.Bytes()
+				if p[0] != p[len(p)-1] {
+					t.Error("torn read under refcount")
+				}
+				b.Release()
+			}()
+		}
+		b.Release()
+		wg.Wait()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/adios"
+	"repro/internal/pool"
 )
 
 // This file is the glue between component code and the workflow
@@ -222,6 +223,26 @@ func (m *managedWriter) PublishBlock(ctx context.Context, step int, meta, payloa
 	ctx, cancel := opCtx(m.env, ctx)
 	defer cancel()
 	err := m.inner.PublishBlock(ctx, step, meta, payload)
+	m.hs.noteErr(err)
+	return err
+}
+
+// PublishBlockRef forwards the zero-copy capability when the wrapped
+// transport has it, so supervision does not forfeit pooling. On a
+// transport without it the bytes are handed over via PublishBlock and
+// the references dropped WITHOUT recycling: the transport may retain the
+// slices past the call, so returning their storage to the pool would
+// hand it to a future step while still referenced. The GC reclaims them
+// instead — correct, just unpooled.
+func (m *managedWriter) PublishBlockRef(ctx context.Context, step int, meta, payload *pool.Buf) error {
+	ctx, cancel := opCtx(m.env, ctx)
+	defer cancel()
+	var err error
+	if rw, ok := m.inner.(adios.RefBlockWriter); ok {
+		err = rw.PublishBlockRef(ctx, step, meta, payload)
+	} else {
+		err = m.inner.PublishBlock(ctx, step, meta.Bytes(), payload.Bytes())
+	}
 	m.hs.noteErr(err)
 	return err
 }

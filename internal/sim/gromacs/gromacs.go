@@ -145,10 +145,11 @@ func (s *Sim) Run(env *sb.Env) error {
 	if subCycles <= 0 {
 		subCycles = 1
 	}
+	var scr integrateScratch // per-rank: Run is invoked once per rank
 	for step := 0; step < s.Steps; step++ {
 		begin := time.Now()
 		for sub := 0; sub < subCycles; sub++ {
-			s.integrate(pos, vel, count, rng)
+			s.integrate(pos, vel, count, rng, &scr)
 		}
 		if w != nil {
 			if err := w.BeginStep(); err != nil {
@@ -168,10 +169,19 @@ func (s *Sim) Run(env *sb.Env) error {
 	return nil
 }
 
+type cellKey [3]int32
+
+// integrateScratch holds one rank's reusable cell-binning state so the
+// per-step map and key slice are allocated once per run, not per cycle.
+type integrateScratch struct {
+	cells map[cellKey][4]float64 // sum x,y,z and count
+	keys  []cellKey
+}
+
 // integrate advances one Langevin cycle: soft repulsion between atoms in
 // the same spatial cell, a weak confining spring, friction, and thermal
 // noise. Cell binning keeps the pair term approximately linear in N.
-func (s *Sim) integrate(pos, vel []float64, n int, rng *rand.Rand) {
+func (s *Sim) integrate(pos, vel []float64, n int, rng *rand.Rand, scr *integrateScratch) {
 	const (
 		friction  = 0.2
 		noise     = 0.6
@@ -183,9 +193,16 @@ func (s *Sim) integrate(pos, vel []float64, n int, rng *rand.Rand) {
 	// Bin atoms into cells; repulsion acts between cell-mates against the
 	// cell's centroid — a cheap surrogate for short-range pair forces
 	// with the same outward-pressure effect.
-	type cellKey [3]int32
-	cells := make(map[cellKey][4]float64, n/2+1) // sum x,y,z and count
-	keys := make([]cellKey, n)
+	if scr.cells == nil {
+		scr.cells = make(map[cellKey][4]float64, n/2+1)
+	} else {
+		clear(scr.cells)
+	}
+	if cap(scr.keys) < n {
+		scr.keys = make([]cellKey, n)
+	}
+	cells := scr.cells
+	keys := scr.keys[:n]
 	for i := 0; i < n; i++ {
 		k := cellKey{
 			int32(math.Floor(pos[i*3+0] / cellSize)),

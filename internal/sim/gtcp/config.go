@@ -2,6 +2,7 @@ package gtcp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/adios"
 )
@@ -25,8 +26,21 @@ const ConfigXML = `
 // writerGroup parses ConfigXML, renames the grid variable to the
 // run-time array name, and returns the declaration plus the method's
 // queue depth.
+// The embedded config is a compile-time constant, so it is parsed once
+// and shared; writerGroup hands out copies, never the cached groups.
+var (
+	cfgOnce sync.Once
+	cfgVal  *adios.Config
+	cfgErr  error
+)
+
+func parsedConfig() (*adios.Config, error) {
+	cfgOnce.Do(func() { cfgVal, cfgErr = adios.ParseConfig([]byte(ConfigXML)) })
+	return cfgVal, cfgErr
+}
+
 func writerGroup(array string) (*adios.Group, int, error) {
-	cfg, err := adios.ParseConfig([]byte(ConfigXML))
+	cfg, err := parsedConfig()
 	if err != nil {
 		return nil, 0, fmt.Errorf("gtcp: embedded config: %w", err)
 	}

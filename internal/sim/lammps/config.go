@@ -2,6 +2,7 @@ package lammps
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/adios"
 )
@@ -27,8 +28,21 @@ const ConfigXML = `
 // method's queue depth. Validation of every Write against this group is
 // what catches an instrumented simulation drifting from its declared
 // output contract.
+// The embedded config is a compile-time constant, so it is parsed once
+// and shared; writerGroup hands out copies, never the cached groups.
+var (
+	cfgOnce sync.Once
+	cfgVal  *adios.Config
+	cfgErr  error
+)
+
+func parsedConfig() (*adios.Config, error) {
+	cfgOnce.Do(func() { cfgVal, cfgErr = adios.ParseConfig([]byte(ConfigXML)) })
+	return cfgVal, cfgErr
+}
+
 func writerGroup(array string) (*adios.Group, int, error) {
-	cfg, err := adios.ParseConfig([]byte(ConfigXML))
+	cfg, err := parsedConfig()
 	if err != nil {
 		return nil, 0, fmt.Errorf("lammps: embedded config: %w", err)
 	}

@@ -26,9 +26,30 @@ type halo struct {
 	broken []bool
 }
 
+// stripBuf is one reusable send buffer for a boundary strip. The state
+// keeps two per side (step-parity double buffering): the neighbor reads
+// a step-k strip only during its own step-k force evaluation, and this
+// rank cannot reach step k+2's exchange before the neighbor has finished
+// step k (the step k+1 receive orders them), so reusing a buffer two
+// steps later never races the reader.
+type stripBuf struct {
+	x, y   []float64
+	broken []bool
+}
+
+func (b *stripBuf) fit(w int) {
+	if cap(b.x) < w {
+		b.x = make([]float64, w)
+		b.y = make([]float64, w)
+		b.broken = make([]bool, w)
+	}
+	b.x, b.y, b.broken = b.x[:w], b.y[:w], b.broken[:w]
+}
+
 // strip packages this rank's boundary region of width w starting at
-// local index lo (clamped to the local extent).
-func (st *state) strip(lo, w int) halo {
+// local index lo (clamped to the local extent) into buf's storage; a nil
+// buf allocates fresh storage (tests).
+func (st *state) strip(lo, w int, buf *stripBuf) halo {
 	if lo < 0 {
 		w += lo
 		lo = 0
@@ -39,13 +60,14 @@ func (st *state) strip(lo, w int) halo {
 	if w < 0 {
 		w = 0
 	}
-	h := halo{
-		offset: st.offset + lo,
-		x:      append([]float64(nil), st.x[lo:lo+w]...),
-		y:      append([]float64(nil), st.y[lo:lo+w]...),
-		broken: append([]bool(nil), st.broken[lo:lo+w]...),
+	if buf == nil {
+		buf = &stripBuf{}
 	}
-	return h
+	buf.fit(w)
+	copy(buf.x, st.x[lo:lo+w])
+	copy(buf.y, st.y[lo:lo+w])
+	copy(buf.broken, st.broken[lo:lo+w])
+	return halo{offset: st.offset + lo, x: buf.x, y: buf.y, broken: buf.broken}
 }
 
 // exchangeHalos swaps boundary strips with the neighboring ranks and
@@ -55,13 +77,15 @@ func (st *state) strip(lo, w int) halo {
 func exchangeHalos(comm *mpi.Comm, st *state) (below, above halo, err error) {
 	rank, size := comm.Rank(), comm.Size()
 	w := st.cols
+	parity := st.round & 1
+	st.round++
 	if rank > 0 {
-		if err := mpi.SendT(comm, rank-1, haloTag, st.strip(0, w)); err != nil {
+		if err := mpi.SendT(comm, rank-1, haloTag, st.strip(0, w, &st.strips[0][parity])); err != nil {
 			return halo{}, halo{}, fmt.Errorf("lammps: halo send down: %w", err)
 		}
 	}
 	if rank < size-1 {
-		if err := mpi.SendT(comm, rank+1, haloTag, st.strip(st.n-w, w)); err != nil {
+		if err := mpi.SendT(comm, rank+1, haloTag, st.strip(st.n-w, w, &st.strips[1][parity])); err != nil {
 			return halo{}, halo{}, fmt.Errorf("lammps: halo send up: %w", err)
 		}
 	}

@@ -96,12 +96,12 @@ func TestExchangeHalosSingleRank(t *testing.T) {
 func TestStripClamping(t *testing.T) {
 	st := buildState(10, 4, 1, 0)
 	// Strip larger than the slab clamps to the slab.
-	h := st.strip(-2, 100)
+	h := st.strip(-2, 100, nil)
 	if h.offset != 0 || len(h.x) != 10 {
 		t.Fatalf("clamped strip = offset %d len %d", h.offset, len(h.x))
 	}
 	// Strip past the end is empty.
-	h = st.strip(10, 4)
+	h = st.strip(10, 4, nil)
 	if len(h.x) != 0 {
 		t.Fatalf("past-end strip has %d entries", len(h.x))
 	}

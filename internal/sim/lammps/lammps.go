@@ -121,6 +121,9 @@ type state struct {
 	ptype      []float64 // 1 = bulk, 2 = crack-edge
 	broken     []bool    // released from the lattice by the crack
 	cols       int       // sheet width in particles
+
+	strips [2][2]stripBuf // reusable halo send buffers: [side][round parity]
+	round  int            // halo-exchange rounds completed
 }
 
 // Run implements sb.Component: integrate, and publish one (particles×5)
