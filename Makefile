@@ -1,10 +1,19 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos bench
+# Coverage floors for the packages whose failure modes are subtlest: the
+# stream fabric and the supervisor. Raise them as coverage grows; never
+# lower them to ship.
+COVER_FLOOR_flexpath ?= 80.0
+COVER_FLOOR_workflow ?= 90.0
+# Per-target fuzz budget for the smoke in `cover`. Eight targets at the
+# default make the whole smoke about ten seconds.
+FUZZTIME ?= 1s
 
-# The full pre-merge gate: static checks, build, and the race-enabled
-# test suite.
-check: vet build race
+.PHONY: check build test vet race chaos bench cover
+
+# The full pre-merge gate: static checks, build, the race-enabled test
+# suite, coverage floors, and a short fuzz round of every fuzz target.
+check: vet build race cover
 
 build:
 	$(GO) build ./...
@@ -18,6 +27,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage floors plus the fuzz smoke. Fuzz targets are discovered, not
+# listed here, so a new Fuzz* function is smoked automatically.
+cover:
+	@set -e; \
+	for spec in internal/flexpath:$(COVER_FLOOR_flexpath) internal/workflow:$(COVER_FLOOR_workflow); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) test -cover ./$$pkg | awk '{for(i=1;i<=NF;i++) if ($$i ~ /%$$/) {gsub(/%/,"",$$i); print $$i}}'); \
+		[ -n "$$pct" ] || { echo "cover: go test -cover ./$$pkg failed"; exit 1; }; \
+		echo "cover: ./$$pkg $$pct% (floor $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}' || { echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \
+	done
+	@set -e; \
+	for pkg in ./internal/adios ./internal/launch; do \
+		for target in $$($(GO) test $$pkg -list '^Fuzz' -run '^$$' | grep '^Fuzz'); do \
+			echo "cover: fuzz smoke $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) >/dev/null; \
+		done; \
+	done
+
 # The fault-injection suite on its own (seeded, deterministic plans).
 chaos:
 	$(GO) test ./internal/workflow -run TestChaos -v
@@ -25,5 +53,7 @@ chaos:
 # The root benchmark suite (paper tables/figures) at reduced scale, with
 # the machine-readable results written to BENCH_PR2.json. The raw
 # `go test -bench` lines stay visible on stderr via cmd/benchjson.
+# SBBENCH_SIZE is exported (not prefixed) so both sides of the pipe see
+# it: the benchmarks to scale themselves, benchjson to stamp "_meta".
 bench:
-	SBBENCH_SIZE=0.25 $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR2.json

@@ -16,6 +16,11 @@
 // under "metrics". Non-benchmark lines (PASS, ok, goos/goarch headers)
 // pass through to stderr so the run remains visible when stdout is
 // redirected into a file.
+//
+// A "_meta" entry records the provenance of the run — commit hash (with
+// a -dirty marker for an unclean tree), the SBBENCH_SIZE scale factor,
+// and GOMAXPROCS — so a BENCH_*.json file is comparable against another
+// without consulting the shell history that produced it.
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +40,33 @@ type benchResult struct {
 	BytesOp  float64            `json:"bytes_op,omitempty"`
 	AllocsOp float64            `json:"allocs_op,omitempty"`
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchMeta struct {
+	Commit      string `json:"commit,omitempty"`
+	SBBenchSize string `json:"sbbench_size,omitempty"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Goos        string `json:"goos"`
+	Goarch      string `json:"goarch"`
+}
+
+// meta assembles the run's provenance stamp. Git being absent or the
+// directory not being a repository degrades to an empty commit rather
+// than an error: the stamp describes the run, it must not fail it.
+func meta() benchMeta {
+	m := benchMeta{
+		SBBenchSize: os.Getenv("SBBENCH_SIZE"),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Goos:        runtime.GOOS,
+		Goarch:      runtime.GOARCH,
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+		if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(out))) > 0 {
+			m.Commit += "-dirty"
+		}
+	}
+	return m
 }
 
 func main() {
@@ -83,6 +117,16 @@ func main() {
 	sort.Strings(names)
 	var buf strings.Builder
 	buf.WriteString("{\n")
+	metaBlob, err := json.Marshal(meta())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(&buf, "  \"_meta\": %s", metaBlob)
+	if len(names) > 0 {
+		buf.WriteString(",")
+	}
+	buf.WriteString("\n")
 	for i, n := range names {
 		blob, err := json.Marshal(results[n])
 		if err != nil {

@@ -2,7 +2,7 @@
 // rendezvous point for workflows whose components run as separate OS
 // processes (via sbrun -broker or sbcomp):
 //
-//	sbbroker [-addr :7777] [-drain 10s]
+//	sbbroker [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
 //
 // It prints the bound address and runs until interrupted. On SIGINT or
 // SIGTERM it shuts down gracefully: it stops accepting connections,
@@ -10,31 +10,53 @@
 // then severs whatever remains — and logs a per-stream post-mortem
 // (writers, readers, queued steps, failures) so a wedged or failed
 // workflow can be diagnosed after the fact.
+//
+// With -metrics-addr it also serves a debug HTTP endpoint: /metrics
+// returns the fabric's counter snapshot as JSON (steps published and
+// retired, bytes on the wire, pool hit rate, heartbeat misses), and
+// /debug/pprof/ exposes the standard Go profiler, so a live broker can
+// be inspected while a workflow runs against it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/flexpath"
+	"repro/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address (port 0 picks a free port)")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for open streams to drain on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (registry snapshot) and /debug/pprof on this address")
 	flag.Parse()
 
 	broker := flexpath.NewBroker()
+	broker.SetObserver(nil, obs.Default())
 	srv, err := flexpath.NewServer(broker, *addr)
 	if err != nil {
 		log.Fatalf("sbbroker: %v", err)
 	}
 	fmt.Printf("sbbroker listening on %s\n", srv.Addr())
+	if *metricsAddr != "" {
+		// net/http/pprof registered its handlers on the default mux;
+		// adding /metrics there puts both behind one debug listener.
+		http.Handle("/metrics", obs.Default().Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				log.Printf("sbbroker: metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("sbbroker metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,7 +1,7 @@
 // Command sbrun launches a complete SmartBlock workflow from an
 // aprun-style job script (the paper's Fig. 8 format):
 //
-//	sbrun [-v] [-broker host:port] [-max-restarts N] [-step-timeout D] workflow.sh
+//	sbrun [-v] [-broker host:port] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
 //
 // Every aprun line becomes a component stage; all stages launch
 // simultaneously and rendezvous on their stream names. With -broker the
@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/flexpath"
 	"repro/internal/launch"
+	"repro/internal/obs"
 	"repro/internal/sb"
 	"repro/internal/workflow"
 
@@ -43,6 +44,8 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 0, "supervised restarts per stage for retryable failures (0 disables)")
 	restartBackoff := flag.Duration("restart-backoff", 0, "delay before the first stage restart, doubling per retry (0 = 50ms default)")
 	stepTimeout := flag.Duration("step-timeout", 0, "bound on every blocking stream operation per stage (0 disables)")
+	tracePath := flag.String("trace", "", "write per-step spans from every layer to this JSONL file")
+	traceRing := flag.Int("trace-ring", 0, "span ring capacity for -trace (0 = default 65536; oldest spans drop beyond it)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbrun [flags] workflow.sh\n\n")
 		flag.PrintDefaults()
@@ -100,6 +103,15 @@ func main() {
 	if *verbose {
 		opts.Logf = log.Printf
 	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(*traceRing)
+		opts.Tracer = tracer
+		opts.Registry = obs.Default()
+		if bt, ok := transport.(sb.BrokerTransport); ok {
+			bt.Broker.SetObserver(tracer, opts.Registry)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,7 +120,28 @@ func main() {
 	if res != nil {
 		fmt.Print(workflow.Report(res))
 	}
+	if tracer != nil {
+		if werr := writeTrace(*tracePath, tracer); werr != nil {
+			log.Printf("sbrun: writing trace: %v", werr)
+		} else if dropped := tracer.Dropped(); dropped > 0 {
+			log.Printf("sbrun: trace ring overflowed; oldest %d spans dropped (raise -trace-ring)", dropped)
+		}
+	}
 	if err != nil {
 		log.Fatalf("sbrun: %v", err)
 	}
+}
+
+// writeTrace dumps the tracer's ring as JSONL, one span per line in
+// emit order.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

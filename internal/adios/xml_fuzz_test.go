@@ -1,0 +1,145 @@
+package adios_test
+
+import (
+	"encoding/xml"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/sim/gromacs"
+	"repro/internal/sim/gtcp"
+	"repro/internal/sim/lammps"
+)
+
+// FuzzParseConfigXML drives the ADIOS XML config parser the way the wire
+// fuzzers drive the codecs: arbitrary bytes must either be rejected with
+// an error or yield a Config whose declared invariants actually hold —
+// and a Config that parsed once must survive a marshal/re-parse round
+// trip unchanged. This test lives outside the package so the seed corpus
+// can be the three simulations' real embedded configs.
+func FuzzParseConfigXML(f *testing.F) {
+	f.Add([]byte(lammps.ConfigXML))
+	f.Add([]byte(gromacs.ConfigXML))
+	f.Add([]byte(gtcp.ConfigXML))
+	f.Add([]byte(`<adios-config>
+  <adios-group name="particles">
+    <var name="nparticles" type="integer"/>
+    <var name="atoms" type="double" dimensions="nparticles , nparticles"/>
+    <attribute name="props" value="ID,Type,vx,vy,vz"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH" parameters="QUEUE_SIZE=4;COMPRESS"/>
+</adios-config>`))
+	// Documents the parser must reject: nameless group, duplicate
+	// variable, undeclared dimension, method on an unknown group.
+	f.Add([]byte(`<adios-config><adios-group><var name="x" type="double"/></adios-group></adios-config>`))
+	f.Add([]byte(`<adios-config><adios-group name="g"><var name="x" type="double"/><var name="x" type="double"/></adios-group></adios-config>`))
+	f.Add([]byte(`<adios-config><adios-group name="g"><var name="a" type="double" dimensions="ghost"/></adios-group></adios-config>`))
+	f.Add([]byte(`<adios-config><method group="nope" method="FLEXPATH"/></adios-config>`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := adios.ParseConfig(data)
+		if err != nil {
+			return
+		}
+		checkConfigInvariants(t, cfg)
+
+		// Round trip: what one parse accepted, a marshal + re-parse must
+		// accept and agree with — the config is the contract between a
+		// simulation and the components downstream of it, so any lossy
+		// field here would silently rewire a workflow.
+		re, err := xml.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("marshal of accepted config failed: %v", err)
+		}
+		cfg2, err := adios.ParseConfig(re)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled config failed: %v\n%s", err, re)
+		}
+		checkConfigInvariants(t, cfg2)
+		if len(cfg2.Groups) != len(cfg.Groups) || len(cfg2.Methods) != len(cfg.Methods) {
+			t.Fatalf("round trip changed shape: %d/%d groups, %d/%d methods",
+				len(cfg2.Groups), len(cfg.Groups), len(cfg2.Methods), len(cfg.Methods))
+		}
+		for i := range cfg.Groups {
+			g, g2 := &cfg.Groups[i], &cfg2.Groups[i]
+			if g2.Name != g.Name || len(g2.Vars) != len(g.Vars) {
+				t.Fatalf("round trip changed group %d: %q/%d vars vs %q/%d vars",
+					i, g2.Name, len(g2.Vars), g.Name, len(g.Vars))
+			}
+			for j := range g.Vars {
+				v, v2 := g.Vars[j], g2.Vars[j]
+				if v2.Name != v.Name || v2.Type != v.Type || v2.Dimensions != v.Dimensions {
+					t.Fatalf("round trip changed group %q var %d: %+v vs %+v", g.Name, j, v2, v)
+				}
+			}
+			a, a2 := g.StaticAttrs(), g2.StaticAttrs()
+			if len(a) != len(a2) {
+				t.Fatalf("round trip changed group %q attrs: %v vs %v", g.Name, a2, a)
+			}
+			for k, v := range a {
+				if a2[k] != v {
+					t.Fatalf("round trip changed group %q attr %q: %q vs %q", g.Name, k, a2[k], v)
+				}
+			}
+		}
+		for i := range cfg.Methods {
+			m, m2 := cfg.Methods[i], cfg2.Methods[i]
+			if m2.Group != m.Group || m2.Method != m.Method || m2.QueueDepth() != m.QueueDepth() {
+				t.Fatalf("round trip changed method %d: %+v vs %+v", i, m2, m)
+			}
+		}
+	})
+}
+
+// checkConfigInvariants asserts everything ParseConfig promises about a
+// document it accepts.
+func checkConfigInvariants(t *testing.T, cfg *adios.Config) {
+	t.Helper()
+	seen := map[string]bool{}
+	for gi := range cfg.Groups {
+		g := &cfg.Groups[gi]
+		if g.Name == "" {
+			t.Fatalf("accepted config has nameless group %d", gi)
+		}
+		if seen[g.Name] {
+			t.Fatalf("accepted config has duplicate group %q", g.Name)
+		}
+		seen[g.Name] = true
+		if cfg.Group(g.Name) != g {
+			t.Fatalf("Group(%q) does not return the declared group", g.Name)
+		}
+		declared := map[string]bool{}
+		for _, v := range g.Vars {
+			if v.Name == "" {
+				t.Fatalf("accepted group %q has a nameless variable", g.Name)
+			}
+			if declared[v.Name] {
+				t.Fatalf("accepted group %q declares %q twice", g.Name, v.Name)
+			}
+			declared[v.Name] = true
+			if g.Var(v.Name) == nil {
+				t.Fatalf("Var(%q) lost a declared variable of group %q", v.Name, g.Name)
+			}
+		}
+		for _, v := range g.Vars {
+			for _, dn := range v.DimNames() {
+				if dn == "" {
+					t.Fatalf("group %q var %q has an empty dimension name", g.Name, v.Name)
+				}
+				if !declared[dn] {
+					t.Fatalf("accepted group %q var %q references undeclared dimension %q", g.Name, v.Name, dn)
+				}
+			}
+		}
+	}
+	for _, m := range cfg.Methods {
+		if !seen[m.Group] {
+			t.Fatalf("accepted method binds unknown group %q", m.Group)
+		}
+		if m.Params() == nil {
+			t.Fatalf("Params() returned nil for method on %q", m.Group)
+		}
+		if m.QueueDepth() < 0 {
+			t.Fatalf("QueueDepth() negative for method on %q", m.Group)
+		}
+	}
+}

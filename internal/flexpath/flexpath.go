@@ -47,6 +47,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -167,6 +168,22 @@ type Broker struct {
 	cond    *sync.Cond
 	streams map[string]*stream
 	stats   Stats
+	obs     brokerObs
+}
+
+// brokerObs is the broker's observability hookup: a tracer for
+// per-step spans and registry instruments resolved once at SetObserver
+// time, so the hot path pays one nil test (tracing off) or one atomic
+// op (metrics on) per event — never a map lookup.
+type brokerObs struct {
+	tracer      *obs.Tracer
+	steps       *obs.Counter // timesteps fully published
+	retired     *obs.Counter // timesteps retired (storage recycled)
+	blocks      *obs.Counter // FetchBlock calls served
+	bytesPub    *obs.Counter // meta+payload bytes accepted
+	bytesFetch  *obs.Counter // payload bytes served
+	hbMisses    *obs.Counter // writer lease expiries (TCP server only)
+	queuedSteps *obs.Gauge   // buffered, unretired timesteps, all streams
 }
 
 // NewBroker returns an empty broker.
@@ -174,6 +191,24 @@ func NewBroker() *Broker {
 	b := &Broker{streams: make(map[string]*stream)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// SetObserver wires the broker to a tracer and/or metrics registry
+// (either may be nil). Call before attaching handles; registry
+// instruments land under the "fabric." prefix.
+func (b *Broker) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.obs.tracer = tr
+	if reg != nil {
+		b.obs.steps = reg.Counter("fabric.steps_published")
+		b.obs.retired = reg.Counter("fabric.steps_retired")
+		b.obs.blocks = reg.Counter("fabric.blocks_fetched")
+		b.obs.bytesPub = reg.Counter("fabric.bytes_published")
+		b.obs.bytesFetch = reg.Counter("fabric.bytes_fetched")
+		b.obs.hbMisses = reg.Counter("fabric.heartbeat_misses")
+		b.obs.queuedSteps = reg.Gauge("fabric.queued_steps")
+	}
 }
 
 // Stats returns a snapshot of transport counters.
@@ -364,18 +399,35 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 			released: make(map[int]bool),
 		}
 		s.steps[step] = st
+		b.obs.queuedSteps.Add(1)
 	}
 	st.metas[w.rank] = meta
 	st.payloads[w.rank] = payload
 	st.pubCount++
 	s.lastByRank[w.rank] = step + 1
-	b.stats.BytesPublished += int64(meta.Len() + payload.Len())
+	nbytes := int64(meta.Len() + payload.Len())
+	b.stats.BytesPublished += nbytes
+	b.obs.bytesPub.Add(nbytes)
+	if tr := b.obs.tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: obs.KindWriterPublish, Parent: obs.ParentFrom(ctx),
+			Stream: s.name, Step: step, Rank: w.rank, Peer: -1,
+			Bytes: nbytes, Gen: payload.Gen()})
+	}
 	if st.pubCount == s.writerSize {
 		s.stepsPublished++
 		b.stats.StepsPublished++
+		b.obs.steps.Inc()
+		if tr := b.obs.tracer; tr.Enabled() {
+			var tot int64
+			for _, p := range st.payloads {
+				tot += int64(p.Len())
+			}
+			tr.Emit(obs.Span{Kind: obs.KindBrokerStep, Stream: s.name, Step: step,
+				Rank: -1, Peer: -1, Bytes: tot})
+		}
 		// If the whole reader group has already departed, completed steps
 		// retire immediately so the writer queue never wedges.
-		for s.retireHead() {
+		for s.retireHead(b) {
 		}
 	}
 	b.cond.Broadcast()
@@ -565,6 +617,10 @@ func (r *Reader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
 	for i, m := range st.metas {
 		out[i] = m.Bytes()
 	}
+	if tr := b.obs.tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: obs.KindReaderMeta, Parent: obs.ParentFrom(ctx),
+			Stream: r.s.name, Step: step, Rank: r.rank, Peer: -1})
+	}
 	return out, nil
 }
 
@@ -583,6 +639,10 @@ func (r *Reader) StepMetaRefs(ctx context.Context, step int) ([]*pool.Buf, error
 	out := make([]*pool.Buf, len(st.metas))
 	for i, m := range st.metas {
 		out[i] = m.Retain()
+	}
+	if tr := b.obs.tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: obs.KindReaderMeta, Parent: obs.ParentFrom(ctx),
+			Stream: r.s.name, Step: step, Rank: r.rank, Peer: -1})
 	}
 	return out, nil
 }
@@ -627,7 +687,7 @@ func (r *Reader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, 
 	b := r.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	buf, err := r.fetchLocked(step, writerRank)
+	buf, err := r.fetchLocked(obs.ParentFrom(ctx), step, writerRank)
 	if err != nil {
 		return nil, err
 	}
@@ -641,7 +701,7 @@ func (r *Reader) FetchBlockRef(ctx context.Context, step, writerRank int) (*pool
 	b := r.b
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	buf, err := r.fetchLocked(step, writerRank)
+	buf, err := r.fetchLocked(obs.ParentFrom(ctx), step, writerRank)
 	if err != nil {
 		return nil, err
 	}
@@ -650,7 +710,7 @@ func (r *Reader) FetchBlockRef(ctx context.Context, step, writerRank int) (*pool
 
 // fetchLocked looks up one writer rank's payload. Caller holds the
 // broker lock.
-func (r *Reader) fetchLocked(step, writerRank int) (*pool.Buf, error) {
+func (r *Reader) fetchLocked(parent obs.SpanID, step, writerRank int) (*pool.Buf, error) {
 	b := r.b
 	if r.closed {
 		return nil, ErrClosed
@@ -669,9 +729,17 @@ func (r *Reader) fetchLocked(step, writerRank int) (*pool.Buf, error) {
 	if writerRank < 0 || writerRank >= s.writerSize {
 		return nil, fmt.Errorf("flexpath: writer rank %d out of range [0,%d)", writerRank, s.writerSize)
 	}
+	buf := st.payloads[writerRank]
 	b.stats.BlocksFetched++
-	b.stats.BytesFetched += int64(st.payloads[writerRank].Len())
-	return st.payloads[writerRank], nil
+	b.stats.BytesFetched += int64(buf.Len())
+	b.obs.blocks.Inc()
+	b.obs.bytesFetch.Add(int64(buf.Len()))
+	if tr := b.obs.tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: obs.KindReaderFetch, Parent: parent,
+			Stream: s.name, Step: step, Rank: r.rank, Peer: writerRank,
+			Bytes: int64(buf.Len()), Gen: buf.Gen()})
+	}
+	return buf, nil
 }
 
 // ReleaseStep declares this reader rank finished with the timestep. Once
@@ -696,7 +764,11 @@ func (r *Reader) ReleaseStep(step int) error {
 		return fmt.Errorf("flexpath: release of unpublished step %d on stream %q", step, s.name)
 	}
 	st.released[r.rank] = true
-	for s.retireHead() {
+	if tr := b.obs.tracer; tr.Enabled() {
+		tr.Emit(obs.Span{Kind: obs.KindReaderRelease, Stream: s.name, Step: step,
+			Rank: r.rank, Peer: -1})
+	}
+	for s.retireHead(b) {
 	}
 	b.cond.Broadcast()
 	return nil
@@ -705,7 +777,7 @@ func (r *Reader) ReleaseStep(step int) error {
 // retireHead drops the head step if every reader rank has either
 // released it or closed its handle, recycling the step's pooled blocks.
 // Caller holds the broker lock. Reports whether a step was retired.
-func (s *stream) retireHead() bool {
+func (s *stream) retireHead(b *Broker) bool {
 	st, ok := s.steps[s.minStep]
 	if !ok || s.readerSize == 0 || st.pubCount != s.writerSize {
 		return false
@@ -715,8 +787,22 @@ func (s *stream) retireHead() bool {
 			return false
 		}
 	}
+	retired := s.minStep
 	delete(s.steps, s.minStep)
 	s.minStep++
+	b.obs.retired.Inc()
+	b.obs.queuedSteps.Add(-1)
+	if tr := b.obs.tracer; tr.Enabled() {
+		// The retire span carries the writer-rank-0 payload generation:
+		// matching it against the step's fetch spans proves the pooled
+		// storage fetched is the incarnation recycled here, not a reuse.
+		var tot int64
+		for _, p := range st.payloads {
+			tot += int64(p.Len())
+		}
+		tr.Emit(obs.Span{Kind: obs.KindBrokerRetire, Stream: s.name, Step: retired,
+			Rank: -1, Peer: -1, Bytes: tot, Gen: st.payloads[0].Gen()})
+	}
 	st.free()
 	return true
 }
@@ -736,7 +822,7 @@ func (r *Reader) Close() error {
 	r.closed = true
 	r.s.readerLive[r.rank] = false
 	r.s.readerClosed[r.rank] = true
-	for r.s.retireHead() {
+	for r.s.retireHead(b) {
 	}
 	b.cond.Broadcast()
 	return nil

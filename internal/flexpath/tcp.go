@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -367,6 +368,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		for {
 			op, body, err := readFrameInto(conn, pick)
 			if err != nil {
+				// A read deadline firing while a lease is armed is a missed
+				// heartbeat — the writer stopped beating — as opposed to a
+				// peer that hung up or sent garbage.
+				if leaseTTL > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+					s.broker.obs.hbMisses.Inc()
+				}
 				return
 			}
 			if op == opHeartbeat {

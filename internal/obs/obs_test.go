@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer touched the clock")
+	}
+	if tr.NextID() != 0 {
+		t.Fatal("nil tracer allocated an ID")
+	}
+	if id := tr.Emit(Span{Kind: KindBrokerStep}); id != 0 {
+		t.Fatalf("nil tracer emitted span %d", id)
+	}
+	if tr.Spans() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer holds spans")
+	}
+}
+
+func TestTracerEmitOrderAndIDs(t *testing.T) {
+	tr := NewTracer(16)
+	pre := tr.NextID()
+	a := tr.Emit(Span{Kind: KindWriterPublish, Stream: "s", Step: 0, Rank: 0})
+	b := tr.Emit(Span{Kind: KindBrokerStep, Stream: "s", Step: 0, Parent: a})
+	tr.Emit(Span{ID: pre, Kind: KindStageStep, Stream: "s", Step: 0})
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Kind != KindWriterPublish || spans[1].Kind != KindBrokerStep || spans[2].Kind != KindStageStep {
+		t.Fatalf("emit order not preserved: %v %v %v", spans[0].Kind, spans[1].Kind, spans[2].Kind)
+	}
+	if spans[1].Parent != a {
+		t.Fatalf("parent lost: %d want %d", spans[1].Parent, a)
+	}
+	if spans[2].ID != pre {
+		t.Fatalf("pre-allocated ID not kept: %d want %d", spans[2].ID, pre)
+	}
+	if a == b || a == pre || b == pre {
+		t.Fatalf("IDs not unique: %d %d %d", a, b, pre)
+	}
+	for _, s := range spans {
+		if s.Start == 0 || s.End == 0 || s.End < s.Start {
+			t.Fatalf("bad timestamps: %+v", s)
+		}
+	}
+}
+
+func TestTracerRingWrapKeepsNewest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Span{Kind: KindBrokerStep, Step: i})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.Step != 6+i {
+			t.Fatalf("span %d has step %d, want %d (oldest-first after wrap)", i, s.Step, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	var wg sync.WaitGroup
+	const G, N = 8, 100
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				tr.Emit(Span{Kind: KindReaderFetch, Rank: g, Step: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != G*N {
+		t.Fatalf("len = %d, want %d", got, G*N)
+	}
+	seen := map[SpanID]bool{}
+	for _, s := range tr.Spans() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Span{Kind: KindWriterPublish, Stream: "dump.fp", Step: 2, Rank: 1, Bytes: 640, Gen: 7})
+	tr.Emit(Span{Kind: KindBrokerRetire, Stream: "dump.fp", Step: 2, Rank: -1, Peer: -1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []Span
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, s)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d lines, want 2", len(got))
+	}
+	if got[0].Stream != "dump.fp" || got[0].Bytes != 640 || got[0].Gen != 7 {
+		t.Fatalf("span 0 mangled: %+v", got[0])
+	}
+	if got[1].Kind != KindBrokerRetire || got[1].Rank != -1 {
+		t.Fatalf("span 1 mangled: %+v", got[1])
+	}
+}
+
+func TestParentPropagation(t *testing.T) {
+	if ParentFrom(nil) != 0 || ParentFrom(context.Background()) != 0 {
+		t.Fatal("missing parent should be 0")
+	}
+	ctx := WithParent(context.Background(), 42)
+	if got := ParentFrom(ctx); got != 42 {
+		t.Fatalf("ParentFrom = %d, want 42", got)
+	}
+}
+
+func TestSpanFor1000Steps(t *testing.T) {
+	// A 3-stage, 500-step run emits a few thousand spans; the default
+	// ring must hold them without drops.
+	tr := NewTracer(0)
+	for i := 0; i < 5000; i++ {
+		tr.Emit(Span{Kind: KindBrokerStep, Step: i})
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("default ring dropped %d spans over 5000 emits", tr.Dropped())
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(Span{Kind: KindReaderFetch})
+		}
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := NewTracer(1 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Span{Kind: KindReaderFetch, Stream: "s", Step: i})
+	}
+}
+
+func ExampleTracer_WriteJSONL() {
+	tr := NewTracer(4)
+	tr.Emit(Span{Kind: KindBrokerStep, Stream: "x.fp", Step: 0, Rank: -1, Peer: -1, Start: 1, End: 1})
+	var buf bytes.Buffer
+	tr.WriteJSONL(&buf)
+	fmt.Print(buf.String())
+	// Output: {"id":1,"kind":"broker.step","stream":"x.fp","step":0,"rank":-1,"peer":-1,"start":1,"end":1}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstrumentsAreInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	r.RegisterFunc("f", func() int64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(10)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments retained values")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity not stable")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("gauge identity not stable")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("histogram identity not stable")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fabric.steps").Add(12)
+	r.Gauge("kernel.active").Set(-3)
+	r.RegisterFunc("pool.gets", func() int64 { return 99 })
+	h := r.Histogram("step_ns")
+	h.Observe(100)
+	h.Observe(300)
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"fabric.steps":  12,
+		"kernel.active": -3,
+		"pool.gets":     99,
+		"step_ns.count": 2,
+		"step_ns.sum":   400,
+		"step_ns.min":   100,
+		"step_ns.max":   300,
+		"step_ns.mean":  200,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], v)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	var wg sync.WaitGroup
+	const G, N = 8, 1000
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != G*N {
+		t.Fatalf("count = %d, want %d", s.Count, G*N)
+	}
+	if s.Min != 0 || s.Max != N-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min, s.Max, N-1)
+	}
+	wantSum := int64(G) * int64(N) * int64(N-1) / 2
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if q := h.Quantile(0.99); q < s.Max/2 {
+		t.Fatalf("p99 bound %d implausibly small (max %d)", q, s.Max)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("negative sample not clamped: %+v", s)
+	}
+}
+
+func TestHandlerServesSortedJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON %q: %v", rec.Body.String(), err)
+	}
+	if got["a"] != 1 || got["b"] != 2 {
+		t.Fatalf("snapshot = %v", got)
+	}
+	body := rec.Body.String()
+	if ia, ib := indexOf(body, `"a"`), indexOf(body, `"b"`); ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("keys not sorted deterministically:\n%s", body)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,160 @@
+package tracetest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// fakeTB records Fatalf calls; the assertions return right after
+// Fatalf, so recording (rather than aborting) is sound.
+type fakeTB struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func pipelineTrace() Spans {
+	tr := obs.NewTracer(64)
+	for step := 0; step < 3; step++ {
+		stage := tr.NextID()
+		pub := tr.Emit(obs.Span{Kind: obs.KindWriterPublish, Parent: stage,
+			Stream: "a.fp", Step: step, Rank: 0, Peer: -1, Bytes: 100, Gen: uint64(10 + step)})
+		tr.Emit(obs.Span{Kind: obs.KindBrokerStep, Stream: "a.fp", Step: step, Rank: -1, Peer: -1})
+		tr.Emit(obs.Span{Kind: obs.KindReaderFetch, Parent: pub,
+			Stream: "a.fp", Step: step, Rank: 0, Peer: 0, Bytes: 100, Gen: uint64(10 + step)})
+		tr.Emit(obs.Span{ID: stage, Kind: obs.KindStageStep, Stream: "a.fp", Step: step, Rank: 0, Peer: -1})
+		tr.Emit(obs.Span{Kind: obs.KindBrokerRetire, Stream: "a.fp", Step: step, Rank: -1, Peer: -1, Gen: uint64(10 + step)})
+	}
+	return FromTracer(tr)
+}
+
+func TestExpectSpanFindsAndFails(t *testing.T) {
+	sp := pipelineTrace()
+	got := ExpectSpan(t, sp, OfKind(obs.KindWriterPublish), AtStep(1))
+	if got.Gen != 11 {
+		t.Fatalf("wrong span: %+v", got)
+	}
+	ft := &fakeTB{}
+	ExpectSpan(ft, sp, OfKind(obs.KindStageRestart))
+	if !ft.failed {
+		t.Fatal("missing span not reported")
+	}
+}
+
+func TestExpectNoneAndCount(t *testing.T) {
+	sp := pipelineTrace()
+	ExpectNone(t, sp, Failed())
+	ExpectCount(t, sp, 3, OfKind(obs.KindBrokerRetire))
+	ft := &fakeTB{}
+	ExpectCount(ft, sp, 2, OfKind(obs.KindBrokerRetire))
+	if !ft.failed {
+		t.Fatal("wrong count not reported")
+	}
+}
+
+func TestExactlyOncePer(t *testing.T) {
+	sp := pipelineTrace()
+	keyed := ExactlyOncePer(t, sp, StepRankKey, OfKind(obs.KindWriterPublish), OnStream("a.fp"))
+	if len(keyed) != 3 {
+		t.Fatalf("keyed %d publishes, want 3", len(keyed))
+	}
+	// A duplicated publish must be caught.
+	dup := append(Spans{}, sp...)
+	dup = append(dup, sp.Where(OfKind(obs.KindWriterPublish), AtStep(0))...)
+	ft := &fakeTB{}
+	ExactlyOncePer(ft, dup, StepRankKey, OfKind(obs.KindWriterPublish))
+	if !ft.failed || !strings.Contains(ft.msg, "a.fp/0/0") {
+		t.Fatalf("duplicate publish not reported: %q", ft.msg)
+	}
+}
+
+func TestExpectConsecutiveSteps(t *testing.T) {
+	sp := pipelineTrace()
+	if next := ExpectConsecutiveSteps(t, sp, 0, OfKind(obs.KindWriterPublish)); next != 3 {
+		t.Fatalf("next = %d, want 3", next)
+	}
+	// A gap (step 1 missing) must be caught.
+	gap := sp.Where(func(s obs.Span) bool {
+		return !(s.Kind == obs.KindWriterPublish && s.Step == 1)
+	})
+	ft := &fakeTB{}
+	ExpectConsecutiveSteps(ft, gap, 0, OfKind(obs.KindWriterPublish))
+	if !ft.failed {
+		t.Fatal("gap not reported")
+	}
+}
+
+func TestExpectAllBefore(t *testing.T) {
+	sp := pipelineTrace()
+	for step := 0; step < 3; step++ {
+		ExpectAllBefore(t, sp,
+			And(OfKind(obs.KindReaderFetch), AtStep(step)),
+			And(OfKind(obs.KindBrokerRetire), AtStep(step)))
+	}
+	// Reversed order must be caught.
+	ft := &fakeTB{}
+	ExpectAllBefore(ft, sp,
+		And(OfKind(obs.KindBrokerRetire), AtStep(0)),
+		And(OfKind(obs.KindReaderFetch), AtStep(0)))
+	if !ft.failed {
+		t.Fatal("reversed order not reported")
+	}
+	// Empty groups must be caught, not vacuously pass.
+	ft = &fakeTB{}
+	ExpectAllBefore(ft, sp, OfKind(obs.KindStageRestart), OfKind(obs.KindBrokerRetire))
+	if !ft.failed {
+		t.Fatal("empty group not reported")
+	}
+}
+
+func TestExpectParented(t *testing.T) {
+	sp := pipelineTrace()
+	// Publishes are children of stage.step spans, even though the parent
+	// is emitted after the child (pre-allocated ID).
+	if n := ExpectParented(t, sp, OfKind(obs.KindWriterPublish), OfKind(obs.KindStageStep)); n != 3 {
+		t.Fatalf("checked %d children, want 3", n)
+	}
+	ExpectParented(t, sp, OfKind(obs.KindReaderFetch), OfKind(obs.KindWriterPublish))
+	ft := &fakeTB{}
+	ExpectParented(ft, sp, OfKind(obs.KindBrokerStep), OfKind(obs.KindStageStep))
+	if !ft.failed {
+		t.Fatal("orphan child not reported")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	sp := pipelineTrace()
+	tr := obs.NewTracer(64)
+	for _, s := range sp {
+		tr.Emit(s)
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(sp) {
+		t.Fatalf("loaded %d spans, want %d", len(loaded), len(sp))
+	}
+	ExpectCount(t, loaded, 3, OfKind(obs.KindWriterPublish))
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(pipelineTrace())
+	for _, want := range []string{"writer.publish=3", "broker.retire=3", "stage.step=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -23,6 +23,8 @@ package pool
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Size classes are powers of two from 1<<minClassBits to 1<<maxClassBits.
@@ -50,12 +52,30 @@ func StatsSnapshot() (gets, news, recycles int64) {
 	return stats.Gets.Load(), stats.News.Load(), stats.Recycles.Load()
 }
 
+// The pool publishes its counters into the process-wide metrics
+// registry as computed values (no double bookkeeping, no hot-path
+// cost): gets, news (pool misses that allocated), hits (gets served
+// from a class), and recycles.
+func init() {
+	reg := obs.Default()
+	reg.RegisterFunc("pool.gets", func() int64 { return stats.Gets.Load() })
+	reg.RegisterFunc("pool.misses", func() int64 { return stats.News.Load() })
+	reg.RegisterFunc("pool.hits", func() int64 { return stats.Gets.Load() - stats.News.Load() })
+	reg.RegisterFunc("pool.recycles", func() int64 { return stats.Recycles.Load() })
+}
+
+// genCtr stamps every Buf incarnation (each Get or Wrap) with a unique
+// generation, letting trace spans tie a fetched payload and its
+// retirement to one physical reuse of pooled storage.
+var genCtr atomic.Uint64
+
 // Buf is a reference-counted byte buffer. The zero value is not usable;
 // obtain one from Get or Wrap.
 type Buf struct {
 	data  []byte
 	refs  atomic.Int32
-	class int32 // class index, or -1 for unpooled storage
+	class int32  // class index, or -1 for unpooled storage
+	gen   uint64 // incarnation stamp, fresh per Get/Wrap (see genCtr)
 }
 
 // classFor returns the smallest class whose capacity holds n, or -1 if n
@@ -78,18 +98,19 @@ func Get(n int) *Buf {
 	c := classFor(n)
 	if c < 0 {
 		stats.News.Add(1)
-		b := &Buf{data: make([]byte, n), class: -1}
+		b := &Buf{data: make([]byte, n), class: -1, gen: genCtr.Add(1)}
 		b.refs.Store(1)
 		return b
 	}
 	if v := classes[c].Get(); v != nil {
 		b := v.(*Buf)
 		b.data = b.data[:n]
+		b.gen = genCtr.Add(1)
 		b.refs.Store(1)
 		return b
 	}
 	stats.News.Add(1)
-	b := &Buf{data: make([]byte, n, 1<<(minClassBits+c)), class: int32(c)}
+	b := &Buf{data: make([]byte, n, 1<<(minClassBits+c)), class: int32(c), gen: genCtr.Add(1)}
 	b.refs.Store(1)
 	return b
 }
@@ -98,10 +119,15 @@ func Get(n int) *Buf {
 // reference. Release never recycles the storage, so views of a wrapped
 // Buf stay valid as long as the slice itself.
 func Wrap(p []byte) *Buf {
-	b := &Buf{data: p, class: -1}
+	b := &Buf{data: p, class: -1, gen: genCtr.Add(1)}
 	b.refs.Store(1)
 	return b
 }
+
+// Gen returns the buffer's incarnation stamp: unique per Get/Wrap, so
+// two holders seeing the same Gen hold the same physical incarnation
+// (not a recycled reuse of the storage).
+func (b *Buf) Gen() uint64 { return b.gen }
 
 // Bytes returns the buffer contents. The view is valid only while the
 // caller holds a reference.

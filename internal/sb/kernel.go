@@ -1,6 +1,7 @@
 package sb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/adios"
 	"repro/internal/ndarray"
+	"repro/internal/obs"
 )
 
 // StepInput is what a map-style kernel sees each timestep on each rank:
@@ -83,71 +85,129 @@ func RunMap(env *Env, cfg MapConfig, kernel MapKernel) error {
 	}
 	defer w.Close()
 
-	rank, size := env.Comm.Rank(), env.Comm.Size()
+	tr := env.Tracer
 	for {
 		step := r.NextStep() // absolute: a re-attached reader resumes mid-stream
-		info, err := r.BeginStep(env.Ctx())
-		if errors.Is(err, io.EOF) {
-			env.logf("%s rank %d: input stream %q ended after %d steps", cfg.Name, rank, cfg.InStream, step)
+		// The stage.step span's ID is allocated up front and carried down
+		// into every transport call via the step context, so the fabric's
+		// publish/fetch spans nest under this stage's step. The span itself
+		// is emitted once the step settles — successfully or not — so a
+		// trace never contains a child whose parent was lost to a failure.
+		ctx := env.Ctx()
+		var stepSpan obs.SpanID
+		var stepStart int64
+		if tr.Enabled() {
+			stepSpan = tr.NextID()
+			ctx = obs.WithParent(ctx, stepSpan)
+			stepStart = tr.Now()
+		}
+		eof, active, bytesIn, bytesOut, err := runMapStep(env, cfg, kernel, r, w, ctx, step, stepSpan)
+		if eof {
+			env.logf("%s rank %d: input stream %q ended after %d steps", cfg.Name, env.Comm.Rank(), cfg.InStream, step)
 			return nil
 		}
-		if err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		begin := time.Now() // active time: excludes waiting for the producer
-		v, ok := info.Var(cfg.InArray)
-		if !ok {
-			return fmt.Errorf("%s: step %d of stream %q has no array %q", cfg.Name, step, cfg.InStream, cfg.InArray)
-		}
-		reserved, err := kernel.ReservedAxes(v, info)
-		if err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		axis, err := ChooseAxis(cfg.Policy, v.Shape(), reserved...)
-		if err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		box := PartitionBox(v.Shape(), axis, size, rank)
-		block, err := r.ReadBox(env.Ctx(), cfg.InArray, box)
-		if err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		out, err := kernel.Transform(&StepInput{Info: info, Var: v, Box: box, Block: block, Env: env, Reader: r})
-		if err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-		}
-		// Exactly-once republish: a restarted rank that crashed between
-		// publishing step N and releasing its input re-reads step N but
-		// must not publish it twice — the resumed writer is already past it.
-		if w.Steps() <= step {
-			if err := w.BeginStep(); err != nil {
-				return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		if tr.Enabled() {
+			span := obs.Span{ID: stepSpan, Kind: obs.KindStageStep,
+				Stream: cfg.InStream, Step: step, Rank: env.Comm.Rank(), Peer: -1,
+				Bytes: bytesIn, Epoch: env.Epoch, Note: cfg.Name, Start: stepStart}
+			if err != nil {
+				span.Err = err.Error()
 			}
-			if cfg.ForwardAttrs {
-				for k, val := range info.Attrs {
-					if err := w.SetAttribute(k, val); err != nil {
-						return err
-					}
-				}
-			}
-			for k, val := range out.Attrs {
-				if err := w.SetAttribute(k, val); err != nil {
-					return err
-				}
-			}
-			if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
-				return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-			}
-			if err := w.EndStep(env.Ctx()); err != nil {
-				return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
-			}
+			tr.Emit(span)
 		}
-		if err := r.EndStep(); err != nil {
-			return fmt.Errorf("%s: step %d: %w", cfg.Name, step, err)
+		if err != nil {
+			return err
 		}
 		if env.Metrics != nil {
-			env.Metrics.RecordStep(step, time.Since(begin),
-				int64(block.Size()*8), int64(len(out.Data)*8))
+			env.Metrics.RecordStep(step, active, bytesIn, bytesOut)
 		}
 	}
+}
+
+// runMapStep executes one timestep of the RunMap loop: wait for the
+// step, read this rank's partition, transform, republish (unless the
+// resumed writer already has), release. It reports end-of-stream via
+// eof, the step's active duration (excluding the wait for the
+// producer), and the payload bytes moved.
+func runMapStep(env *Env, cfg MapConfig, kernel MapKernel, r *adios.Reader, w *adios.Writer,
+	ctx context.Context, step int, stepSpan obs.SpanID) (eof bool, active time.Duration, bytesIn, bytesOut int64, err error) {
+	rank, size := env.Comm.Rank(), env.Comm.Size()
+	tr := env.Tracer
+	fail := func(e error) (bool, time.Duration, int64, int64, error) {
+		return false, 0, bytesIn, bytesOut, fmt.Errorf("%s: step %d: %w", cfg.Name, step, e)
+	}
+	info, err := r.BeginStep(ctx)
+	if errors.Is(err, io.EOF) {
+		return true, 0, 0, 0, nil
+	}
+	if err != nil {
+		return fail(err)
+	}
+	begin := time.Now() // active time: excludes waiting for the producer
+	v, ok := info.Var(cfg.InArray)
+	if !ok {
+		return false, 0, 0, 0, fmt.Errorf("%s: step %d of stream %q has no array %q", cfg.Name, step, cfg.InStream, cfg.InArray)
+	}
+	reserved, err := kernel.ReservedAxes(v, info)
+	if err != nil {
+		return fail(err)
+	}
+	axis, err := ChooseAxis(cfg.Policy, v.Shape(), reserved...)
+	if err != nil {
+		return fail(err)
+	}
+	box := PartitionBox(v.Shape(), axis, size, rank)
+	block, err := r.ReadBox(ctx, cfg.InArray, box)
+	if err != nil {
+		return fail(err)
+	}
+	bytesIn = int64(block.Size() * 8)
+	var kStart int64
+	if tr.Enabled() {
+		kStart = tr.Now()
+	}
+	out, err := kernel.Transform(&StepInput{Info: info, Var: v, Box: box, Block: block, Env: env, Reader: r})
+	if tr.Enabled() {
+		span := obs.Span{Kind: obs.KindKernelTransform, Parent: stepSpan,
+			Stream: cfg.InStream, Step: step, Rank: rank, Peer: -1,
+			Bytes: bytesIn, Epoch: env.Epoch, Note: cfg.Name, Start: kStart}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		tr.Emit(span)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	bytesOut = int64(len(out.Data) * 8)
+	// Exactly-once republish: a restarted rank that crashed between
+	// publishing step N and releasing its input re-reads step N but
+	// must not publish it twice — the resumed writer is already past it.
+	if w.Steps() <= step {
+		if err := w.BeginStep(); err != nil {
+			return fail(err)
+		}
+		if cfg.ForwardAttrs {
+			for k, val := range info.Attrs {
+				if err := w.SetAttribute(k, val); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		for k, val := range out.Attrs {
+			if err := w.SetAttribute(k, val); err != nil {
+				return fail(err)
+			}
+		}
+		if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
+			return fail(err)
+		}
+		if err := w.EndStep(ctx); err != nil {
+			return fail(err)
+		}
+	}
+	if err := r.EndStep(); err != nil {
+		return fail(err)
+	}
+	return false, time.Since(begin), bytesIn, bytesOut, nil
 }

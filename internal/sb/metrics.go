@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics collects per-timestep measurements from every rank of one
@@ -18,6 +20,13 @@ type Metrics struct {
 	started   time.Time
 	finished  time.Time
 	ranks     int
+
+	// Registry mirrors (see BindRegistry); nil instruments are no-ops,
+	// so an unbound collector pays nothing extra per RecordStep.
+	regSteps    *obs.Counter
+	regBytesIn  *obs.Counter
+	regBytesOut *obs.Counter
+	regStepNs   *obs.Histogram
 }
 
 type stepAgg struct {
@@ -38,6 +47,24 @@ func (m *Metrics) Component() string { return m.component }
 
 // Ranks returns the size of the component's communicator.
 func (m *Metrics) Ranks() int { return m.ranks }
+
+// BindRegistry makes the collector mirror every RecordStep into registry
+// instruments under the "comp.<name>." prefix: step_samples, bytes_in,
+// bytes_out, and a step_ns latency histogram. The per-step aggregation
+// that the paper's tables report is unchanged; the registry view is what
+// the -metrics-addr endpoint and workflow reports consume. Nil-safe.
+func (m *Metrics) BindRegistry(r *obs.Registry) {
+	if m == nil || r == nil {
+		return
+	}
+	p := "comp." + m.component + "."
+	m.mu.Lock()
+	m.regSteps = r.Counter(p + "step_samples")
+	m.regBytesIn = r.Counter(p + "bytes_in")
+	m.regBytesOut = r.Counter(p + "bytes_out")
+	m.regStepNs = r.Histogram(p + "step_ns")
+	m.mu.Unlock()
+}
 
 // MarkStarted records the wall-clock start of the component (first rank
 // to arrive wins).
@@ -70,6 +97,10 @@ func (m *Metrics) RecordStep(step int, d time.Duration, bytesIn, bytesOut int64)
 	agg.samples++
 	agg.bytesIn += bytesIn
 	agg.bytesOut += bytesOut
+	m.regSteps.Inc()
+	m.regBytesIn.Add(bytesIn)
+	m.regBytesOut.Add(bytesOut)
+	m.regStepNs.Observe(int64(d))
 }
 
 // StepStats is the aggregated view of one timestep across the communicator.

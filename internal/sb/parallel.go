@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Kernel parallelism. Component Transform inner loops (magnitude,
@@ -58,6 +60,25 @@ var (
 	kp     *kernelPool
 	kpOnce sync.Once
 )
+
+// The kernel pool publishes its occupancy to the process-wide registry:
+// kernel.runs counts sharded kernel invocations, kernel.shards_active
+// gauges how many shards are executing right now. Instruments resolve
+// once; per-RunShards cost is two atomic ops.
+var (
+	kernelObsOnce sync.Once
+	kernelRuns    *obs.Counter
+	kernelShards  *obs.Gauge
+)
+
+func kernelObs() (*obs.Counter, *obs.Gauge) {
+	kernelObsOnce.Do(func() {
+		reg := obs.Default()
+		kernelRuns = reg.Counter("kernel.runs")
+		kernelShards = reg.Gauge("kernel.shards_active")
+	})
+	return kernelRuns, kernelShards
+}
 
 func ensurePool() {
 	kpOnce.Do(func() {
@@ -128,6 +149,10 @@ func RunShards(n, shards int, fn func(shard, lo, hi int)) {
 	if n <= 0 || shards <= 0 {
 		return
 	}
+	runs, active := kernelObs()
+	runs.Inc()
+	active.Add(int64(shards))
+	defer active.Add(-int64(shards))
 	chunk := (n + shards - 1) / shards
 	ensurePool()
 	kpMu.RLock()

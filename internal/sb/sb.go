@@ -29,6 +29,7 @@ import (
 	"repro/internal/adios"
 	"repro/internal/flexpath"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Transport is the stream fabric a component attaches to. Both the
@@ -114,6 +115,18 @@ type Env struct {
 	StepTimeout time.Duration
 	// Metrics, when non-nil, collects per-timestep measurements.
 	Metrics *Metrics
+	// Tracer, when non-nil, receives per-step spans (stage.step,
+	// kernel.transform) from this rank, and its span IDs flow down into
+	// the transport via the step context so fabric spans nest under the
+	// stage's. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, is the metrics registry this component's
+	// collectors mirror into (see Metrics.BindRegistry).
+	Registry *obs.Registry
+	// Epoch is the supervised restart attempt this rank is running as
+	// (0 = first incarnation). Stamped onto emitted spans so a trace can
+	// distinguish pre- and post-restart work.
+	Epoch int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }

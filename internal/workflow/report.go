@@ -49,6 +49,23 @@ func Report(res *Result) string {
 		fmt.Fprintf(&sb, " steps=%-4d in=%-10s out=%-10s step=%s\n",
 			len(steps), byteSize(totalIn), byteSize(totalOut), meanStep.Round(time.Microsecond))
 	}
+	// When the run was wired to a metrics registry, append what the
+	// fabric itself saw: steps through the broker, bytes on the wire,
+	// buffer-pool efficiency, and recovery activity.
+	if res.Registry != nil {
+		snap := res.Registry.Snapshot()
+		fmt.Fprintf(&sb, "  fabric   steps=%d retired=%d published=%s fetched=%s\n",
+			snap["fabric.steps_published"], snap["fabric.steps_retired"],
+			byteSize(snap["fabric.bytes_published"]), byteSize(snap["fabric.bytes_fetched"]))
+		if gets := snap["pool.gets"]; gets > 0 {
+			fmt.Fprintf(&sb, "  pool     gets=%d hits=%d recycles=%d\n",
+				gets, snap["pool.hits"], snap["pool.recycles"])
+		}
+		if n := snap["workflow.restarts"] + snap["fabric.heartbeat_misses"]; n > 0 {
+			fmt.Fprintf(&sb, "  recovery restarts=%d heartbeat_misses=%d\n",
+				snap["workflow.restarts"], snap["fabric.heartbeat_misses"])
+		}
+	}
 	return sb.String()
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/components"
 	"repro/internal/flexpath"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sb"
 )
 
@@ -81,6 +82,9 @@ type Result struct {
 	Spec    Spec
 	Elapsed time.Duration // start of launch to last stage finished
 	Stages  []StageResult
+	// Registry is the metrics registry the run was wired to (nil when
+	// Options.Registry was nil); Report renders its fabric counters.
+	Registry *obs.Registry
 }
 
 // Metrics returns the metrics collector of the first stage running the
@@ -149,6 +153,13 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// Restart is the per-stage supervision policy.
 	Restart RestartPolicy
+	// Tracer, when non-nil, receives spans from every layer the run's
+	// timesteps cross (stage, kernel, fabric). Nil disables tracing.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, is the metrics registry stage collectors
+	// bind to; it is also recorded on the Result so reports can render a
+	// fabric footer. Nil disables the mirroring.
+	Registry *obs.Registry
 }
 
 // Retryable classifies an error from a stage run: true if a supervised
@@ -198,7 +209,7 @@ func Run(ctx context.Context, transport sb.Transport, spec Spec, opts Options) (
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	res := &Result{Spec: spec, Stages: make([]StageResult, len(spec.Stages))}
+	res := &Result{Spec: spec, Stages: make([]StageResult, len(spec.Stages)), Registry: opts.Registry}
 	// Instantiate everything before launching anything, so argument
 	// errors surface synchronously rather than as a wedged workflow.
 	for i, st := range spec.Stages {
@@ -210,10 +221,12 @@ func Run(ctx context.Context, transport sb.Transport, spec Spec, opts Options) (
 				return nil, fmt.Errorf("workflow %q stage %d: %w", spec.Name, i, err)
 			}
 		}
+		m := sb.NewMetrics(comp.Name(), st.Procs)
+		m.BindRegistry(opts.Registry)
 		res.Stages[i] = StageResult{
 			Stage:     st,
 			Component: comp,
-			Metrics:   sb.NewMetrics(comp.Name(), st.Procs),
+			Metrics:   m,
 		}
 	}
 
@@ -252,7 +265,13 @@ func superviseStage(runCtx context.Context, cancel context.CancelFunc, transport
 	if name == "" && sr.Component != nil {
 		name = sr.Component.Name()
 	}
+	tr := opts.Tracer
+	restarts := opts.Registry.Counter("workflow.restarts")
 	for attempt := 0; ; attempt++ {
+		var attStart int64
+		if tr.Enabled() {
+			attStart = tr.Now()
+		}
 		handles := sb.NewHandleSet()
 		err := mpi.RunCtx(runCtx, sr.Stage.Procs, func(comm *mpi.Comm) error {
 			env := &sb.Env{
@@ -264,6 +283,9 @@ func superviseStage(runCtx context.Context, cancel context.CancelFunc, transport
 				Logf:        opts.Logf,
 				Handles:     handles,
 				StepTimeout: policy.StepTimeout,
+				Tracer:      opts.Tracer,
+				Registry:    opts.Registry,
+				Epoch:       attempt,
 			}
 			runErr := sr.Component.Run(env)
 			// A succeeded rank's handles close immediately (its streams can
@@ -272,6 +294,14 @@ func superviseStage(runCtx context.Context, cancel context.CancelFunc, transport
 			handles.FinishRank(env, runErr)
 			return runErr
 		})
+		if tr.Enabled() {
+			span := obs.Span{Kind: obs.KindStageAttempt, Note: name,
+				Rank: -1, Peer: -1, Epoch: attempt, Start: attStart}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			tr.Emit(span)
+		}
 		if err == nil {
 			handles.Finish(sb.FinishClose, nil)
 			return
@@ -279,6 +309,11 @@ func superviseStage(runCtx context.Context, cancel context.CancelFunc, transport
 		if Retryable(err) && attempt < policy.MaxRestarts && runCtx.Err() == nil {
 			handles.Finish(sb.FinishDetach, err)
 			sr.Restarts++
+			restarts.Inc()
+			if tr.Enabled() {
+				tr.Emit(obs.Span{Kind: obs.KindStageRestart, Note: name,
+					Rank: -1, Peer: -1, Epoch: attempt + 1, Err: err.Error()})
+			}
 			if opts.Logf != nil {
 				opts.Logf("workflow: stage %q failed (%v); restart %d/%d in %s",
 					name, err, sr.Restarts, policy.MaxRestarts, backoff)
