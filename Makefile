@@ -9,11 +9,29 @@ COVER_FLOOR_workflow ?= 90.0
 # default make the whole smoke about ten seconds.
 FUZZTIME ?= 1s
 
-.PHONY: check build test vet race chaos bench cover
+.PHONY: check build test vet race chaos bench cover conformance
 
 # The full pre-merge gate: static checks, build, the race-enabled test
-# suite, coverage floors, and a short fuzz round of every fuzz target.
-check: vet build race cover
+# suite, the backend conformance matrix, coverage floors, and a short
+# fuzz round of every fuzz target.
+check: vet build race conformance cover
+
+# The transport contract suite under the race detector, once per stream
+# fabric backend. A backend that silently skips is a gate failure —
+# except uds on platforms without AF_UNIX, its only legitimate skip.
+conformance:
+	@set -e; \
+	for backend in Inproc TCP UDS; do \
+		echo "conformance: backend $$backend (-race)"; \
+		out=$$($(GO) test -race -v -count=1 ./internal/flexpath -run "^TestConformance$$backend$$") || { echo "$$out"; exit 1; }; \
+		if echo "$$out" | grep -q -- "--- PASS: TestConformance$$backend"; then \
+			:; \
+		elif [ "$$backend" = UDS ] && echo "$$out" | grep -q "AF_UNIX"; then \
+			echo "conformance: uds skipped (no AF_UNIX on this platform)"; \
+		else \
+			echo "conformance: backend $$backend did not run"; echo "$$out"; exit 1; \
+		fi; \
+	done
 
 build:
 	$(GO) build ./...
@@ -39,7 +57,7 @@ cover:
 		awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}' || { echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \
 	done
 	@set -e; \
-	for pkg in ./internal/adios ./internal/launch; do \
+	for pkg in ./internal/adios ./internal/flexpath ./internal/launch; do \
 		for target in $$($(GO) test $$pkg -list '^Fuzz' -run '^$$' | grep '^Fuzz'); do \
 			echo "cover: fuzz smoke $$pkg $$target ($(FUZZTIME))"; \
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) >/dev/null; \
@@ -51,9 +69,10 @@ chaos:
 	$(GO) test ./internal/workflow -run TestChaos -v
 
 # The root benchmark suite (paper tables/figures) at reduced scale, with
-# the machine-readable results written to BENCH_PR2.json. The raw
+# the machine-readable results written to BENCH_PR4.json (BENCH_PR2.json
+# is the previous baseline for regression comparison). The raw
 # `go test -bench` lines stay visible on stderr via cmd/benchjson.
 # SBBENCH_SIZE is exported (not prefixed) so both sides of the pipe see
 # it: the benchmarks to scale themselves, benchjson to stamp "_meta".
 bench:
-	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR4.json

@@ -114,6 +114,39 @@ func BenchmarkFig10MagnitudeStrongScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFig10TransportComparison reruns the Fig. 10 strong-scaling
+// sweep's middle points over the two socket fabrics. Together with
+// BenchmarkFig10MagnitudeStrongScaling (the in-process fabric) it shows
+// what each backend costs per timestep: uds must match or beat TCP
+// loopback, or its coalesced publish path has regressed.
+func BenchmarkFig10TransportComparison(b *testing.B) {
+	backends := []struct {
+		name    string
+		factory bench.BackendFactory
+	}{
+		{"tcp", bench.TCPLoopbackBackend},
+		{"uds", bench.UDSBackend},
+	}
+	for _, be := range backends {
+		cfg := bench.DefaultFig10Config(sizeFactor())
+		cfg.Backend = be.factory
+		cfg.MagProcsSweep = []int{4}
+		b.Run(fmt.Sprintf("transport=%s/magProcs=4", be.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var row bench.Fig10Row
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunMagnitudeStrongScaling(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(row.StepTime.Seconds(), "timestep-s")
+			b.ReportMetric(float64(row.BytesPerProc)/bench.MB, "MB/proc")
+		})
+	}
+}
+
 func BenchmarkAblationQueueDepth(b *testing.B) {
 	particles := int(20000 * sizeFactor())
 	for _, depth := range []int{1, 2, 4, 8} {
@@ -175,4 +208,5 @@ func BenchmarkAblationTransport(b *testing.B) {
 	}
 	b.ReportMetric(rows[0].Elapsed.Seconds(), "inproc-s")
 	b.ReportMetric(rows[1].Elapsed.Seconds(), "tcp-s")
+	b.ReportMetric(rows[2].Elapsed.Seconds(), "uds-s")
 }

@@ -2,7 +2,7 @@
 // rendezvous point for workflows whose components run as separate OS
 // processes (via sbrun -broker or sbcomp):
 //
-//	sbbroker [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
+//	sbbroker [-transport tcp|uds] [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
 //
 // It prints the bound address and runs until interrupted. On SIGINT or
 // SIGTERM it shuts down gracefully: it stops accepting connections,
@@ -34,14 +34,31 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7777", "listen address (port 0 picks a free port)")
+	transport := flag.String("transport", flexpath.KindTCP, "socket flavor to serve: tcp or uds (Unix-domain socket)")
+	addr := flag.String("addr", "", "listen address: host:port for tcp (default 127.0.0.1:7777; port 0 picks a free port), socket path for uds")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for open streams to drain on shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (registry snapshot) and /debug/pprof on this address")
 	flag.Parse()
 
 	broker := flexpath.NewBroker()
 	broker.SetObserver(nil, obs.Default())
-	srv, err := flexpath.NewServer(broker, *addr)
+	var srv *flexpath.Server
+	var err error
+	switch *transport {
+	case flexpath.KindTCP:
+		listen := *addr
+		if listen == "" {
+			listen = "127.0.0.1:7777"
+		}
+		srv, err = flexpath.NewServer(broker, listen)
+	case flexpath.KindUDS:
+		if *addr == "" {
+			log.Fatalf("sbbroker: -transport uds requires -addr /path/to.sock")
+		}
+		srv, err = flexpath.NewUnixServer(broker, *addr)
+	default:
+		log.Fatalf("sbbroker: unknown -transport %q (want %s or %s)", *transport, flexpath.KindTCP, flexpath.KindUDS)
+	}
 	if err != nil {
 		log.Fatalf("sbbroker: %v", err)
 	}

@@ -3,7 +3,7 @@
 // closest analogue of the paper's one-MPI-executable-per-component
 // deployment model:
 //
-//	sbcomp -broker host:port -n procs component arg...
+//	sbcomp [-transport tcp|uds] -broker addr -n procs component arg...
 //
 // For example, the Fig. 8 LAMMPS workflow as four separate processes
 // sharing one sbbroker:
@@ -35,7 +35,8 @@ import (
 )
 
 func main() {
-	broker := flag.String("broker", "127.0.0.1:7777", "address of the sbbroker to attach to")
+	transportKind := flag.String("transport", "tcp", "broker socket flavor: tcp or uds")
+	broker := flag.String("broker", "127.0.0.1:7777", "sbbroker address: host:port for tcp, socket path for uds")
 	procs := flag.Int("n", 1, "number of ranks for this component")
 	queue := flag.Int("q", 0, "writer-side queue depth for published streams (0 = default)")
 	verbose := flag.Bool("v", false, "log component diagnostics")
@@ -55,9 +56,17 @@ func main() {
 		log.Fatalf("sbcomp: %v", err)
 	}
 
-	client := flexpath.Dial(*broker)
-	defer client.Close()
-	transport := sb.ClientTransport{Client: client}
+	if *transportKind == flexpath.KindInproc {
+		// A private in-process broker has no peers to rendezvous with —
+		// the component would block forever on its streams.
+		log.Fatalf("sbcomp: -transport must name a shared broker (%s or %s)", flexpath.KindTCP, flexpath.KindUDS)
+	}
+	fabric, err := flexpath.Open(*transportKind, *broker)
+	if err != nil {
+		log.Fatalf("sbcomp: %v", err)
+	}
+	defer fabric.Close()
+	transport := sb.Fabric{T: fabric}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,12 +1,15 @@
 // Command sbrun launches a complete SmartBlock workflow from an
 // aprun-style job script (the paper's Fig. 8 format):
 //
-//	sbrun [-v] [-broker host:port] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
+//	sbrun [-v] [-transport inproc|tcp|uds] [-broker addr] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
 //
 // Every aprun line becomes a component stage; all stages launch
-// simultaneously and rendezvous on their stream names. With -broker the
-// streams live on a remote sbbroker, letting several sbrun/sbcomp
-// processes form one workflow; otherwise an in-process broker is used.
+// simultaneously and rendezvous on their stream names. -transport (or a
+// `transport` directive in the script) selects the stream fabric: the
+// default in-process broker, a remote TCP sbbroker at -broker host:port,
+// or a Unix-socket sbbroker at -broker /path/to.sock — letting several
+// sbrun/sbcomp processes form one workflow without recompiling any
+// component.
 //
 // Example script:
 //
@@ -40,7 +43,8 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "log component diagnostics")
 	lintOnly := flag.Bool("lint", false, "check the workflow's stream wiring and exit without running")
-	broker := flag.String("broker", "", "address of a remote sbbroker (default: in-process broker)")
+	transportKind := flag.String("transport", "", "stream fabric backend: inproc, tcp, or uds (default: the script's transport directive, else inproc)")
+	broker := flag.String("broker", "", "backend address: sbbroker host:port for tcp, socket path for uds (plain -broker implies -transport tcp)")
 	maxRestarts := flag.Int("max-restarts", 0, "supervised restarts per stage for retryable failures (0 disables)")
 	restartBackoff := flag.Duration("restart-backoff", 0, "delay before the first stage restart, doubling per retry (0 = 50ms default)")
 	stepTimeout := flag.Duration("step-timeout", 0, "bound on every blocking stream operation per stage (0 disables)")
@@ -84,14 +88,25 @@ func main() {
 		return
 	}
 
-	var transport sb.Transport
-	if *broker != "" {
-		client := flexpath.Dial(*broker)
-		defer client.Close()
-		transport = sb.ClientTransport{Client: client}
-	} else {
-		transport = sb.BrokerTransport{Broker: flexpath.NewBroker()}
+	// Backend selection: the command line overrides the script's
+	// transport directive; a bare -broker keeps its historical meaning of
+	// "remote TCP broker".
+	kind, addr := spec.Transport.Kind, spec.Transport.Addr
+	if *transportKind != "" {
+		kind = *transportKind
 	}
+	if *broker != "" {
+		addr = *broker
+		if kind == "" || kind == flexpath.KindInproc {
+			kind = flexpath.KindTCP
+		}
+	}
+	fabric, err := flexpath.Open(kind, addr)
+	if err != nil {
+		log.Fatalf("sbrun: %v", err)
+	}
+	defer fabric.Close()
+	transport := sb.Transport(sb.Fabric{T: fabric})
 
 	opts := workflow.Options{
 		Restart: workflow.RestartPolicy{
@@ -108,8 +123,8 @@ func main() {
 		tracer = obs.NewTracer(*traceRing)
 		opts.Tracer = tracer
 		opts.Registry = obs.Default()
-		if bt, ok := transport.(sb.BrokerTransport); ok {
-			bt.Broker.SetObserver(tracer, opts.Registry)
+		if ip, ok := fabric.(flexpath.InProc); ok {
+			ip.B.SetObserver(tracer, opts.Registry)
 		}
 	}
 

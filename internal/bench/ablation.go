@@ -154,9 +154,10 @@ func RunPartitionPolicyAblation(ctx context.Context, slices, points, steps int) 
 	return rows, nil
 }
 
-// RunTransportAblation runs the same GROMACS magnitude workflow over the
-// in-process broker and over a TCP loopback broker, quantifying the cost
-// of crossing a socket per exchange.
+// RunTransportAblation runs the same GROMACS magnitude workflow over
+// every stream fabric backend — in-process broker, TCP loopback broker,
+// Unix-socket broker — quantifying the cost of crossing a socket per
+// exchange and what the uds coalesced publish path buys back.
 func RunTransportAblation(ctx context.Context, atoms, steps int) ([]AblationRow, error) {
 	build := func() (workflow.Spec, error) {
 		hist, err := components.NewHistogram([]string{"dist.fp", "radii", "16"})
@@ -174,32 +175,30 @@ func RunTransportAblation(ctx context.Context, atoms, steps int) ([]AblationRow,
 		}, nil
 	}
 
-	spec, err := build()
-	if err != nil {
-		return nil, err
+	backends := []struct {
+		config  string
+		factory BackendFactory
+	}{
+		{"in-process channels", InprocBackend},
+		{"TCP loopback", TCPLoopbackBackend},
+		{"Unix socket (coalesced)", UDSBackend},
 	}
-	inprocRes, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("bench: transport inproc: %w", err)
+	rows := make([]AblationRow, 0, len(backends))
+	for _, be := range backends {
+		spec, err := build()
+		if err != nil {
+			return nil, err
+		}
+		transport, cleanup, err := be.factory()
+		if err != nil {
+			return nil, err
+		}
+		res, err := workflow.Run(ctx, transport, spec, workflow.Options{})
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("bench: transport %s: %w", be.config, err)
+		}
+		rows = append(rows, AblationRow{Config: be.config, Elapsed: res.Elapsed})
 	}
-
-	srv, err := flexpath.NewServer(flexpath.NewBroker(), "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	defer srv.Close()
-	client := flexpath.Dial(srv.Addr())
-	defer client.Close()
-	spec, err = build()
-	if err != nil {
-		return nil, err
-	}
-	tcpRes, err := workflow.Run(ctx, sb.ClientTransport{Client: client}, spec, workflow.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("bench: transport tcp: %w", err)
-	}
-	return []AblationRow{
-		{Config: "in-process channels", Elapsed: inprocRes.Elapsed},
-		{Config: "TCP loopback", Elapsed: tcpRes.Elapsed},
-	}, nil
+	return rows, nil
 }

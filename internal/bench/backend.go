@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/flexpath"
+	"repro/internal/sb"
+)
+
+// BackendFactory builds a fresh stream fabric for one benchmark
+// workflow run and returns the transport plus a teardown. Every run
+// gets its own broker so sweep points never share queue state.
+type BackendFactory func() (sb.Transport, func(), error)
+
+// InprocBackend is the default fabric: broker and components share one
+// address space, exchanges are channel handoffs of pooled buffers.
+func InprocBackend() (sb.Transport, func(), error) {
+	return sb.Fabric{T: flexpath.NewInProc()}, func() {}, nil
+}
+
+// TCPLoopbackBackend serves a private broker on 127.0.0.1 and connects
+// through it, paying the full socket round trip per exchange.
+func TCPLoopbackBackend() (sb.Transport, func(), error) {
+	srv, err := flexpath.NewServer(flexpath.NewBroker(), "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: tcp backend: %w", err)
+	}
+	client := flexpath.Dial(srv.Addr())
+	return sb.Fabric{T: flexpath.Remote{C: client}}, func() {
+		client.Close()
+		srv.Close()
+	}, nil
+}
+
+// UDSBackend serves a private broker on a Unix-domain socket — same
+// frame codec as TCP, but with the coalesced (one writev per step)
+// publish path and no TCP loopback stack.
+func UDSBackend() (sb.Transport, func(), error) {
+	dir, err := os.MkdirTemp("", "sbbench-uds")
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := flexpath.NewUnixServer(flexpath.NewBroker(), filepath.Join(dir, "b.sock"))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, fmt.Errorf("bench: uds backend: %w", err)
+	}
+	client := flexpath.DialUnix(srv.Addr())
+	return sb.Fabric{T: flexpath.Remote{C: client}}, func() {
+		client.Close()
+		srv.Close()
+		os.RemoveAll(dir)
+	}, nil
+}

@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"repro/internal/components"
-	"repro/internal/flexpath"
-	"repro/internal/sb"
 	"repro/internal/workflow"
 
 	_ "repro/internal/sim/gromacs" // register the gromacs driver
@@ -24,6 +22,18 @@ type Fig10Config struct {
 	// MagProcsSweep lists the Magnitude rank counts to test; the paper's
 	// x-axis (size per proc) is Atoms×3×8 bytes divided by each count.
 	MagProcsSweep []int
+	// Backend builds the stream fabric each sweep point runs over
+	// (nil = InprocBackend). The sweep itself is backend-agnostic, so
+	// the same experiment doubles as the transport comparison.
+	Backend BackendFactory
+}
+
+// backend resolves the configured fabric factory.
+func (c Fig10Config) backend() BackendFactory {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return InprocBackend
 }
 
 // DefaultFig10Config spans per-proc sizes comparable in spread to the
@@ -67,7 +77,12 @@ func RunMagnitudeStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row
 				{Instance: hist, Procs: cfg.HistProcs},
 			},
 		}
-		res, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
+		transport, cleanup, err := cfg.backend()()
+		if err != nil {
+			return nil, err
+		}
+		res, err := workflow.Run(ctx, transport, spec, workflow.Options{})
+		cleanup()
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig10 magProcs=%d: %w", magProcs, err)
 		}
@@ -114,7 +129,12 @@ func RunSelectStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row, e
 				{Instance: hist, Procs: cfg.HistProcs},
 			},
 		}
-		res, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
+		transport, cleanup, err := cfg.backend()()
+		if err != nil {
+			return nil, err
+		}
+		res, err := workflow.Run(ctx, transport, spec, workflow.Options{})
+		cleanup()
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig10b selProcs=%d: %w", selProcs, err)
 		}

@@ -6,7 +6,6 @@
 package e2e
 
 import (
-	"bufio"
 	"fmt"
 	"os"
 	"os/exec"
@@ -40,36 +39,15 @@ func repoRoot(t *testing.T) string {
 	return filepath.Dir(filepath.Dir(wd)) // internal/e2e → repo root
 }
 
-// startBroker launches sbbroker on a free port and returns its address.
+// startBroker launches sbbroker on a free TCP port and returns its
+// address. startBrokerOn (transport_matrix_test.go) is the flavor-aware
+// generalization.
 func startBroker(t *testing.T, bin string) string {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		cmd.Process.Kill()
-		cmd.Wait()
-	})
-	sc := bufio.NewScanner(stdout)
-	if !sc.Scan() {
-		t.Fatal("sbbroker printed no address")
-	}
-	line := sc.Text() // "sbbroker listening on 127.0.0.1:PORT"
-	fields := strings.Fields(line)
-	addr := fields[len(fields)-1]
+	addr := startBrokerOn(t, bin, "-addr", "127.0.0.1:0")
 	if !strings.Contains(addr, ":") {
-		t.Fatalf("could not parse broker address from %q", line)
+		t.Fatalf("could not parse broker address %q", addr)
 	}
-	go func() { // drain any further output
-		for sc.Scan() {
-		}
-	}()
 	return addr
 }
 

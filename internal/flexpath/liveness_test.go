@@ -1,313 +1,18 @@
 package flexpath
 
 import (
-	"context"
 	"errors"
-	"fmt"
-	"io"
 	"net"
-	"sync"
 	"testing"
 	"time"
 )
 
-// Satellite: Close must be idempotent and safe under concurrent context
-// cancellation — N racing closers must decrement group refcounts exactly
-// once, or the broker's accounting corrupts silently.
-func TestConcurrentIdempotentClose(t *testing.T) {
-	b := NewBroker()
-	ctx := ctxT(t)
-	w, err := b.AttachWriter("cic.fp", 0, 1, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	readers := make([]*Reader, 2)
-	for i := range readers {
-		if readers[i], err = b.AttachReader("cic.fp", i, 2); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.PublishBlock(ctx, 0, nil, []byte("x")); err != nil {
-		t.Fatal(err)
-	}
-
-	// Hammer every handle's Close from many goroutines at once — the
-	// pattern a context cancellation racing a normal shutdown produces.
-	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := w.Close(); err != nil {
-				t.Errorf("writer close: %v", err)
-			}
-			for _, r := range readers {
-				if err := r.Close(); err != nil {
-					t.Errorf("reader close: %v", err)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	stats := b.StreamStats()
-	if len(stats) != 1 {
-		t.Fatalf("streams = %d, want 1", len(stats))
-	}
-	st := stats[0]
-	if st.WritersLive != 0 || st.ReadersLive != 0 {
-		t.Fatalf("live handles after close: writers=%d readers=%d", st.WritersLive, st.ReadersLive)
-	}
-	if !st.Ended {
-		t.Fatal("stream did not end after all writers closed")
-	}
-	if st.QueuedSteps != 0 {
-		t.Fatalf("queued steps after all readers closed = %d, want 0 (double-decrement would strand or over-retire)", st.QueuedSteps)
-	}
-}
-
-// Satellite: a reader that closes between StepMeta and FetchBlock (crash
-// mid-step) must not strand the step — the surviving ranks' releases, or
-// nobody's, decide retirement, and the writer's queue window advances.
-func TestReaderCloseBetweenStepMetaAndFetchNeverStrandsStep(t *testing.T) {
-	b := NewBroker()
-	ctx := ctxT(t)
-	w, err := b.AttachWriter("strand.fp", 0, 1, 1) // depth 1: step 0 must retire before step 1
-	if err != nil {
-		t.Fatal(err)
-	}
-	r0, err := b.AttachReader("strand.fp", 0, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1, err := b.AttachReader("strand.fp", 1, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.PublishBlock(ctx, 0, nil, []byte("x")); err != nil {
-		t.Fatal(err)
-	}
-	// Rank 0 sees the step's metadata, then dies before fetching or
-	// releasing anything.
-	if _, err := r0.StepMeta(ctx, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := r0.Close(); err != nil {
-		t.Fatal(err)
-	}
-	// Rank 1 consumes and releases normally.
-	if _, err := r1.FetchBlock(ctx, 0, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := r1.ReleaseStep(0); err != nil {
-		t.Fatal(err)
-	}
-	// The writer must unblock into step 1: with depth 1 this only works
-	// if step 0 actually retired despite rank 0's vanished release.
-	pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-	defer cancel()
-	if err := w.PublishBlock(pctx, 1, nil, []byte("y")); err != nil {
-		t.Fatalf("writer stranded after reader died mid-step: %v", err)
-	}
-}
-
-func TestCrashUnblocksBlockedReader(t *testing.T) {
-	b := NewBroker()
-	ctx := ctxT(t)
-	w, err := b.AttachWriter("crash.fp", 0, 1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := b.AttachReader("crash.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.PublishBlock(ctx, 0, nil, []byte("ok")); err != nil {
-		t.Fatal(err)
-	}
-	got := make(chan error, 1)
-	go func() {
-		_, err := r.StepMeta(ctx, 1) // never arrives: the writer dies first
-		got <- err
-	}()
-	time.Sleep(20 * time.Millisecond)
-	if err := w.Crash(errors.New("simulated component crash")); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-got:
-		if !errors.Is(err, ErrWriterLost) {
-			t.Fatalf("blocked StepMeta after crash = %v, want ErrWriterLost", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("crash did not unblock the waiting reader")
-	}
-	// The step completed before the crash stays drainable.
-	if _, err := r.StepMeta(ctx, 0); err != nil {
-		t.Fatalf("pre-crash step unreadable: %v", err)
-	}
-	if _, err := r.FetchBlock(ctx, 0, 0); err != nil {
-		t.Fatalf("pre-crash block unreadable: %v", err)
-	}
-	// Surviving peers cannot publish into a failed stream, and new
-	// attaches are rejected with the same diagnosis.
-	if _, err := b.AttachWriter("crash.fp", 0, 1, 0); !errors.Is(err, ErrWriterLost) {
-		t.Fatalf("attach to failed stream = %v, want ErrWriterLost", err)
-	}
-}
-
-func TestCrashUnblocksBlockedPeerWriter(t *testing.T) {
-	b := NewBroker()
-	ctx := ctxT(t)
-	w0, err := b.AttachWriter("peers.fp", 0, 2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w1, err := b.AttachWriter("peers.fp", 1, 2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := b.AttachReader("peers.fp", 0, 1); err != nil {
-		t.Fatal(err)
-	}
-	// Fill the window: step 0 complete but unreleased, so step 1 blocks.
-	if err := w0.PublishBlock(ctx, 0, nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := w1.PublishBlock(ctx, 0, nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	got := make(chan error, 1)
-	go func() { got <- w0.PublishBlock(ctx, 1, nil, nil) }()
-	time.Sleep(20 * time.Millisecond)
-	w1.Crash(errors.New("rank 1 died"))
-	select {
-	case err := <-got:
-		if !errors.Is(err, ErrWriterLost) {
-			t.Fatalf("peer publish after crash = %v, want ErrWriterLost", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("crash did not unblock the blocked peer writer")
-	}
-}
-
-// Detach + re-attach is the supervised-restart path: the stream neither
-// ends nor fails, and the replacement handle resumes exactly where the
-// old one stopped.
-func TestWriterDetachResume(t *testing.T) {
-	b := NewBroker()
-	ctx := ctxT(t)
-	w, err := b.AttachWriter("resume.fp", 0, 1, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for s := 0; s < 2; s++ {
-		if err := w.PublishBlock(ctx, s, nil, []byte{byte(s)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Detach(); err != nil {
-		t.Fatalf("second detach = %v, want nil", err)
-	}
-	w2, err := b.AttachWriter("resume.fp", 0, 1, 8)
-	if err != nil {
-		t.Fatalf("re-attach after detach: %v", err)
-	}
-	if got := w2.NextStep(); got != 2 {
-		t.Fatalf("NextStep after re-attach = %d, want 2", got)
-	}
-	if err := w2.PublishBlock(ctx, 2, nil, []byte{2}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w2.Close(); err != nil {
-		t.Fatal(err)
-	}
-	r, err := b.AttachReader("resume.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for s := 0; s < 3; s++ {
-		if _, err := r.StepMeta(ctx, s); err != nil {
-			t.Fatalf("step %d: %v", s, err)
-		}
-		p, err := r.FetchBlock(ctx, s, 0)
-		if err != nil || len(p) != 1 || p[0] != byte(s) {
-			t.Fatalf("step %d payload = %v, %v", s, p, err)
-		}
-		r.ReleaseStep(s)
-	}
-	if _, err := r.StepMeta(ctx, 3); !errors.Is(err, io.EOF) {
-		t.Fatalf("after last step: %v, want EOF", err)
-	}
-}
-
-// A detached reader rank keeps gating retirement, so a restart cannot
-// lose buffered steps; NextStep is the group minimum so a restarted
-// collective group realigns on a common step.
-func TestReaderDetachResumeGroupMin(t *testing.T) {
-	b := NewBroker()
-	ctx := ctxT(t)
-	w, err := b.AttachWriter("rdetach.fp", 0, 1, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r0, err := b.AttachReader("rdetach.fp", 0, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1, err := b.AttachReader("rdetach.fp", 1, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for s := 0; s < 3; s++ {
-		if err := w.PublishBlock(ctx, s, nil, []byte{byte(s)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Rank 1 races ahead: releases steps 0 and 1. Rank 0 releases only 0,
-	// then the whole group detaches (supervised restart).
-	r1.ReleaseStep(0)
-	r1.ReleaseStep(1)
-	r0.ReleaseStep(0)
-	if err := r0.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	if err := r1.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	n0, err := b.AttachReader("rdetach.fp", 0, 2)
-	if err != nil {
-		t.Fatalf("re-attach after detach: %v", err)
-	}
-	n1, err := b.AttachReader("rdetach.fp", 1, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Group minimum: rank 0 only got through step 0, so both resume at 1.
-	if got := n0.NextStep(); got != 1 {
-		t.Fatalf("rank 0 NextStep = %d, want 1", got)
-	}
-	if got := n1.NextStep(); got != 1 {
-		t.Fatalf("rank 1 NextStep = %d, want 1 (group min, not its own 2)", got)
-	}
-	// Step 1 must still be buffered — rank 0 never released it, and its
-	// detach did not stop gating retirement. Rank 1 re-reads it safely.
-	if _, err := n1.StepMeta(ctx, 1); err != nil {
-		t.Fatalf("buffered step lost across detach: %v", err)
-	}
-	// Releasing an already-released step again is a harmless no-op.
-	if err := n1.ReleaseStep(1); err != nil {
-		t.Fatal(err)
-	}
-	if err := n0.ReleaseStep(1); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// --- TCP-specific liveness ---
+// Generic liveness semantics (crash unblocking readers and peer
+// writers, detach/re-attach resume, mid-step reader death, concurrent
+// idempotent close) are proven for every backend by the conformance
+// suite (conformance_test.go). This file keeps only the liveness
+// machinery specific to the socket transports: checksum rejection,
+// heartbeat leases, and dial backoff.
 
 // The server must reject (by dropping the connection) any frame whose
 // checksum does not match: silent corruption never reaches the decoder.
@@ -485,89 +190,5 @@ func TestTCPDialBackoffRecovers(t *testing.T) {
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
-	}
-}
-
-// Detach over TCP carries the resume point back on re-attach.
-func TestTCPDetachResume(t *testing.T) {
-	srv, client := startServer(t)
-	ctx := ctxT(t)
-	w, err := client.AttachWriter("tres.fp", 0, 1, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := w.NextStep(); got != 0 {
-		t.Fatalf("fresh NextStep = %d", got)
-	}
-	for s := 0; s < 2; s++ {
-		if err := w.PublishBlock(ctx, s, nil, []byte{byte(s)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.Detach(); err != nil {
-		t.Fatal(err)
-	}
-	client2 := Dial(srv.Addr())
-	defer client2.Close()
-	w2, err := client2.AttachWriter("tres.fp", 0, 1, 8)
-	if err != nil {
-		t.Fatalf("re-attach after detach: %v", err)
-	}
-	if got := w2.NextStep(); got != 2 {
-		t.Fatalf("NextStep after re-attach = %d, want 2", got)
-	}
-	if err := w2.PublishBlock(ctx, 2, nil, []byte{2}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w2.Close(); err != nil {
-		t.Fatal(err)
-	}
-	r, err := client.AttachReader("tres.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Close()
-	for s := 0; s < 3; s++ {
-		if _, err := r.StepMeta(ctx, s); err != nil {
-			t.Fatalf("step %d: %v", s, err)
-		}
-		if p, err := r.FetchBlock(ctx, s, 0); err != nil || len(p) != 1 || p[0] != byte(s) {
-			t.Fatalf("step %d payload = %v, %v", s, p, err)
-		}
-		r.ReleaseStep(s)
-	}
-	if _, err := r.StepMeta(ctx, 3); !errors.Is(err, io.EOF) {
-		t.Fatalf("after last step: %v, want EOF", err)
-	}
-}
-
-// Explicit Crash over TCP fails the stream with the reported cause.
-func TestTCPExplicitCrash(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	w, err := client.AttachWriter("xc.fp", 0, 1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.PublishBlock(ctx, 0, nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Crash(fmt.Errorf("kernel OOM")); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Crash(nil); err != nil {
-		t.Fatalf("second crash = %v, want nil", err)
-	}
-	r, err := client.AttachReader("xc.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Close()
-	if _, err := r.StepMeta(ctx, 0); err != nil {
-		t.Fatalf("pre-crash step unreadable: %v", err)
-	}
-	_, err = r.StepMeta(ctx, 1)
-	if !errors.Is(err, ErrWriterLost) {
-		t.Fatalf("StepMeta after crash = %v, want ErrWriterLost", err)
 	}
 }

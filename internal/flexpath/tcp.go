@@ -88,6 +88,37 @@ func writeFrame(w io.Writer, op byte, body []byte) error {
 	return err
 }
 
+// writeFrameVec writes one frame whose body is the concatenation of
+// parts, without first merging them: the header and every part hit the
+// wire together in a single gathered write (one writev per frame). This
+// is the step-batched coalescing path used by the UDS publish request
+// and the block-fetch response — a full timestep's payload crosses the
+// kernel boundary in one syscall with zero payload copies; only the few
+// header bytes are staged in caller scratch. vecs is a caller-owned
+// iovec scratch reused across frames (net.Buffers consumes the slice it
+// writes, so the backing array is recycled here, not the contents).
+func writeFrameVec(w io.Writer, vecs *net.Buffers, op byte, parts ...[]byte) error {
+	var hdr [9]byte
+	n := 1
+	crc := crc32.ChecksumIEEE([]byte{op})
+	for _, p := range parts {
+		n += len(p)
+		crc = crc32.Update(crc, crc32.IEEETable, p)
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = op
+	bufs := append((*vecs)[:0], hdr[:])
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	*vecs = bufs[:0]
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
 // grow returns (*scratch)[:n], reallocating only when the capacity is
 // insufficient — the frame-buffer reuse primitive.
 func grow(scratch *[]byte, n int) []byte {
@@ -220,9 +251,16 @@ func NewServer(broker *Broker, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return serve(broker, ln), nil
+}
+
+// serve wraps an already-bound listener. The frame protocol is
+// byte-stream-agnostic, so the same server fronts TCP and Unix-domain
+// listeners (NewUnixServer).
+func serve(broker *Broker, ln net.Listener) *Server {
 	s := &Server{broker: broker, ln: ln, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address, for clients to Dial.
@@ -549,6 +587,8 @@ func (s *Server) serveWriter(conn net.Conn, resp *[]byte, next func() (frame, bo
 
 func (s *Server) serveReader(conn net.Conn, resp *[]byte, next func() (frame, bool), arm func() (context.Context, func()), r *Reader) {
 	defer r.Close()
+	// Iovec scratch for vectored fetch responses, reused frame to frame.
+	var vecs net.Buffers
 	for {
 		f, ok := next()
 		if !ok {
@@ -616,7 +656,14 @@ func (s *Server) serveReader(conn net.Conn, resp *[]byte, next func() (frame, bo
 				}
 				continue
 			}
-			werr := respondOK(conn, resp, func(f *frameWriter) { f.bytes(payload.Bytes()) })
+			// Vectored response: status + length staged in the response
+			// scratch, the payload itself gathered straight from the
+			// broker-held buffer — one writev, no payload copy.
+			f := &frameWriter{buf: (*resp)[:0]}
+			f.u8(stOK)
+			f.u32(uint32(payload.Len()))
+			werr := writeFrameVec(conn, &vecs, 0, f.buf, payload.Bytes())
+			*resp = f.buf[:0]
 			payload.Release()
 			if werr != nil {
 				return

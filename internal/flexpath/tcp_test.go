@@ -3,12 +3,14 @@ package flexpath
 import (
 	"context"
 	"errors"
-	"fmt"
-	"io"
-	"sync"
 	"testing"
-	"time"
 )
+
+// The generic transport contract (exchange, gating, backpressure,
+// lifecycle, crash/detach semantics) is proven for this backend by the
+// conformance registration in conformance_test.go. What remains here is
+// TCP-specific: behavior of the socket layer itself that the contract
+// cannot express.
 
 func startServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
@@ -20,222 +22,6 @@ func startServer(t *testing.T) (*Server, *Client) {
 	client := Dial(srv.Addr())
 	t.Cleanup(func() { client.Close() })
 	return srv, client
-}
-
-func TestTCPSingleWriterReader(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	w, err := client.AttachWriter("t.fp", 0, 1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := client.AttachReader("t.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for step := 0; step < 3; step++ {
-		meta := []byte(fmt.Sprintf("m%d", step))
-		payload := []byte(fmt.Sprintf("p%d", step))
-		if err := w.PublishBlock(ctx, step, meta, payload); err != nil {
-			t.Fatal(err)
-		}
-		metas, err := r.StepMeta(ctx, step)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(metas) != 1 || string(metas[0]) != fmt.Sprintf("m%d", step) {
-			t.Fatalf("metas = %q", metas)
-		}
-		got, err := r.FetchBlock(ctx, step, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(got) != fmt.Sprintf("p%d", step) {
-			t.Fatalf("payload = %q", got)
-		}
-		if err := r.ReleaseStep(step); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := r.StepMeta(ctx, 3); !errors.Is(err, io.EOF) {
-		t.Fatalf("after close = %v, want EOF", err)
-	}
-	if err := r.Close(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestTCPWriterSize(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	r, err := client.AttachReader("ws.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := make(chan int, 1)
-	go func() {
-		n, err := r.WriterSize(ctx)
-		if err != nil {
-			t.Error(err)
-		}
-		got <- n
-	}()
-	time.Sleep(20 * time.Millisecond)
-	w, err := client.AttachWriter("ws.fp", 0, 3, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	select {
-	case n := <-got:
-		if n != 3 {
-			t.Fatalf("WriterSize = %d", n)
-		}
-	case <-ctx.Done():
-		t.Fatal("WriterSize never unblocked")
-	}
-}
-
-func TestTCPMxN(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	const steps = 5
-	var wg sync.WaitGroup
-	errs := make(chan error, 8)
-	for rank := 0; rank < 2; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			w, err := client.AttachWriter("mxn.fp", rank, 2, 1)
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer w.Close()
-			for s := 0; s < steps; s++ {
-				if err := w.PublishBlock(ctx, s, []byte{byte(rank)}, []byte{byte(rank), byte(s)}); err != nil {
-					errs <- err
-					return
-				}
-			}
-		}(rank)
-	}
-	for rank := 0; rank < 3; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			r, err := client.AttachReader("mxn.fp", rank, 3)
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer r.Close()
-			for s := 0; ; s++ {
-				metas, err := r.StepMeta(ctx, s)
-				if errors.Is(err, io.EOF) {
-					if s != steps {
-						errs <- fmt.Errorf("reader %d EOF at %d", rank, s)
-					}
-					return
-				}
-				if err != nil {
-					errs <- err
-					return
-				}
-				if len(metas) != 2 {
-					errs <- fmt.Errorf("metas = %d", len(metas))
-					return
-				}
-				for wr := 0; wr < 2; wr++ {
-					p, err := r.FetchBlock(ctx, s, wr)
-					if err != nil {
-						errs <- err
-						return
-					}
-					if len(p) != 2 || p[0] != byte(wr) || p[1] != byte(s) {
-						errs <- fmt.Errorf("payload = %v", p)
-						return
-					}
-				}
-				if err := r.ReleaseStep(s); err != nil {
-					errs <- err
-					return
-				}
-			}
-		}(rank)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Error(err)
-	}
-}
-
-func TestTCPQueueBlocking(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	w, err := client.AttachWriter("qb.fp", 0, 1, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	r, err := client.AttachReader("qb.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r.Close()
-	if err := w.PublishBlock(ctx, 0, nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	published := make(chan error, 1)
-	go func() { published <- w.PublishBlock(ctx, 1, nil, nil) }()
-	select {
-	case err := <-published:
-		t.Fatalf("publish beyond window returned early: %v", err)
-	case <-time.After(50 * time.Millisecond):
-	}
-	if _, err := r.StepMeta(ctx, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := r.ReleaseStep(0); err != nil {
-		t.Fatal(err)
-	}
-	if err := <-published; err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestTCPAttachErrorsPropagate(t *testing.T) {
-	_, client := startServer(t)
-	if _, err := client.AttachWriter("e.fp", 5, 2, 0); err == nil {
-		t.Fatal("bad rank accepted over TCP")
-	}
-	if _, err := client.AttachWriter("e.fp", 0, 2, 0); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := client.AttachWriter("e.fp", 1, 3, 0); err == nil {
-		t.Fatal("size conflict accepted over TCP")
-	}
-}
-
-func TestTCPRetiredStepError(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	w, _ := client.AttachWriter("rt.fp", 0, 1, 0)
-	defer w.Close()
-	r, _ := client.AttachReader("rt.fp", 0, 1)
-	defer r.Close()
-	w.PublishBlock(ctx, 0, nil, nil)
-	if _, err := r.StepMeta(ctx, 0); err != nil {
-		t.Fatal(err)
-	}
-	r.ReleaseStep(0)
-	if _, err := r.StepMeta(ctx, 0); !errors.Is(err, ErrStepRetired) {
-		t.Fatalf("retired step error lost over the wire: %v", err)
-	}
 }
 
 func TestTCPWriterDisconnectEndsStream(t *testing.T) {
@@ -270,30 +56,6 @@ func TestTCPWriterDisconnectEndsStream(t *testing.T) {
 	}
 }
 
-func TestTCPContextCancelUnblocks(t *testing.T) {
-	_, client := startServer(t)
-	r, err := client.AttachReader("cc.fp", 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err := r.StepMeta(ctx, 0) // no writer will ever come
-		done <- err
-	}()
-	time.Sleep(30 * time.Millisecond)
-	cancel()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("cancelled StepMeta succeeded")
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("cancel did not unblock the remote call")
-	}
-}
-
 func TestTCPDialFailure(t *testing.T) {
 	client := Dial("127.0.0.1:1") // nothing listens there
 	if _, err := client.AttachReader("x.fp", 0, 1); err == nil {
@@ -310,27 +72,5 @@ func TestTCPServerClose(t *testing.T) {
 	srv.Close()
 	if err := w.PublishBlock(context.Background(), 0, nil, nil); err == nil {
 		t.Fatal("publish after server close succeeded")
-	}
-}
-
-func TestTCPClosedHandleErrors(t *testing.T) {
-	_, client := startServer(t)
-	ctx := ctxT(t)
-	w, _ := client.AttachWriter("ch.fp", 0, 1, 0)
-	r, _ := client.AttachReader("ch.fp", 0, 1)
-	if err := w.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.PublishBlock(ctx, 0, nil, nil); !errors.Is(err, ErrClosed) {
-		t.Fatalf("publish on closed = %v", err)
-	}
-	if err := w.Close(); err != nil {
-		t.Fatalf("double close = %v, want nil (Close is idempotent)", err)
-	}
-	if err := r.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := r.StepMeta(ctx, 0); !errors.Is(err, ErrClosed) {
-		t.Fatalf("read on closed = %v", err)
 	}
 }

@@ -68,7 +68,14 @@ const (
 // handles maintain a heartbeat lease so the broker can distinguish a
 // crashed writer from a slow one.
 type Client struct {
-	addr string
+	addr    string
+	network string // "tcp" (Dial) or "unix" (DialUnix); "" means tcp
+	// coalesce enables step-batched frame coalescing on writer handles:
+	// each published step leaves the process as a single gathered write
+	// (one writev of header + meta + payload) instead of being staged
+	// into a contiguous frame buffer first. Set by DialUnix, where the
+	// local-host hop makes the copy the dominant cost.
+	coalesce bool
 
 	// Backoff configures dial/attach retries; zero value = defaults.
 	Backoff Backoff
@@ -83,15 +90,21 @@ type Client struct {
 	rng   *rand.Rand
 }
 
-// Dial prepares a client for the given server address. No connection is
-// made until a handle attaches.
+// Dial prepares a client for the given TCP server address. No
+// connection is made until a handle attaches.
 func Dial(addr string) *Client {
+	return dial("tcp", addr)
+}
+
+func dial(network, addr string) *Client {
 	h := fnv.New64a()
+	h.Write([]byte(network))
 	h.Write([]byte(addr))
 	return &Client{
-		addr:  addr,
-		conns: map[net.Conn]struct{}{},
-		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+		addr:    addr,
+		network: network,
+		conns:   map[net.Conn]struct{}{},
+		rng:     rand.New(rand.NewSource(int64(h.Sum64()))),
 	}
 }
 
@@ -116,10 +129,14 @@ func (c *Client) jitterDelay(b Backoff, attempt int) time.Duration {
 // refused, resets, timeouts) with capped exponential backoff.
 func (c *Client) connect() (net.Conn, error) {
 	b := c.Backoff.withDefaults()
+	network := c.network
+	if network == "" {
+		network = "tcp"
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		var conn net.Conn
-		conn, err = net.Dial("tcp", c.addr)
+		conn, err = net.Dial(network, c.addr)
 		if err == nil {
 			c.mu.Lock()
 			c.conns[conn] = struct{}{}
@@ -151,6 +168,11 @@ func isTransientNetErr(err error) bool {
 	}
 	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
 		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	// A Unix-domain socket whose path does not exist yet is the AF_UNIX
+	// spelling of "connection refused": the broker has not come up.
+	if errors.Is(err, syscall.ENOENT) {
 		return true
 	}
 	var ne net.Error
@@ -188,6 +210,20 @@ func (e *remoteCancelled) Transient() bool { return true }
 // call, so any response bytes that must outlive the call are copied out
 // by the caller. A nil rbuf reads into fresh storage (attach path).
 func call(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, body []byte, rbuf *[]byte) (*frameReader, error) {
+	return callWith(ctx, conn, wmu, rbuf, func() error { return writeFrame(conn, op, body) })
+}
+
+// callVec is call with a gathered request write: the frame is the
+// concatenation of parts, written via one writev (step-batched
+// coalescing). vecs is the handle's reused iovec scratch.
+func callVec(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, parts [][]byte, vecs *net.Buffers, rbuf *[]byte) (*frameReader, error) {
+	return callWith(ctx, conn, wmu, rbuf, func() error { return writeFrameVec(conn, vecs, op, parts...) })
+}
+
+// callWith issues one blocking request/response, with the request frame
+// emitted by write (under the write lock, serialised against heartbeat
+// and cancel frames).
+func callWith(ctx context.Context, conn net.Conn, wmu *sync.Mutex, rbuf *[]byte, write func() error) (*frameReader, error) {
 	if rbuf == nil {
 		var local []byte
 		rbuf = &local
@@ -209,7 +245,7 @@ func call(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, body []b
 	if wmu != nil {
 		wmu.Lock()
 	}
-	err := writeFrame(conn, op, body)
+	err := write()
 	if wmu != nil {
 		wmu.Unlock()
 	}
@@ -277,14 +313,20 @@ type RemoteWriter struct {
 	c    *Client
 	conn net.Conn
 	next int
+	// coalesce publishes each step as one gathered write instead of
+	// staging meta and payload into a contiguous frame first (see
+	// Client.coalesce).
+	coalesce bool
 
 	wmu sync.Mutex // serialises frame writes (requests vs heartbeats)
 
 	mu     sync.Mutex
 	closed bool
 	hbStop chan struct{}
-	fbuf   []byte // publish frame scratch, guarded by mu
-	rbuf   []byte // response read scratch, guarded by mu
+	fbuf   []byte      // publish frame scratch, guarded by mu
+	rbuf   []byte      // response read scratch, guarded by mu
+	parts  [][]byte    // coalesced publish part list, guarded by mu
+	vecs   net.Buffers // coalesced publish iovec scratch, guarded by mu
 }
 
 // AttachWriter joins the writer group of a stream on the remote broker.
@@ -298,7 +340,7 @@ func (c *Client) AttachWriter(stream string, rank, size, depth int) (*RemoteWrit
 	if err != nil {
 		return nil, err
 	}
-	w := &RemoteWriter{c: c, conn: conn, next: int(fr.u32())}
+	w := &RemoteWriter{c: c, conn: conn, next: int(fr.u32()), coalesce: c.coalesce}
 	interval := c.HeartbeatInterval
 	if interval == 0 {
 		interval = defaultHeartbeatInterval
@@ -352,12 +394,27 @@ func (w *RemoteWriter) PublishBlock(ctx context.Context, step int, meta, payload
 	if w.closed {
 		return ErrClosed
 	}
-	f := &frameWriter{buf: w.fbuf[:0]}
-	f.u32(uint32(step))
-	f.bytes(meta)
-	f.bytes(payload)
-	w.fbuf = f.buf
-	_, err := call(ctx, w.conn, &w.wmu, opPublish, f.buf, &w.rbuf)
+	var err error
+	if w.coalesce {
+		// Step-batched coalescing: only the 12 bytes of step and length
+		// prefixes are staged; meta and payload leave the process from
+		// their original storage in a single writev with the frame header.
+		f := &frameWriter{buf: w.fbuf[:0]}
+		f.u32(uint32(step))
+		f.u32(uint32(len(meta)))
+		f.u32(uint32(len(payload)))
+		w.fbuf = f.buf
+		parts := append(w.parts[:0], f.buf[:8], meta, f.buf[8:12], payload)
+		w.parts = parts[:0]
+		_, err = callVec(ctx, w.conn, &w.wmu, opPublish, parts, &w.vecs, &w.rbuf)
+	} else {
+		f := &frameWriter{buf: w.fbuf[:0]}
+		f.u32(uint32(step))
+		f.bytes(meta)
+		f.bytes(payload)
+		w.fbuf = f.buf
+		_, err = call(ctx, w.conn, &w.wmu, opPublish, f.buf, &w.rbuf)
+	}
 	if err == nil && step >= w.next {
 		w.next = step + 1
 	}

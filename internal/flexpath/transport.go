@@ -1,0 +1,197 @@
+package flexpath
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// This file makes the transport contract formal. The paper's FlexPath
+// layer matters precisely because any component can be re-wired over it
+// without recompilation (§IV); ADIOS2 makes the same point with engines
+// — one pub/sub contract, interchangeable backends. Until now this
+// repo's two backends (the in-process Broker and the TCP client) shared
+// the per-rank API only by convention, enforced by parallel test files.
+// Transport is that convention written down: every backend implements
+// it, every backend is proven against the same conformance suite
+// (internal/flexpath/conformance), and a new backend inherits the full
+// protocol contract — visibility gating, backpressure, launch-order
+// independence, EOF/crash/detach semantics, retirement — for free.
+
+// WriterHandle is one writer rank's handle on a stream, independent of
+// which backend carries it. Exactly one of Close, Detach, or Crash ends
+// the handle (see the package comment's fault model); all three are
+// idempotent.
+type WriterHandle interface {
+	// NextStep returns the step this rank publishes next — the resume
+	// point after a supervised detach/re-attach.
+	NextStep() int
+	// PublishBlock queues this rank's block for the given timestep,
+	// blocking while the stream's queue window is full. Steps must be
+	// published in order 0,1,2,… per rank.
+	PublishBlock(ctx context.Context, step int, meta, payload []byte) error
+	// PublishBlockRef is PublishBlock with ownership transfer of pooled
+	// buffers (the zero-copy path); the references are consumed even on
+	// error.
+	PublishBlockRef(ctx context.Context, step int, meta, payload *pool.Buf) error
+	// Close retires the rank gracefully; a fully closed writer group
+	// ends the stream (readers see io.EOF past the last common step).
+	Close() error
+	// Detach releases the rank's slot for a supervised restart without
+	// ending or failing the stream.
+	Detach() error
+	// Crash reports the rank lost: the stream fails and blocked peers
+	// and readers get ErrWriterLost.
+	Crash(cause error) error
+}
+
+// ReaderHandle is one reader rank's handle on a stream, independent of
+// which backend carries it.
+type ReaderHandle interface {
+	// NextStep returns the group-wide resume point: the lowest step not
+	// yet released by every rank of the reader group.
+	NextStep() int
+	// WriterSize blocks until the writer group attaches and returns its
+	// size.
+	WriterSize(ctx context.Context) (int, error)
+	// StepMeta blocks until the timestep is fully published and returns
+	// each writer rank's metadata blob; io.EOF once the stream ended
+	// before the step, ErrWriterLost if a writer crashed before
+	// completing it.
+	StepMeta(ctx context.Context, step int) ([][]byte, error)
+	// FetchBlock returns the payload one writer rank wrote for the step.
+	FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error)
+	// ReleaseStep declares this rank finished with the step; once every
+	// rank released it, the step retires and the writer window advances.
+	ReleaseStep(step int) error
+	// Close departs the group: the rank stops gating step retirement.
+	Close() error
+	// Detach suspends the rank for a supervised restart while still
+	// gating retirement, so buffered steps survive.
+	Detach() error
+}
+
+// Transport is a stream-fabric backend: it attaches per-rank writer and
+// reader handles to named streams. All backends share one protocol —
+// the contract checks in internal/flexpath/conformance are the
+// normative statement of it — so components, the workflow supervisor,
+// and fault injection are oblivious to which backend they run over.
+type Transport interface {
+	// AttachWriter joins the writer group of a stream as rank of size,
+	// with the given queue depth (0 selects the backend default).
+	AttachWriter(stream string, rank, size, depth int) (WriterHandle, error)
+	// AttachReader joins the reader group of a stream as rank of size.
+	AttachReader(stream string, rank, size int) (ReaderHandle, error)
+	// Close releases backend resources (connections, sockets). It does
+	// not settle outstanding handles — each rank handle ends via its own
+	// Close/Detach/Crash.
+	Close() error
+}
+
+// Backend kinds selectable at run time (sbrun/sbbroker/sbcomp
+// -transport, the launch-script `transport` directive, Open).
+const (
+	// KindInproc is the in-process Broker: ranks are goroutines sharing
+	// one address space, blocks move by reference.
+	KindInproc = "inproc"
+	// KindTCP is the TCP broker: one connection per rank handle,
+	// CRC-framed, heartbeat writer leases. Works across hosts.
+	KindTCP = "tcp"
+	// KindUDS is the Unix-domain-socket broker: the same CRC frame codec
+	// as TCP with step-batched frame coalescing (one writev per
+	// published step), for multi-process workflows on one host that
+	// should skip TCP loopback overhead. addr is a socket path.
+	KindUDS = "uds"
+)
+
+// InProc adapts the in-process Broker to Transport.
+type InProc struct {
+	B *Broker
+}
+
+// NewInProc returns a Transport over a fresh in-process broker.
+func NewInProc() InProc { return InProc{B: NewBroker()} }
+
+// AttachWriter implements Transport.
+func (t InProc) AttachWriter(stream string, rank, size, depth int) (WriterHandle, error) {
+	w, err := t.B.AttachWriter(stream, rank, size, depth)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// AttachReader implements Transport.
+func (t InProc) AttachReader(stream string, rank, size int) (ReaderHandle, error) {
+	r, err := t.B.AttachReader(stream, rank, size)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close implements Transport. The broker itself holds no resources
+// beyond its streams, which retire through handle settlement.
+func (t InProc) Close() error { return nil }
+
+// Remote adapts a socket Client (TCP or UDS) to Transport.
+type Remote struct {
+	C *Client
+}
+
+// AttachWriter implements Transport.
+func (t Remote) AttachWriter(stream string, rank, size, depth int) (WriterHandle, error) {
+	w, err := t.C.AttachWriter(stream, rank, size, depth)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// AttachReader implements Transport.
+func (t Remote) AttachReader(stream string, rank, size int) (ReaderHandle, error) {
+	r, err := t.C.AttachReader(stream, rank, size)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close implements Transport, severing every handle connection opened
+// through the client.
+func (t Remote) Close() error { return t.C.Close() }
+
+// Open returns a Transport for the named backend kind. addr is ignored
+// for inproc (a fresh broker is created), a host:port for tcp, and a
+// socket path for uds. This is the single place run-time backend
+// selection resolves, shared by sbrun, sbcomp, and the benchmarks.
+func Open(kind, addr string) (Transport, error) {
+	switch kind {
+	case KindInproc, "":
+		return NewInProc(), nil
+	case KindTCP:
+		if addr == "" {
+			return nil, fmt.Errorf("flexpath: transport %q requires a broker address (host:port)", kind)
+		}
+		return Remote{C: Dial(addr)}, nil
+	case KindUDS:
+		if addr == "" {
+			return nil, fmt.Errorf("flexpath: transport %q requires a broker socket path", kind)
+		}
+		return Remote{C: DialUnix(addr)}, nil
+	default:
+		return nil, fmt.Errorf("flexpath: unknown transport kind %q (want %s, %s, or %s)", kind, KindInproc, KindTCP, KindUDS)
+	}
+}
+
+// Interface conformance: both broker-side and socket-side handles must
+// satisfy the formal contract.
+var (
+	_ WriterHandle = (*Writer)(nil)
+	_ WriterHandle = (*RemoteWriter)(nil)
+	_ ReaderHandle = (*Reader)(nil)
+	_ ReaderHandle = (*RemoteReader)(nil)
+	_ Transport    = InProc{}
+	_ Transport    = Remote{}
+)

@@ -1,0 +1,72 @@
+package flexpath
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"time"
+)
+
+// Unix-domain-socket backend: the TCP broker protocol verbatim — same
+// CRC frame codec, same opcode set, same Server loop — carried over
+// AF_UNIX instead of loopback TCP. Two things change for the
+// local-host case. First, the kernel path is cheaper (no pseudo-header
+// checksums, no loopback queueing discipline). Second, the client
+// enables step-batched frame coalescing: each published step leaves
+// the process as one writev of frame header + meta + payload from
+// their original storage, instead of being staged into a contiguous
+// frame buffer first — on a local socket that staging copy is a
+// dominant cost. Server-side, block fetch responses are gathered the
+// same way (see serveReader), so neither direction of the hot path
+// copies payload bytes into connection scratch.
+
+// NewUnixServer starts a broker server on a Unix-domain socket at
+// path. A stale socket file left by a dead broker is detected (nothing
+// accepts on it) and replaced; a live broker on the same path is an
+// error. The socket file is removed when the server closes.
+func NewUnixServer(broker *Broker, path string) (*Server, error) {
+	ln, err := listenUnix(path)
+	if err != nil {
+		return nil, err
+	}
+	return serve(broker, ln), nil
+}
+
+func listenUnix(path string) (*net.UnixListener, error) {
+	addr := &net.UnixAddr{Name: path, Net: "unix"}
+	ln, err := net.ListenUnix("unix", addr)
+	if err == nil {
+		return ln, nil
+	}
+	if !errors.Is(err, syscall.EADDRINUSE) {
+		return nil, fmt.Errorf("flexpath: listening on %s: %w", path, err)
+	}
+	// The path exists. If a broker still accepts on it, the caller asked
+	// for a second broker on the same socket — refuse. If the dial is
+	// refused, the file is a leftover from an unclean shutdown: unlink
+	// and retry once.
+	probe, perr := net.DialTimeout("unix", path, 250*time.Millisecond)
+	if perr == nil {
+		probe.Close()
+		return nil, fmt.Errorf("flexpath: listening on %s: %w (broker already running)", path, err)
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		return nil, fmt.Errorf("flexpath: removing stale socket %s: %w", path, rmErr)
+	}
+	ln, err = net.ListenUnix("unix", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flexpath: listening on %s: %w", path, err)
+	}
+	return ln, nil
+}
+
+// DialUnix prepares a client for a broker socket path, with
+// step-batched frame coalescing enabled. No connection is made until a
+// handle attaches.
+func DialUnix(path string) *Client {
+	c := dial("unix", path)
+	c.coalesce = true
+	return c
+}

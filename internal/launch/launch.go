@@ -11,9 +11,11 @@
 //	wait
 //
 // Supported syntax: `aprun -n <procs> [-q <queue-depth>] <component>
-// <args…> [&]`, blank lines, `#` comments, and a trailing `wait`.
-// Components are resolved by name at run time against the registry in
-// package components.
+// <args…> [&]`, blank lines, `#` comments, a trailing `wait`, and an
+// optional `transport <kind> [addr]` directive selecting the stream
+// fabric the workflow runs over (inproc, tcp host:port, or uds
+// /path/to.sock). Components are resolved by name at run time against
+// the registry in package components.
 package launch
 
 import (
@@ -57,6 +59,18 @@ func Parse(name string, script string) (workflow.Spec, error) {
 			return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
 				Msg: "command after wait"}
 		}
+		if strings.HasPrefix(line, "transport") {
+			ts, err := parseTransport(lineNo+1, raw, line)
+			if err != nil {
+				return workflow.Spec{}, err
+			}
+			if spec.Transport.Kind != "" {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "duplicate transport directive"}
+			}
+			spec.Transport = ts
+			continue
+		}
 		stage, err := parseLine(lineNo+1, raw, line)
 		if err != nil {
 			return workflow.Spec{}, err
@@ -77,6 +91,28 @@ func ParseFile(path string) (workflow.Spec, error) {
 		return workflow.Spec{}, err
 	}
 	return Parse(path, string(data))
+}
+
+// parseTransport handles the `transport <kind> [addr]` directive. Kind
+// and address validity are checked by workflow.TransportSpec.Validate,
+// so the runner and the linter report the same diagnostics; here only
+// the shape of the line matters.
+func parseTransport(lineNo int, raw, line string) (workflow.TransportSpec, error) {
+	fail := func(msg string) (workflow.TransportSpec, error) {
+		return workflow.TransportSpec{}, &ParseError{Line: lineNo, Text: raw, Msg: msg}
+	}
+	tokens, err := tokenize(line)
+	if err != nil {
+		return fail(err.Error())
+	}
+	switch len(tokens) {
+	case 2:
+		return workflow.TransportSpec{Kind: tokens[1]}, nil
+	case 3:
+		return workflow.TransportSpec{Kind: tokens[1], Addr: tokens[2]}, nil
+	default:
+		return fail("transport directive wants: transport <inproc|tcp|uds> [addr]")
+	}
 }
 
 func parseLine(lineNo int, raw, line string) (workflow.Stage, error) {

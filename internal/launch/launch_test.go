@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/workflow"
 )
 
 // fig8 is the paper's Fig. 8 launch script, adapted to this repo's
@@ -95,11 +97,44 @@ func TestParseErrors(t *testing.T) {
 		"after wait":       "aprun -n 1 histogram a.fp x 4\nwait\naprun -n 1 histogram b.fp x 4",
 		"unterminated":     `aprun -n 1 histogram "a.fp x 4`,
 		"bad queue":        `aprun -n 1 -q zero histogram a.fp x 4`,
+		"bare transport":   "transport\naprun -n 1 histogram a.fp x 4",
+		"transport extras": "transport tcp 1.2.3.4:7 extra\naprun -n 1 histogram a.fp x 4",
+		"two transports":   "transport inproc\ntransport tcp 1.2.3.4:7\naprun -n 1 histogram a.fp x 4",
 	}
 	for name, script := range cases {
 		if _, err := Parse(name, script); err == nil {
 			t.Errorf("Parse(%s) succeeded", name)
 		}
+	}
+}
+
+func TestParseTransportDirective(t *testing.T) {
+	spec, err := Parse("t", "transport uds /tmp/b.sock\naprun -n 1 histogram a.fp x 4\nwait\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Transport.Kind != "uds" || spec.Transport.Addr != "/tmp/b.sock" {
+		t.Fatalf("transport = %+v", spec.Transport)
+	}
+	spec, err = Parse("t", "transport inproc\naprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Transport.Kind != "inproc" || spec.Transport.Addr != "" {
+		t.Fatalf("transport = %+v", spec.Transport)
+	}
+	// The directive's kind/addr validity is judged by the workflow
+	// layer, where sbrun's flag overrides also land.
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spec.Transport.Kind = "carrier-pigeon"
+	if err := spec.Validate(); err == nil {
+		t.Fatal("unknown transport kind validated")
+	}
+	spec.Transport = workflow.TransportSpec{Kind: "tcp"}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("tcp without address validated")
 	}
 }
 

@@ -65,6 +65,33 @@ func (t BrokerTransport) AttachReader(stream string, rank, size int) (adios.Bloc
 	return r, nil
 }
 
+// Fabric adapts any flexpath.Transport — the formal multi-backend
+// contract (inproc, tcp, uds) — to the component-facing Transport.
+// BrokerTransport and ClientTransport predate the interface and remain
+// for direct construction; code that selects a backend at run time
+// (flexpath.Open) wraps the result in a Fabric.
+type Fabric struct {
+	T flexpath.Transport
+}
+
+// AttachWriter implements Transport.
+func (f Fabric) AttachWriter(stream string, rank, size, depth int) (adios.BlockWriter, error) {
+	w, err := f.T.AttachWriter(stream, rank, size, depth)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// AttachReader implements Transport.
+func (f Fabric) AttachReader(stream string, rank, size int) (adios.BlockReader, error) {
+	r, err := f.T.AttachReader(stream, rank, size)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // ClientTransport adapts a TCP flexpath.Client to Transport, letting a
 // component process attach to a broker served in another process.
 type ClientTransport struct {

@@ -44,16 +44,53 @@ type Stage struct {
 	Instance sb.Component
 }
 
-// Spec is a complete workflow: a name and its stages.
+// TransportSpec selects the stream-fabric backend a workflow runs
+// over: one of the flexpath.Kind* constants plus the backend address
+// (host:port for tcp, socket path for uds, ignored for inproc). The
+// zero value means inproc. Launch scripts set it with a `transport`
+// directive; sbrun's -transport flag overrides it.
+type TransportSpec struct {
+	Kind string
+	Addr string
+}
+
+// Validate checks the spec names a known backend with the address it
+// requires.
+func (ts TransportSpec) Validate() error {
+	switch ts.Kind {
+	case "", flexpath.KindInproc:
+		return nil
+	case flexpath.KindTCP, flexpath.KindUDS:
+		if ts.Addr == "" {
+			return fmt.Errorf("transport %q requires an address", ts.Kind)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown transport kind %q (want %s, %s, or %s)",
+			ts.Kind, flexpath.KindInproc, flexpath.KindTCP, flexpath.KindUDS)
+	}
+}
+
+// Spec is a complete workflow: a name, its stages, and the stream
+// fabric they meet on.
 type Spec struct {
 	Name   string
 	Stages []Stage
+	// Transport is the backend the workflow's streams live on. Zero
+	// value = in-process broker. Components never see this — they attach
+	// through whatever sb.Transport the runner builds from it, which is
+	// exactly the re-wiring-without-recompilation property the transport
+	// contract exists for.
+	Transport TransportSpec
 }
 
 // Validate performs static checks on a spec.
 func (s Spec) Validate() error {
 	if len(s.Stages) == 0 {
 		return fmt.Errorf("workflow %q has no stages", s.Name)
+	}
+	if err := s.Transport.Validate(); err != nil {
+		return fmt.Errorf("workflow %q: %v", s.Name, err)
 	}
 	for i, st := range s.Stages {
 		if st.Procs <= 0 {
