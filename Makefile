@@ -9,12 +9,18 @@ COVER_FLOOR_workflow ?= 90.0
 # default make the whole smoke about ten seconds.
 FUZZTIME ?= 1s
 
-.PHONY: check build test vet race chaos bench cover conformance
+.PHONY: check build test vet race chaos bench cover conformance plan
 
 # The full pre-merge gate: static checks, build, the race-enabled test
-# suite, the backend conformance matrix, coverage floors, and a short
-# fuzz round of every fuzz target.
-check: vet build race conformance cover
+# suite, the backend conformance matrix, coverage floors, plan-output
+# snapshots, and a short fuzz round of every fuzz target.
+check: vet build race conformance cover plan
+
+# Golden snapshots of `sbrun -explain` for the example workflows. The
+# plan rendering is a user-facing contract; refresh intentionally with:
+#   go test ./internal/workflow -run TestPlanGolden -update
+plan:
+	$(GO) test ./internal/workflow -run TestPlanGolden -count=1
 
 # The transport contract suite under the race detector, once per stream
 # fabric backend. A backend that silently skips is a gate failure —
@@ -69,10 +75,10 @@ chaos:
 	$(GO) test ./internal/workflow -run TestChaos -v
 
 # The root benchmark suite (paper tables/figures) at reduced scale, with
-# the machine-readable results written to BENCH_PR4.json (BENCH_PR2.json
+# the machine-readable results written to BENCH_PR5.json (BENCH_PR4.json
 # is the previous baseline for regression comparison). The raw
 # `go test -bench` lines stay visible on stderr via cmd/benchjson.
 # SBBENCH_SIZE is exported (not prefixed) so both sides of the pipe see
 # it: the benchmarks to scale themselves, benchjson to stamp "_meta".
 bench:
-	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR5.json

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"reflect"
 	"strconv"
 	"testing"
 
@@ -87,10 +88,50 @@ func BenchmarkTable2AIOComparison(b *testing.B) {
 			}
 			b.ReportMetric(row.AIO.Seconds(), "aio-s")
 			b.ReportMetric(row.SB.Seconds(), "smartblock-s")
+			b.ReportMetric(row.Fused.Seconds(), "fused-s")
 			b.ReportMetric(row.SimOnly.Seconds(), "simonly-s")
 			b.ReportMetric(row.OverheadPct(), "overhead-%")
+			b.ReportMetric(row.FusedOverheadPct(), "fused-overhead-%")
 		})
 	}
+}
+
+// BenchmarkTable2Componentized and BenchmarkTable2Fused run the
+// identical Fig. 8 pipeline spec with the broker-hopping componentized
+// stages and with the plan-fusion pass applied. Their allocs/op and
+// time/op are directly comparable: fusion elides the interior stream,
+// so the fused run must allocate strictly less and finish faster while
+// producing byte-identical histograms (checked every iteration against
+// a componentized reference).
+func BenchmarkTable2Componentized(b *testing.B) {
+	benchmarkPipeline(b, false)
+}
+
+func BenchmarkTable2Fused(b *testing.B) {
+	benchmarkPipeline(b, true)
+}
+
+func benchmarkPipeline(b *testing.B, fuse bool) {
+	b.ReportAllocs()
+	particles := int(20000 * sizeFactor())
+	const steps = 3
+	_, ref, err := bench.RunPipelineOnce(context.Background(), particles, steps, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var elapsed float64
+	for i := 0; i < b.N; i++ {
+		t, hists, err := bench.RunPipelineOnce(context.Background(), particles, steps, fuse)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = t.Seconds()
+		if !reflect.DeepEqual(hists, ref) {
+			b.Fatalf("pipeline output diverged from componentized reference (fuse=%v)", fuse)
+		}
+	}
+	b.ReportMetric(elapsed, "end2end-s")
 }
 
 func BenchmarkFig10MagnitudeStrongScaling(b *testing.B) {
@@ -177,7 +218,8 @@ func BenchmarkAblationFusion(b *testing.B) {
 		}
 	}
 	b.ReportMetric(rows[0].Elapsed.Seconds(), "pipeline-s")
-	b.ReportMetric(rows[1].Elapsed.Seconds(), "fused-s")
+	b.ReportMetric(rows[1].Elapsed.Seconds(), "planfused-s")
+	b.ReportMetric(rows[2].Elapsed.Seconds(), "fused-s")
 }
 
 func BenchmarkAblationPartitionAxis(b *testing.B) {

@@ -39,6 +39,7 @@ func main() {
 	broker := flag.String("broker", "127.0.0.1:7777", "sbbroker address: host:port for tcp, socket path for uds")
 	procs := flag.Int("n", 1, "number of ranks for this component")
 	queue := flag.Int("q", 0, "writer-side queue depth for published streams (0 = default)")
+	ports := flag.Bool("ports", false, "print the component's declared stream ports and exit without running")
 	verbose := flag.Bool("v", false, "log component diagnostics")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -54,6 +55,23 @@ func main() {
 	comp, err := components.New(flag.Arg(0), flag.Args()[1:])
 	if err != nil {
 		log.Fatalf("sbcomp: %v", err)
+	}
+
+	if *ports {
+		// Port introspection: what the workflow planner sees (the same
+		// declarations `sbrun -explain` derives its dataflow edges from).
+		pd, ok := comp.(sb.PortDeclarer)
+		if !ok {
+			log.Fatalf("sbcomp: component %q declares no ports", comp.Name())
+		}
+		for _, p := range pd.Ports() {
+			if p.Array == "" {
+				fmt.Printf("%-3s %s\n", p.Dir, p.Stream)
+			} else {
+				fmt.Printf("%-3s %s[%s]\n", p.Dir, p.Stream, p.Array)
+			}
+		}
+		return
 	}
 
 	if *transportKind == flexpath.KindInproc {

@@ -1,7 +1,7 @@
 // Command sbrun launches a complete SmartBlock workflow from an
 // aprun-style job script (the paper's Fig. 8 format):
 //
-//	sbrun [-v] [-transport inproc|tcp|uds] [-broker addr] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
+//	sbrun [-v] [-explain] [-fuse] [-transport inproc|tcp|uds] [-broker addr] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
 //
 // Every aprun line becomes a component stage; all stages launch
 // simultaneously and rendezvous on their stream names. -transport (or a
@@ -27,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/flexpath"
@@ -43,6 +44,8 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "log component diagnostics")
 	lintOnly := flag.Bool("lint", false, "check the workflow's stream wiring and exit without running")
+	explain := flag.Bool("explain", false, "print the workflow plan (stages, dataflow edges, fusion analysis, lint) and exit without running")
+	fuse := flag.Bool("fuse", false, "apply the stage-fusion pass before launching (same as a `fuse` script directive)")
 	transportKind := flag.String("transport", "", "stream fabric backend: inproc, tcp, or uds (default: the script's transport directive, else inproc)")
 	broker := flag.String("broker", "", "backend address: sbbroker host:port for tcp, socket path for uds (plain -broker implies -transport tcp)")
 	maxRestarts := flag.Int("max-restarts", 0, "supervised restarts per stage for retryable failures (0 disables)")
@@ -64,13 +67,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("sbrun: %v", err)
 	}
+	if *fuse {
+		spec.Fuse = true
+	}
 
-	// Wiring check: a misnamed stream would otherwise wedge the whole job
-	// (readers block forever on a stream nobody publishes).
-	issues, err := workflow.Lint(spec)
+	// The plan IR underlies everything pre-launch: -explain prints it,
+	// lint checks it, and the fusion pass rewrites the spec from it.
+	plan, err := workflow.BuildPlan(spec)
 	if err != nil {
 		log.Fatalf("sbrun: %v", err)
 	}
+	if *explain {
+		fmt.Print(plan.Explain())
+		return
+	}
+
+	// Wiring check: a misnamed stream would otherwise wedge the whole job
+	// (readers block forever on a stream nobody publishes).
+	issues := plan.Issues()
 	fatal := false
 	for _, issue := range issues {
 		fmt.Fprintln(os.Stderr, "sbrun:", issue)
@@ -86,6 +100,23 @@ func main() {
 			fmt.Println("workflow wiring OK")
 		}
 		return
+	}
+
+	// Stage fusion: collapse eligible adjacent stages into single fused
+	// stages before launching.
+	if spec.Fuse {
+		fused, err := plan.Fuse()
+		if err != nil {
+			log.Fatalf("sbrun: %v", err)
+		}
+		for _, g := range fused.Groups {
+			fmt.Fprintf(os.Stderr, "sbrun: fused stages %v as %s (streams elided: %v)\n",
+				g.Stages, strings.Join(g.Parts, "+"), g.Elided)
+		}
+		if len(fused.Groups) == 0 && *verbose {
+			log.Printf("sbrun: fuse requested but no stage chain is eligible")
+		}
+		spec = fused.Spec
 	}
 
 	// Backend selection: the command line overrides the script's

@@ -74,8 +74,10 @@ func RunQueueDepthAblation(ctx context.Context, particles, steps int, depths []i
 }
 
 // RunFusionAblation measures pipeline granularity: the full 3-component
-// SmartBlock pipeline against the fully fused all-in-one component, at
-// one scale — the per-scale essence of Table II.
+// SmartBlock pipeline, the same pipeline with the plan-fusion pass
+// applied (select+magnitude collapsed automatically, components kept),
+// and the hand-fused all-in-one component — the per-scale essence of
+// Table II, with the optimizer as the middle ground.
 func RunFusionAblation(ctx context.Context, particles, steps int) ([]AblationRow, error) {
 	simArgs := []string{"dump.fp", "atoms", fmt.Sprint(particles), fmt.Sprint(steps), "1"}
 
@@ -86,6 +88,23 @@ func RunFusionAblation(ctx context.Context, particles, steps int) ([]AblationRow
 	pipeRes, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("bench: fusion pipeline: %w", err)
+	}
+
+	planSpec, err := lammpsPipelineSpec(particles, steps, 0)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := workflow.BuildPlan(planSpec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fusion plan: %w", err)
+	}
+	fusedSpec, err := plan.Fuse()
+	if err != nil {
+		return nil, fmt.Errorf("bench: fusion plan: %w", err)
+	}
+	planRes, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, fusedSpec.Spec, workflow.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: fusion plan-fused: %w", err)
 	}
 
 	aio, err := components.NewAIO([]string{"dump.fp", "atoms", "1", "16", "-", "vx", "vy", "vz"})
@@ -104,8 +123,41 @@ func RunFusionAblation(ctx context.Context, particles, steps int) ([]AblationRow
 	}
 	return []AblationRow{
 		{Config: "3-component pipeline (select | magnitude | histogram)", Elapsed: pipeRes.Elapsed},
+		{Config: "plan-fused pipeline (select+magnitude | histogram)", Elapsed: planRes.Elapsed},
 		{Config: "fused all-in-one", Elapsed: fusedRes.Elapsed},
 	}, nil
+}
+
+// RunPipelineOnce runs the Fig. 8 pipeline once, componentized or
+// plan-fused, and returns the elapsed time plus the histogram results —
+// the primitive behind the BenchmarkTable2Componentized /
+// BenchmarkTable2Fused pair, whose allocs/op and time/op must favor
+// the fused configuration while the histograms stay byte-identical.
+func RunPipelineOnce(ctx context.Context, particles, steps int, fuse bool) (time.Duration, []components.StepHistogram, error) {
+	spec, err := lammpsPipelineSpec(particles, steps, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	hist := spec.Stages[len(spec.Stages)-1].Instance.(*components.Histogram)
+	if fuse {
+		plan, err := workflow.BuildPlan(spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		fused, err := plan.Fuse()
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(fused.Groups) == 0 {
+			return 0, nil, fmt.Errorf("bench: pipeline spec lost its fusable chain")
+		}
+		spec = fused.Spec
+	}
+	res, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, spec, workflow.Options{})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Elapsed, hist.Results(), nil
 }
 
 // RunPartitionPolicyAblation measures the partition-axis choice on the

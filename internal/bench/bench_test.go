@@ -169,7 +169,7 @@ func TestFusionAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
+	if len(rows) != 3 {
 		t.Fatalf("rows = %+v", rows)
 	}
 }

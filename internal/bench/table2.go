@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"time"
 
 	"repro/internal/components"
@@ -69,15 +70,17 @@ func DefaultAIOScales(sizeFactor float64) []AIOScale {
 	return scales
 }
 
-// AIOComparisonRow is one Table II row: completion times of the three
+// AIOComparisonRow is one Table II row: completion times of the four
 // configurations at one scale.
 type AIOComparisonRow struct {
-	Scale   AIOScale
-	AIO     time.Duration // LAMMPS + all-in-one analysis component
-	SB      time.Duration // LAMMPS + Select → Magnitude → Histogram
-	SimOnly time.Duration // LAMMPS with output routines disabled
-	AIOHist []components.StepHistogram
-	SBHist  []components.StepHistogram
+	Scale     AIOScale
+	AIO       time.Duration // LAMMPS + all-in-one analysis component
+	SB        time.Duration // LAMMPS + Select → Magnitude → Histogram
+	Fused     time.Duration // the SB spec with the plan-fusion pass applied
+	SimOnly   time.Duration // LAMMPS with output routines disabled
+	AIOHist   []components.StepHistogram
+	SBHist    []components.StepHistogram
+	FusedHist []components.StepHistogram
 }
 
 // OverheadPct is the SmartBlock-over-AIO completion time increase the
@@ -87,6 +90,16 @@ func (r AIOComparisonRow) OverheadPct() float64 {
 		return 0
 	}
 	return (r.SB.Seconds() - r.AIO.Seconds()) / r.AIO.Seconds() * 100
+}
+
+// FusedOverheadPct is the fused-pipeline-over-AIO completion time
+// increase — what componentization costs once the fusion pass has
+// recovered the AIO dataflow shape.
+func (r AIOComparisonRow) FusedOverheadPct() float64 {
+	if r.AIO <= 0 {
+		return 0
+	}
+	return (r.Fused.Seconds() - r.AIO.Seconds()) / r.AIO.Seconds() * 100
 }
 
 // RunAIOComparison executes the Table II sweep with a single repetition
@@ -161,6 +174,47 @@ func RunAIOComparisonRepeated(ctx context.Context, scales []AIOScale, repeats in
 			row.SBHist = hist.(*components.Histogram).Results()
 		}
 
+		// (b2) SmartBlock fused: the identical componentized spec with the
+		// plan-fusion pass applied (select+magnitude collapse into one
+		// stage when their rank counts match). The histograms must match
+		// the componentized run bit for bit — the sims are deterministic,
+		// so any divergence is a fusion bug and fails the benchmark.
+		for rep := 0; rep < repeats; rep++ {
+			hist, err := components.NewHistogram([]string{"velos.fp", "velocities", fmt.Sprint(s.Bins)})
+			if err != nil {
+				return nil, err
+			}
+			plan, err := workflow.BuildPlan(workflow.Spec{
+				Name: "fused-" + s.Name,
+				Stages: []workflow.Stage{
+					{Component: "lammps", Args: simArgs, Procs: s.SimProcs},
+					{Component: "select", Args: []string{"dump.fp", "atoms", "1",
+						"lmpselect.fp", "lmpsel", "vx", "vy", "vz"}, Procs: s.AnalysisProcs},
+					{Component: "magnitude", Args: []string{"lmpselect.fp", "lmpsel",
+						"velos.fp", "velocities"}, Procs: s.MagProcs},
+					{Instance: hist, Procs: s.HistProcs},
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: table2 fused %s: %w", s.Name, err)
+			}
+			fused, err := plan.Fuse()
+			if err != nil {
+				return nil, fmt.Errorf("bench: table2 fused %s: %w", s.Name, err)
+			}
+			res, err := workflow.Run(ctx, sb.BrokerTransport{Broker: flexpath.NewBroker()}, fused.Spec, workflow.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("bench: table2 fused %s: %w", s.Name, err)
+			}
+			if row.Fused == 0 || res.Elapsed < row.Fused {
+				row.Fused = res.Elapsed
+			}
+			row.FusedHist = hist.(*components.Histogram).Results()
+			if !reflect.DeepEqual(row.FusedHist, row.SBHist) {
+				return nil, fmt.Errorf("bench: table2 fused %s: histogram diverged from componentized run", s.Name)
+			}
+		}
+
 		// (c) Simulation only, output routines removed.
 		onlyArgs := append([]string{"-"}, simArgs[1:]...)
 		for rep := 0; rep < repeats; rep++ {
@@ -182,16 +236,20 @@ func RunAIOComparisonRepeated(ctx context.Context, scales []AIOScale, repeats in
 	return rows, nil
 }
 
-// FormatTable2 renders the Table II reproduction.
+// FormatTable2 renders the Table II reproduction, extended with the
+// plan-fused configuration.
 func FormatTable2(rows []AIOComparisonRow) string {
-	t := newTable("SIM output (MB)", "AIO time (sec)", "SmartBlock time (sec)", "LMP only (sec)", "SB overhead (%)")
+	t := newTable("SIM output (MB)", "AIO time (sec)", "SmartBlock time (sec)", "Fused time (sec)",
+		"LMP only (sec)", "SB overhead (%)", "Fused overhead (%)")
 	for _, r := range rows {
 		t.row(
 			Sizef(r.Scale.OutputBytes()),
 			Seconds(r.AIO),
 			Seconds(r.SB),
+			Seconds(r.Fused),
 			Seconds(r.SimOnly),
 			fmt.Sprintf("%+.1f", r.OverheadPct()),
+			fmt.Sprintf("%+.1f", r.FusedOverheadPct()),
 		)
 	}
 	return "Table II: LAMMPS — SmartBlock vs. all-in-one comparison, end-to-end times\n" + t.String()

@@ -55,15 +55,10 @@ func NewDimReduce(args []string) (sb.Component, error) {
 // Name implements sb.Component.
 func (d *DimReduce) Name() string { return "dim-reduce" }
 
-// Run implements sb.Component.
+// Run implements sb.Component via the kernel seam (see ports.go).
 func (d *DimReduce) Run(env *sb.Env) error {
-	return sb.RunMap(env, sb.MapConfig{
-		Name:     "dim-reduce",
-		InStream: d.InStream, InArray: d.InArray,
-		OutStream: d.OutStream, OutArray: d.OutArray,
-		Policy:       d.Policy,
-		ForwardAttrs: true,
-	}, d)
+	cfg, kernel := d.MapSpec()
+	return sb.RunMap(env, cfg, kernel)
 }
 
 // ReservedAxes implements sb.MapKernel. The removed axis must be whole

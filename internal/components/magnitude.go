@@ -40,15 +40,10 @@ func NewMagnitude(args []string) (sb.Component, error) {
 // Name implements sb.Component.
 func (m *Magnitude) Name() string { return "magnitude" }
 
-// Run implements sb.Component.
+// Run implements sb.Component via the kernel seam (see ports.go).
 func (m *Magnitude) Run(env *sb.Env) error {
-	return sb.RunMap(env, sb.MapConfig{
-		Name:     "magnitude",
-		InStream: m.InStream, InArray: m.InArray,
-		OutStream: m.OutStream, OutArray: m.OutArray,
-		Policy:       m.Policy,
-		ForwardAttrs: false, // the vector header does not describe the output
-	}, m)
+	cfg, kernel := m.MapSpec()
+	return sb.RunMap(env, cfg, kernel)
 }
 
 // ReservedAxes implements sb.MapKernel: partitioning must be across the

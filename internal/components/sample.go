@@ -52,15 +52,10 @@ func (s *Sample) InputStreams() []string { return []string{s.InStream} }
 // OutputStreams implements workflow.StreamDeclarer.
 func (s *Sample) OutputStreams() []string { return []string{s.OutStream} }
 
-// Run implements sb.Component.
+// Run implements sb.Component via the kernel seam (see ports.go).
 func (s *Sample) Run(env *sb.Env) error {
-	return sb.RunMap(env, sb.MapConfig{
-		Name:     "sample",
-		InStream: s.InStream, InArray: s.InArray,
-		OutStream: s.OutStream, OutArray: s.OutArray,
-		Policy:       s.Policy,
-		ForwardAttrs: true,
-	}, s)
+	cfg, kernel := s.MapSpec()
+	return sb.RunMap(env, cfg, kernel)
 }
 
 // ReservedAxes implements sb.MapKernel. Any axis may be partitioned:

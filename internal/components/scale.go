@@ -56,15 +56,10 @@ func (s *Scale) InputStreams() []string { return []string{s.InStream} }
 // OutputStreams implements workflow.StreamDeclarer.
 func (s *Scale) OutputStreams() []string { return []string{s.OutStream} }
 
-// Run implements sb.Component.
+// Run implements sb.Component via the kernel seam (see ports.go).
 func (s *Scale) Run(env *sb.Env) error {
-	return sb.RunMap(env, sb.MapConfig{
-		Name:     "scale",
-		InStream: s.InStream, InArray: s.InArray,
-		OutStream: s.OutStream, OutArray: s.OutArray,
-		Policy:       s.Policy,
-		ForwardAttrs: true,
-	}, s)
+	cfg, kernel := s.MapSpec()
+	return sb.RunMap(env, cfg, kernel)
 }
 
 // ReservedAxes implements sb.MapKernel: element-wise, any axis may be

@@ -48,15 +48,10 @@ func NewSelect(args []string) (sb.Component, error) {
 // Name implements sb.Component.
 func (s *Select) Name() string { return "select" }
 
-// Run implements sb.Component.
+// Run implements sb.Component via the kernel seam (see ports.go).
 func (s *Select) Run(env *sb.Env) error {
-	return sb.RunMap(env, sb.MapConfig{
-		Name:     "select",
-		InStream: s.InStream, InArray: s.InArray,
-		OutStream: s.OutStream, OutArray: s.OutArray,
-		Policy:       s.Policy,
-		ForwardAttrs: true,
-	}, s)
+	cfg, kernel := s.MapSpec()
+	return sb.RunMap(env, cfg, kernel)
 }
 
 // ReservedAxes implements sb.MapKernel: the filtered axis must stay whole

@@ -1,0 +1,190 @@
+// Direct is the broker-free handoff path for fused workflow edges. When
+// the stage-fusion optimizer collapses two adjacent components into one
+// stage, the stream between them disappears from the fabric: there is no
+// queueing, no frame codec, no liveness tracking — the producing kernel's
+// output blocks are handed to the consuming kernel in place. Most fused
+// edges need nothing at all (the upstream rank's output block is exactly
+// the partition the downstream kernel would have requested); Direct
+// covers the remainder, where the downstream kernel partitions along a
+// different axis and each rank must assemble its box from its peers'
+// blocks — the same M×N bounding-box exchange the broker performs, minus
+// everything a broker exists for.
+package flexpath
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/ndarray"
+)
+
+// DirectBlock is one rank's contribution to a fused-edge exchange: its
+// output block, the box it occupies in the global array, and the global
+// dimensions every rank must agree on.
+type DirectBlock struct {
+	Dims []ndarray.Dim
+	Box  ndarray.Box
+	Data []float64
+}
+
+// Direct is a single-step exchange among the ranks of one fused stage.
+// Unlike a broker stream it holds exactly one step in flight: every rank
+// publishes its block for step s, awaits its peers, assembles what it
+// needs, and releases — only then does the exchange advance to s+1. The
+// lockstep is free inside a fused stage, whose ranks already advance
+// step-by-step together.
+type Direct struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	size      int
+	step      int
+	published int
+	released  int
+	blocks    []DirectBlock
+}
+
+// NewDirect creates an exchange for a fused stage of the given rank
+// count.
+func NewDirect(size int) *Direct {
+	d := &Direct{size: size, blocks: make([]DirectBlock, size)}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// wait blocks on the exchange condition until pred holds or ctx is done.
+// The caller must hold d.mu; wait returns holding it.
+func (d *Direct) wait(ctx context.Context, pred func() bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+		defer stop()
+	}
+	for !pred() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		d.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+// Publish deposits this rank's block for the given step. It blocks until
+// the exchange has advanced to that step (all ranks released the
+// previous one).
+func (d *Direct) Publish(ctx context.Context, step, rank int, blk DirectBlock) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rank < 0 || rank >= d.size {
+		return fmt.Errorf("flexpath: direct publish from rank %d of %d", rank, d.size)
+	}
+	if step < d.step {
+		return fmt.Errorf("flexpath: direct publish for retired step %d (at %d)", step, d.step)
+	}
+	if err := d.wait(ctx, func() bool { return d.step == step }); err != nil {
+		return err
+	}
+	d.blocks[rank] = blk
+	d.published++
+	d.cond.Broadcast()
+	return nil
+}
+
+// Await blocks until every rank has published the given step and returns
+// the blocks, indexed by rank. The slice is shared — callers read, never
+// write, and must not retain it past Release.
+func (d *Direct) Await(ctx context.Context, step int) ([]DirectBlock, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if step < d.step {
+		return nil, fmt.Errorf("flexpath: direct await for retired step %d (at %d)", step, d.step)
+	}
+	if err := d.wait(ctx, func() bool { return d.step == step && d.published == d.size }); err != nil {
+		return nil, err
+	}
+	return d.blocks, nil
+}
+
+// Release marks this rank done with the step; when every rank has
+// released, the blocks are dropped and the exchange advances.
+func (d *Direct) Release(step int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if step != d.step {
+		return fmt.Errorf("flexpath: direct release of step %d (at %d)", step, d.step)
+	}
+	d.released++
+	if d.released == d.size {
+		d.step++
+		d.published = 0
+		d.released = 0
+		for i := range d.blocks {
+			d.blocks[i] = DirectBlock{}
+		}
+	}
+	d.cond.Broadcast()
+	return nil
+}
+
+// AssembleBox builds the requested box of the global array from the
+// published blocks — the reader side of the M×N exchange. When a single
+// block covers the box exactly, its data is returned without copying
+// (the zero-copy fast path of a partition-aligned fused edge); otherwise
+// a fresh array is filled from every intersecting block. Dims label the
+// result's axes with the global dimension names.
+func AssembleBox(blocks []DirectBlock, box ndarray.Box) (*ndarray.Array, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("flexpath: assemble from no blocks")
+	}
+	dims := blocks[0].Dims
+	for _, blk := range blocks {
+		if blk.Box.Equal(box) {
+			outDims := make([]ndarray.Dim, len(dims))
+			for i := range dims {
+				outDims[i] = ndarray.Dim{Name: dims[i].Name, Size: box.Counts[i]}
+			}
+			return ndarray.FromData(blk.Data, outDims...)
+		}
+	}
+	outDims := make([]ndarray.Dim, len(dims))
+	for i := range dims {
+		outDims[i] = ndarray.Dim{Name: dims[i].Name, Size: box.Counts[i]}
+	}
+	dst := ndarray.New(outDims...)
+	covered := 0
+	for _, blk := range blocks {
+		inter, ok := box.Intersect(blk.Box)
+		if !ok {
+			continue
+		}
+		blkDims := make([]ndarray.Dim, len(inter.Counts))
+		for i := range inter.Counts {
+			blkDims[i] = ndarray.Dim{Size: blk.Box.Counts[i]}
+		}
+		src, err := ndarray.FromData(blk.Data, blkDims...)
+		if err != nil {
+			return nil, fmt.Errorf("flexpath: assemble: %w", err)
+		}
+		srcOff := make([]int, len(inter.Offsets))
+		dstOff := make([]int, len(inter.Offsets))
+		for i := range inter.Offsets {
+			srcOff[i] = inter.Offsets[i] - blk.Box.Offsets[i]
+			dstOff[i] = inter.Offsets[i] - box.Offsets[i]
+		}
+		if err := ndarray.CopyRegion(dst, dstOff, src, srcOff, inter.Counts); err != nil {
+			return nil, fmt.Errorf("flexpath: assemble: %w", err)
+		}
+		covered += inter.Volume()
+	}
+	if covered != box.Volume() {
+		return nil, fmt.Errorf("flexpath: assemble: blocks cover %d of %d elements of box %v",
+			covered, box.Volume(), box)
+	}
+	return dst, nil
+}

@@ -1,0 +1,180 @@
+package flexpath
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ndarray"
+)
+
+func directBlock(t *testing.T, off, cnt int, vals ...float64) DirectBlock {
+	t.Helper()
+	if len(vals) != cnt {
+		t.Fatalf("block values %d != count %d", len(vals), cnt)
+	}
+	return DirectBlock{
+		Dims: []ndarray.Dim{{Name: "x", Size: 8}},
+		Box:  ndarray.Box{Offsets: []int{off}, Counts: []int{cnt}},
+		Data: vals,
+	}
+}
+
+// TestDirectExchangeRoundTrip drives two ranks through two steps: each
+// publishes its half, awaits the pair, and releases — and the exchange
+// advances in lockstep.
+func TestDirectExchangeRoundTrip(t *testing.T) {
+	d := NewDirect(2)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for step := 0; step < 2; step++ {
+				base := float64(10*step + 4*rank)
+				blk := directBlock(t, 4*rank, 4, base, base+1, base+2, base+3)
+				if err := d.Publish(ctx, step, rank, blk); err != nil {
+					errs[rank] = err
+					return
+				}
+				blocks, err := d.Await(ctx, step)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				whole := ndarray.Box{Offsets: []int{0}, Counts: []int{8}}
+				arr, err := AssembleBox(blocks, whole)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				for i, v := range arr.Data() {
+					want := float64(10*step) + float64(i)
+					if v != want {
+						t.Errorf("rank %d step %d: element %d = %v, want %v", rank, step, i, v, want)
+					}
+				}
+				if err := d.Release(step); err != nil {
+					errs[rank] = err
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// TestDirectRetiredStep rejects operations on steps the exchange has
+// already advanced past.
+func TestDirectRetiredStep(t *testing.T) {
+	d := NewDirect(1)
+	ctx := context.Background()
+	blk := directBlock(t, 0, 4, 1, 2, 3, 4)
+	if err := d.Publish(ctx, 0, 0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Await(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Publish(ctx, 0, 0, blk); err == nil {
+		t.Fatal("publish into retired step succeeded")
+	}
+	if _, err := d.Await(ctx, 0); err == nil {
+		t.Fatal("await of retired step succeeded")
+	}
+	if err := d.Release(0); err == nil {
+		t.Fatal("release of retired step succeeded")
+	}
+	if err := d.Publish(ctx, 0, 3, blk); err == nil {
+		t.Fatal("publish from out-of-range rank succeeded")
+	}
+}
+
+// TestDirectAwaitHonorsContext: a rank awaiting a peer that never
+// publishes unblocks when its context is cancelled (the supervised-
+// restart escape hatch).
+func TestDirectAwaitHonorsContext(t *testing.T) {
+	d := NewDirect(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := d.Publish(ctx, 0, 0, directBlock(t, 0, 4, 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Await(ctx, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("await returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("await did not unblock on cancellation")
+	}
+}
+
+// TestAssembleBoxZeroCopy: when one block covers the requested box
+// exactly, the assembled array aliases its data — the aligned fused
+// edge moves no bytes.
+func TestAssembleBoxZeroCopy(t *testing.T) {
+	blocks := []DirectBlock{
+		directBlock(t, 0, 4, 1, 2, 3, 4),
+		directBlock(t, 4, 4, 5, 6, 7, 8),
+	}
+	box := ndarray.Box{Offsets: []int{4}, Counts: []int{4}}
+	arr, err := AssembleBox(blocks, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks[1].Data[0] = 99
+	if arr.Data()[0] != 99 {
+		t.Fatal("aligned assembly copied instead of aliasing")
+	}
+}
+
+// TestAssembleBoxCrossPartition assembles a box spanning two blocks.
+func TestAssembleBoxCrossPartition(t *testing.T) {
+	blocks := []DirectBlock{
+		directBlock(t, 0, 4, 1, 2, 3, 4),
+		directBlock(t, 4, 4, 5, 6, 7, 8),
+	}
+	box := ndarray.Box{Offsets: []int{2}, Counts: []int{4}}
+	arr, err := AssembleBox(blocks, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4, 5, 6}
+	for i, v := range arr.Data() {
+		if v != want[i] {
+			t.Fatalf("assembled = %v, want %v", arr.Data(), want)
+		}
+	}
+}
+
+// TestAssembleBoxCoverageError: a box the published blocks do not fully
+// cover is an error, not silently zero-filled data.
+func TestAssembleBoxCoverageError(t *testing.T) {
+	blocks := []DirectBlock{directBlock(t, 0, 4, 1, 2, 3, 4)}
+	box := ndarray.Box{Offsets: []int{2}, Counts: []int{4}}
+	if _, err := AssembleBox(blocks, box); err == nil {
+		t.Fatal("partial coverage assembled without error")
+	}
+	if _, err := AssembleBox(nil, box); err == nil {
+		t.Fatal("assembly from no blocks succeeded")
+	}
+}

@@ -15,6 +15,18 @@ import (
 func Format(spec workflow.Spec) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# workflow %s\n", spec.Name)
+	if spec.Transport.Kind != "" {
+		sb.WriteString("transport ")
+		sb.WriteString(quoteArg(spec.Transport.Kind))
+		if spec.Transport.Addr != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(quoteArg(spec.Transport.Addr))
+		}
+		sb.WriteByte('\n')
+	}
+	if spec.Fuse {
+		sb.WriteString("fuse\n")
+	}
 	for i, st := range spec.Stages {
 		name := st.Component
 		if name == "" {

@@ -13,6 +13,10 @@ func FuzzParse(f *testing.F) {
 	f.Add("aprun histogram 'a b.fp' x 4 &\nwait")
 	f.Add("# only a comment")
 	f.Add("aprun -q 3 -n 2 magnitude a.fp x b.fp y &")
+	f.Add("transport uds /tmp/b.sock\nfuse\naprun -n 1 histogram a.fp x 4 &\nwait")
+	f.Add("transport inproc\ntransport tcp 1.2.3.4:7\naprun -n 1 histogram a.fp x 4")
+	f.Add("fuse\nfuse\naprun -n 1 histogram a.fp x 4")
+	f.Add("fuse extra\naprun -n 1 histogram a.fp x 4")
 	f.Fuzz(func(t *testing.T, script string) {
 		spec, err := Parse("fuzz", script)
 		if err != nil {
@@ -30,9 +34,15 @@ func FuzzParse(f *testing.F) {
 		if len(again.Stages) != len(spec.Stages) {
 			t.Fatalf("round trip changed stage count: %d vs %d", len(again.Stages), len(spec.Stages))
 		}
+		if again.Transport != spec.Transport {
+			t.Fatalf("round trip changed transport: %+v vs %+v", again.Transport, spec.Transport)
+		}
+		if again.Fuse != spec.Fuse {
+			t.Fatalf("round trip changed fuse: %v vs %v", again.Fuse, spec.Fuse)
+		}
 		for i := range spec.Stages {
 			a, b := spec.Stages[i], again.Stages[i]
-			if a.Component != b.Component || a.Procs != b.Procs || len(a.Args) != len(b.Args) {
+			if a.Component != b.Component || a.Procs != b.Procs || a.QueueDepth != b.QueueDepth || len(a.Args) != len(b.Args) {
 				t.Fatalf("round trip changed stage %d: %+v vs %+v", i, a, b)
 			}
 		}

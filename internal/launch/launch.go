@@ -11,11 +11,14 @@
 //	wait
 //
 // Supported syntax: `aprun -n <procs> [-q <queue-depth>] <component>
-// <args…> [&]`, blank lines, `#` comments, a trailing `wait`, and an
+// <args…> [&]`, blank lines, `#` comments, a trailing `wait`, an
 // optional `transport <kind> [addr]` directive selecting the stream
 // fabric the workflow runs over (inproc, tcp host:port, or uds
-// /path/to.sock). Components are resolved by name at run time against
-// the registry in package components.
+// /path/to.sock), and an optional `fuse` directive asking the runner to
+// apply the stage-fusion pass (see workflow.Plan.Fuse) before
+// launching. Each directive may appear at most once. Components are
+// resolved by name at run time against the registry in package
+// components.
 package launch
 
 import (
@@ -69,6 +72,19 @@ func Parse(name string, script string) (workflow.Spec, error) {
 					Msg: "duplicate transport directive"}
 			}
 			spec.Transport = ts
+			continue
+		}
+		if line == "fuse" || strings.HasPrefix(line, "fuse ") || strings.HasPrefix(line, "fuse\t") {
+			tokens, err := tokenize(line)
+			if err != nil || len(tokens) != 1 {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "fuse directive takes no arguments"}
+			}
+			if spec.Fuse {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "duplicate fuse directive"}
+			}
+			spec.Fuse = true
 			continue
 		}
 		stage, err := parseLine(lineNo+1, raw, line)

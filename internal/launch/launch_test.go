@@ -100,6 +100,8 @@ func TestParseErrors(t *testing.T) {
 		"bare transport":   "transport\naprun -n 1 histogram a.fp x 4",
 		"transport extras": "transport tcp 1.2.3.4:7 extra\naprun -n 1 histogram a.fp x 4",
 		"two transports":   "transport inproc\ntransport tcp 1.2.3.4:7\naprun -n 1 histogram a.fp x 4",
+		"two fuses":        "fuse\nfuse\naprun -n 1 histogram a.fp x 4",
+		"fuse extras":      "fuse hard\naprun -n 1 histogram a.fp x 4",
 	}
 	for name, script := range cases {
 		if _, err := Parse(name, script); err == nil {
@@ -135,6 +137,67 @@ func TestParseTransportDirective(t *testing.T) {
 	spec.Transport = workflow.TransportSpec{Kind: "tcp"}
 	if err := spec.Validate(); err == nil {
 		t.Fatal("tcp without address validated")
+	}
+}
+
+func TestParseFuseDirective(t *testing.T) {
+	spec, err := Parse("f", "fuse\naprun -n 1 histogram a.fp x 4\nwait\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Fuse {
+		t.Fatal("fuse directive not recorded")
+	}
+	spec, err = Parse("f", "aprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fuse {
+		t.Fatal("fuse set without directive")
+	}
+}
+
+func TestParseDuplicateDirectivesReportLine(t *testing.T) {
+	cases := map[string]struct {
+		script string
+		line   int
+	}{
+		"transport": {"transport inproc\ntransport inproc\naprun -n 1 histogram a.fp x 4", 2},
+		"fuse":      {"fuse\n# comment\nfuse\naprun -n 1 histogram a.fp x 4", 3},
+	}
+	for name, tc := range cases {
+		_, err := Parse(name, tc.script)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: err = %v", name, err)
+		}
+		if pe.Line != tc.line || !strings.Contains(pe.Msg, "duplicate") {
+			t.Fatalf("%s: parse error = %+v", name, pe)
+		}
+	}
+}
+
+func TestFormatRendersDirectives(t *testing.T) {
+	spec, err := Parse("rt", "transport uds /tmp/b.sock\nfuse\naprun -n 2 -q 4 magnitude a.fp x b.fp y &\nwait\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "transport uds /tmp/b.sock\n") || !strings.Contains(text, "fuse\n") {
+		t.Fatalf("formatted script missing directives:\n%s", text)
+	}
+	again, err := Parse("rt2", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Transport != spec.Transport || again.Fuse != spec.Fuse {
+		t.Fatalf("round trip lost directives: %+v fuse=%v", again.Transport, again.Fuse)
+	}
+	if again.Stages[0].QueueDepth != 4 {
+		t.Fatalf("round trip lost queue depth: %+v", again.Stages[0])
 	}
 }
 

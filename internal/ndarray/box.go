@@ -71,6 +71,19 @@ func (b Box) ValidIn(shape []int) error {
 }
 
 // Contains reports whether the multi-dimensional point lies inside the box.
+// Equal reports whether two boxes describe the same region.
+func (b Box) Equal(o Box) bool {
+	if b.NDim() != o.NDim() {
+		return false
+	}
+	for i := range b.Offsets {
+		if b.Offsets[i] != o.Offsets[i] || b.Counts[i] != o.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (b Box) Contains(idx []int) bool {
 	if len(idx) != len(b.Offsets) {
 		return false

@@ -129,10 +129,13 @@ func RunMap(env *Env, cfg MapConfig, kernel MapKernel) error {
 // resumed writer already has), release. It reports end-of-stream via
 // eof, the step's active duration (excluding the wait for the
 // producer), and the payload bytes moved.
+//
+// The body is a composition of the kernel seam below — partitionFor,
+// transformKernel, publishOutput — the same pieces the fused runner
+// (fuse.go) chains back-to-back without the intermediate stream hop.
 func runMapStep(env *Env, cfg MapConfig, kernel MapKernel, r *adios.Reader, w *adios.Writer,
 	ctx context.Context, step int, stepSpan obs.SpanID) (eof bool, active time.Duration, bytesIn, bytesOut int64, err error) {
 	rank, size := env.Comm.Rank(), env.Comm.Size()
-	tr := env.Tracer
 	fail := func(e error) (bool, time.Duration, int64, int64, error) {
 		return false, 0, bytesIn, bytesOut, fmt.Errorf("%s: step %d: %w", cfg.Name, step, e)
 	}
@@ -148,66 +151,94 @@ func runMapStep(env *Env, cfg MapConfig, kernel MapKernel, r *adios.Reader, w *a
 	if !ok {
 		return false, 0, 0, 0, fmt.Errorf("%s: step %d of stream %q has no array %q", cfg.Name, step, cfg.InStream, cfg.InArray)
 	}
-	reserved, err := kernel.ReservedAxes(v, info)
+	box, err := partitionFor(kernel, cfg.Policy, v, info, size, rank)
 	if err != nil {
 		return fail(err)
 	}
-	axis, err := ChooseAxis(cfg.Policy, v.Shape(), reserved...)
-	if err != nil {
-		return fail(err)
-	}
-	box := PartitionBox(v.Shape(), axis, size, rank)
 	block, err := r.ReadBox(ctx, cfg.InArray, box)
 	if err != nil {
 		return fail(err)
 	}
 	bytesIn = int64(block.Size() * 8)
-	var kStart int64
-	if tr.Enabled() {
-		kStart = tr.Now()
-	}
-	out, err := kernel.Transform(&StepInput{Info: info, Var: v, Box: box, Block: block, Env: env, Reader: r})
-	if tr.Enabled() {
-		span := obs.Span{Kind: obs.KindKernelTransform, Parent: stepSpan,
-			Stream: cfg.InStream, Step: step, Rank: rank, Peer: -1,
-			Bytes: bytesIn, Epoch: env.Epoch, Note: cfg.Name, Start: kStart}
-		if err != nil {
-			span.Err = err.Error()
-		}
-		tr.Emit(span)
-	}
+	out, err := transformKernel(env, cfg.Name, cfg.InStream, kernel, stepSpan, step,
+		&StepInput{Info: info, Var: v, Box: box, Block: block, Env: env, Reader: r})
 	if err != nil {
 		return fail(err)
 	}
 	bytesOut = int64(len(out.Data) * 8)
-	// Exactly-once republish: a restarted rank that crashed between
-	// publishing step N and releasing its input re-reads step N but
-	// must not publish it twice — the resumed writer is already past it.
-	if w.Steps() <= step {
-		if err := w.BeginStep(); err != nil {
-			return fail(err)
-		}
-		if cfg.ForwardAttrs {
-			for k, val := range info.Attrs {
-				if err := w.SetAttribute(k, val); err != nil {
-					return fail(err)
-				}
-			}
-		}
-		for k, val := range out.Attrs {
-			if err := w.SetAttribute(k, val); err != nil {
-				return fail(err)
-			}
-		}
-		if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
-			return fail(err)
-		}
-		if err := w.EndStep(ctx); err != nil {
-			return fail(err)
-		}
+	if err := publishOutput(env, cfg, w, ctx, step, info.Attrs, out); err != nil {
+		return fail(err)
 	}
 	if err := r.EndStep(); err != nil {
 		return fail(err)
 	}
 	return false, time.Since(begin), bytesIn, bytesOut, nil
+}
+
+// partitionFor computes the box one rank reads of variable v for the
+// given kernel: the kernel reserves axes that must stay whole, the
+// policy picks the partition axis among the rest.
+func partitionFor(kernel MapKernel, policy PartitionPolicy, v *adios.GlobalVar, info *adios.StepInfo, size, rank int) (ndarray.Box, error) {
+	reserved, err := kernel.ReservedAxes(v, info)
+	if err != nil {
+		return ndarray.Box{}, err
+	}
+	axis, err := ChooseAxis(policy, v.Shape(), reserved...)
+	if err != nil {
+		return ndarray.Box{}, err
+	}
+	return PartitionBox(v.Shape(), axis, size, rank), nil
+}
+
+// transformKernel runs one kernel Transform with its kernel.transform
+// span, emitted under stepSpan whether the call succeeds or fails.
+func transformKernel(env *Env, name, stream string, kernel MapKernel, stepSpan obs.SpanID, step int, in *StepInput) (*StepOutput, error) {
+	tr := env.Tracer
+	var kStart int64
+	if tr.Enabled() {
+		kStart = tr.Now()
+	}
+	out, err := kernel.Transform(in)
+	if tr.Enabled() {
+		span := obs.Span{Kind: obs.KindKernelTransform, Parent: stepSpan,
+			Stream: stream, Step: step, Rank: env.Comm.Rank(), Peer: -1,
+			Bytes: int64(in.Block.Size() * 8), Epoch: env.Epoch, Note: name, Start: kStart}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		tr.Emit(span)
+	}
+	return out, err
+}
+
+// publishOutput republishes one kernel output downstream with
+// exactly-once semantics: a restarted rank that crashed between
+// publishing step N and releasing its input re-reads step N but must
+// not publish it twice — the resumed writer is already past it.
+// upstreamAttrs are forwarded first when the config asks for it, then
+// the kernel's own attributes override.
+func publishOutput(env *Env, cfg MapConfig, w *adios.Writer, ctx context.Context, step int,
+	upstreamAttrs map[string]string, out *StepOutput) error {
+	if w.Steps() > step {
+		return nil
+	}
+	if err := w.BeginStep(); err != nil {
+		return err
+	}
+	if cfg.ForwardAttrs {
+		for k, val := range upstreamAttrs {
+			if err := w.SetAttribute(k, val); err != nil {
+				return err
+			}
+		}
+	}
+	for k, val := range out.Attrs {
+		if err := w.SetAttribute(k, val); err != nil {
+			return err
+		}
+	}
+	if err := w.Write(cfg.OutArray, out.GlobalDims, out.Box, out.Data); err != nil {
+		return err
+	}
+	return w.EndStep(ctx)
 }

@@ -251,3 +251,12 @@ func (s *Sim) OutputStreams() []string {
 	}
 	return []string{s.Stream}
 }
+
+// Ports implements sb.PortDeclarer: the simulation drives the workflow,
+// publishing its position array (nothing when output is disabled).
+func (s *Sim) Ports() []sb.Port {
+	if s.Stream == "-" {
+		return nil
+	}
+	return []sb.Port{{Dir: sb.PortOut, Stream: s.Stream, Array: s.Array}}
+}

@@ -316,3 +316,12 @@ func (s *Sim) OutputStreams() []string {
 	}
 	return []string{s.Stream}
 }
+
+// Ports implements sb.PortDeclarer: the simulation drives the workflow,
+// publishing its field array (nothing when output is disabled).
+func (s *Sim) Ports() []sb.Port {
+	if s.Stream == "-" {
+		return nil
+	}
+	return []sb.Port{{Dir: sb.PortOut, Stream: s.Stream, Array: s.Array}}
+}

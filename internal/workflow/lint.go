@@ -1,10 +1,6 @@
 package workflow
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"repro/internal/components"
 	"repro/internal/sb"
 )
@@ -31,94 +27,29 @@ type LintIssue struct {
 
 func (i LintIssue) String() string { return i.Severity + ": " + i.Message }
 
-// Lint instantiates the spec's components (without running them) and
-// cross-checks the stream graph:
+// Lint builds the workflow's plan (instantiating its components without
+// running them) and cross-checks the dataflow graph:
 //
 //   - every subscribed stream must have exactly one publishing stage;
 //   - a published stream nobody subscribes to is flagged (the writer
 //     will fill its queue and stall once the buffer is exhausted);
 //   - two stages publishing the same stream is an error (a stream has
 //     one writer group);
-//   - self-loops (a stage consuming its own output) are an error.
+//   - self-loops (a stage consuming its own output) and longer dataflow
+//     cycles are errors;
+//   - a stage allocating more ranks than its input's producer is a
+//     rank-mismatch warning.
 //
-// Stages whose components do not implement StreamDeclarer are skipped
-// conservatively: streams they might touch are not reported at all.
+// Stages whose components declare nothing (neither PortDeclarer nor
+// StreamDeclarer) are skipped conservatively: streams they might touch
+// are not reported at all. See Plan.Issues for the checks themselves —
+// Lint is the thin spec-level entry point.
 func Lint(spec Spec) ([]LintIssue, error) {
-	if err := spec.Validate(); err != nil {
+	plan, err := BuildPlan(spec)
+	if err != nil {
 		return nil, err
 	}
-	type stageStreams struct {
-		name   string
-		ins    []string
-		outs   []string
-		opaque bool
-	}
-	stages := make([]stageStreams, 0, len(spec.Stages))
-	anyOpaque := false
-	for i, st := range spec.Stages {
-		comp := st.Instance
-		if comp == nil {
-			var err error
-			comp, err = components.New(st.Component, st.Args)
-			if err != nil {
-				return nil, fmt.Errorf("workflow %q stage %d: %w", spec.Name, i, err)
-			}
-		}
-		ss := stageStreams{name: fmt.Sprintf("stage %d (%s)", i, comp.Name())}
-		if d, ok := comp.(StreamDeclarer); ok {
-			ss.ins = d.InputStreams()
-			ss.outs = d.OutputStreams()
-		} else {
-			ss.opaque = true
-			anyOpaque = true
-		}
-		stages = append(stages, ss)
-	}
-
-	var issues []LintIssue
-	publishers := map[string][]string{}
-	subscribers := map[string][]string{}
-	for _, ss := range stages {
-		for _, out := range ss.outs {
-			publishers[out] = append(publishers[out], ss.name)
-		}
-		for _, in := range ss.ins {
-			subscribers[in] = append(subscribers[in], ss.name)
-		}
-		for _, in := range ss.ins {
-			for _, out := range ss.outs {
-				if in == out {
-					issues = append(issues, LintIssue{"error",
-						fmt.Sprintf("%s consumes its own output stream %q", ss.name, in)})
-				}
-			}
-		}
-	}
-	for stream, pubs := range publishers {
-		if len(pubs) > 1 {
-			issues = append(issues, LintIssue{"error",
-				fmt.Sprintf("stream %q published by multiple stages: %s", stream, strings.Join(pubs, ", "))})
-		}
-	}
-	for stream, subs := range subscribers {
-		if len(publishers[stream]) == 0 && !anyOpaque {
-			issues = append(issues, LintIssue{"error",
-				fmt.Sprintf("stream %q subscribed by %s but published by no stage", stream, strings.Join(subs, ", "))})
-		}
-	}
-	for stream, pubs := range publishers {
-		if len(subscribers[stream]) == 0 && !anyOpaque {
-			issues = append(issues, LintIssue{"warning",
-				fmt.Sprintf("stream %q published by %s but consumed by no stage", stream, strings.Join(pubs, ", "))})
-		}
-	}
-	sort.Slice(issues, func(i, j int) bool {
-		if issues[i].Severity != issues[j].Severity {
-			return issues[i].Severity < issues[j].Severity // errors first
-		}
-		return issues[i].Message < issues[j].Message
-	})
-	return issues, nil
+	return plan.Issues(), nil
 }
 
 // compile-time checks that the built-in components declare their streams.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	sbm "repro/internal/sb"
 )
 
 // Report renders a human-readable post-run summary of a workflow: one
@@ -29,25 +31,20 @@ func Report(res *Result) string {
 			fmt.Fprintf(&sb, " FAILED: %v\n", st.Err)
 			continue
 		}
+		if len(st.SubMetrics) > 0 {
+			// A fused stage reports its parts individually — same columns,
+			// one indented line per original component.
+			sb.WriteString(" (fused)\n")
+			for _, m := range st.SubMetrics {
+				fmt.Fprintf(&sb, "    part   %-12s          %s\n", m.Component(), metricsCells(m))
+			}
+			continue
+		}
 		if st.Metrics == nil {
 			sb.WriteString(" (no metrics)\n")
 			continue
 		}
-		steps := st.Metrics.Steps()
-		if len(steps) == 0 {
-			sb.WriteString(" steps=0\n")
-			continue
-		}
-		var totalIn, totalOut int64
-		var totalDur time.Duration
-		for _, s := range steps {
-			totalIn += s.BytesIn
-			totalOut += s.BytesOut
-			totalDur += s.MeanDur
-		}
-		meanStep := totalDur / time.Duration(len(steps))
-		fmt.Fprintf(&sb, " steps=%-4d in=%-10s out=%-10s step=%s\n",
-			len(steps), byteSize(totalIn), byteSize(totalOut), meanStep.Round(time.Microsecond))
+		fmt.Fprintf(&sb, " %s\n", metricsCells(st.Metrics))
 	}
 	// When the run was wired to a metrics registry, append what the
 	// fabric itself saw: steps through the broker, bytes on the wire,
@@ -67,6 +64,24 @@ func Report(res *Result) string {
 		}
 	}
 	return sb.String()
+}
+
+// metricsCells renders one collector's steps/bytes/latency columns.
+func metricsCells(m *sbm.Metrics) string {
+	steps := m.Steps()
+	if len(steps) == 0 {
+		return "steps=0"
+	}
+	var totalIn, totalOut int64
+	var totalDur time.Duration
+	for _, s := range steps {
+		totalIn += s.BytesIn
+		totalOut += s.BytesOut
+		totalDur += s.MeanDur
+	}
+	meanStep := totalDur / time.Duration(len(steps))
+	return fmt.Sprintf("steps=%-4d in=%-10s out=%-10s step=%s",
+		len(steps), byteSize(totalIn), byteSize(totalOut), meanStep.Round(time.Microsecond))
 }
 
 // byteSize renders a byte count with a binary-prefix unit.

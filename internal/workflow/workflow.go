@@ -82,6 +82,11 @@ type Spec struct {
 	// exactly the re-wiring-without-recompilation property the transport
 	// contract exists for.
 	Transport TransportSpec
+	// Fuse asks the runner to apply the stage-fusion pass before
+	// launching: eligible adjacent stages collapse into single fused
+	// stages (see Plan.Fuse). Launch scripts set it with a `fuse`
+	// directive; sbrun's -fuse flag forces it on.
+	Fuse bool
 }
 
 // Validate performs static checks on a spec.
@@ -108,6 +113,10 @@ type StageResult struct {
 	Stage     Stage
 	Component sb.Component
 	Metrics   *sb.Metrics
+	// SubMetrics holds the per-component collectors of a fused stage, in
+	// chain order — fusion changes where a component runs, not whether it
+	// reports. Nil for ordinary stages (whose collector is Metrics).
+	SubMetrics []*sb.Metrics
 	// Restarts counts supervised restarts this stage consumed; a stage
 	// that succeeded after recovery reports Err == nil, Restarts > 0.
 	Restarts int
@@ -125,11 +134,18 @@ type Result struct {
 }
 
 // Metrics returns the metrics collector of the first stage running the
-// named component kind, or nil.
+// named component kind, or nil. Components inside a fused stage are
+// found under their own names — callers need not know whether fusion
+// happened.
 func (r *Result) Metrics(component string) *sb.Metrics {
 	for _, st := range r.Stages {
 		if st.Metrics != nil && st.Metrics.Component() == component {
 			return st.Metrics
+		}
+		for _, m := range st.SubMetrics {
+			if m.Component() == component {
+				return m
+			}
 		}
 	}
 	return nil
@@ -258,12 +274,16 @@ func Run(ctx context.Context, transport sb.Transport, spec Spec, opts Options) (
 				return nil, fmt.Errorf("workflow %q stage %d: %w", spec.Name, i, err)
 			}
 		}
-		m := sb.NewMetrics(comp.Name(), st.Procs)
-		m.BindRegistry(opts.Registry)
-		res.Stages[i] = StageResult{
-			Stage:     st,
-			Component: comp,
-			Metrics:   m,
+		res.Stages[i] = StageResult{Stage: st, Component: comp}
+		if f, ok := comp.(*sb.Fused); ok {
+			// A fused stage reports one collector per original component,
+			// not one for the composite — fusion must not change what
+			// comp.<name>.* series exist.
+			res.Stages[i].SubMetrics = f.BindMetrics(st.Procs, opts.Registry)
+		} else {
+			m := sb.NewMetrics(comp.Name(), st.Procs)
+			m.BindRegistry(opts.Registry)
+			res.Stages[i].Metrics = m
 		}
 	}
 
