@@ -9,12 +9,13 @@ COVER_FLOOR_workflow ?= 90.0
 # default make the whole smoke about ten seconds.
 FUZZTIME ?= 1s
 
-.PHONY: check build test vet race chaos bench cover conformance plan
+.PHONY: check build test vet race chaos bench cover conformance plan recover
 
 # The full pre-merge gate: static checks, build, the race-enabled test
 # suite, the backend conformance matrix, coverage floors, plan-output
-# snapshots, and a short fuzz round of every fuzz target.
-check: vet build race conformance cover plan
+# snapshots, crash-recovery drills, and a short fuzz round of every fuzz
+# target.
+check: vet build race conformance cover plan recover
 
 # Golden snapshots of `sbrun -explain` for the example workflows. The
 # plan rendering is a user-facing contract; refresh intentionally with:
@@ -63,7 +64,7 @@ cover:
 		awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}' || { echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \
 	done
 	@set -e; \
-	for pkg in ./internal/adios ./internal/flexpath ./internal/launch; do \
+	for pkg in ./internal/adios ./internal/flexpath ./internal/launch ./internal/streamlog; do \
 		for target in $$($(GO) test $$pkg -list '^Fuzz' -run '^$$' | grep '^Fuzz'); do \
 			echo "cover: fuzz smoke $$pkg $$target ($(FUZZTIME))"; \
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) >/dev/null; \
@@ -73,6 +74,13 @@ cover:
 # The fault-injection suite on its own (seeded, deterministic plans).
 chaos:
 	$(GO) test ./internal/workflow -run TestChaos -v
+
+# The durable-log crash drills under the race detector: broker state
+# rebuilt from the journal, catch-up replay, and the kill-and-restart
+# end-to-end — the log's whole reason to exist, exercised on every gate.
+recover:
+	$(GO) test -race -count=1 ./internal/flexpath -run 'TestBrokerRecover|TestRecover|TestReplay'
+	$(GO) test -race -count=1 ./internal/workflow -run 'TestChaosBrokerCrashRecovery' -v
 
 # The root benchmark suite (paper tables/figures) at reduced scale, with
 # the machine-readable results written to BENCH_PR5.json (BENCH_PR4.json

@@ -3,6 +3,7 @@
 // processes (via sbrun -broker or sbcomp):
 //
 //	sbbroker [-transport tcp|uds] [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
+//	         [-log-dir DIR] [-log-segment-bytes N] [-log-retain-steps N] [-log-retain-bytes N] [-log-fsync none|step]
 //
 // It prints the bound address and runs until interrupted. On SIGINT or
 // SIGTERM it shuts down gracefully: it stops accepting connections,
@@ -10,6 +11,13 @@
 // then severs whatever remains — and logs a per-stream post-mortem
 // (writers, readers, queued steps, failures) so a wedged or failed
 // workflow can be diagnosed after the fact.
+//
+// With -log-dir the broker journals every stream to a durable segmented
+// log under that directory and, at startup, recovers any streams a
+// previous broker left there — so a crashed broker can be relaunched on
+// the same directory and the workflow resumes where it stopped. The
+// companion knobs bound the log (segment roll-over size, retention by
+// steps or bytes) and pick the fsync policy; see internal/streamlog.
 //
 // With -metrics-addr it also serves a debug HTTP endpoint: /metrics
 // returns the fabric's counter snapshot as JSON (steps published and
@@ -31,6 +39,7 @@ import (
 
 	"repro/internal/flexpath"
 	"repro/internal/obs"
+	"repro/internal/streamlog"
 )
 
 func main() {
@@ -38,10 +47,39 @@ func main() {
 	addr := flag.String("addr", "", "listen address: host:port for tcp (default 127.0.0.1:7777; port 0 picks a free port), socket path for uds")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for open streams to drain on shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (registry snapshot) and /debug/pprof on this address")
+	logDir := flag.String("log-dir", "", "journal streams to a durable segmented log under this directory and recover them at startup")
+	logSegmentBytes := flag.Int64("log-segment-bytes", 0, "log segment roll-over size in bytes (0 = default 64 MiB)")
+	logRetainSteps := flag.Int("log-retain-steps", 0, "keep at least this many retired steps replayable (0 = keep all)")
+	logRetainBytes := flag.Int64("log-retain-bytes", 0, "evict oldest retired segments while a stream's log exceeds this (0 = unbounded)")
+	logFsync := flag.String("log-fsync", "none", "log durability: none (page cache) or step (fsync per record)")
 	flag.Parse()
 
 	broker := flexpath.NewBroker()
 	broker.SetObserver(nil, obs.Default())
+	var store *streamlog.Store
+	if *logDir != "" {
+		fsync, err := streamlog.ParseFsync(*logFsync)
+		if err != nil {
+			log.Fatalf("sbbroker: %v", err)
+		}
+		store, err = streamlog.OpenStore(*logDir, streamlog.Options{
+			SegmentBytes: *logSegmentBytes,
+			RetainSteps:  *logRetainSteps,
+			RetainBytes:  *logRetainBytes,
+			Fsync:        fsync,
+		})
+		if err != nil {
+			log.Fatalf("sbbroker: %v", err)
+		}
+		broker.AttachLog(store)
+		n, err := broker.Recover()
+		if err != nil {
+			log.Fatalf("sbbroker: recovering from %s: %v", *logDir, err)
+		}
+		if n > 0 {
+			log.Printf("sbbroker: recovered %d stream(s) from %s", n, *logDir)
+		}
+	}
 	var srv *flexpath.Server
 	var err error
 	switch *transport {
@@ -81,6 +119,11 @@ func main() {
 	log.Printf("sbbroker: received %s, draining streams for up to %s", s, *drain)
 	err = srv.Shutdown(*drain)
 	logStreamStats(broker)
+	if store != nil {
+		if cerr := store.Close(); cerr != nil {
+			log.Printf("sbbroker: closing stream log: %v", cerr)
+		}
+	}
 	if err != nil {
 		log.Fatalf("sbbroker: %v", err)
 	}

@@ -1,7 +1,7 @@
 // Command sbrun launches a complete SmartBlock workflow from an
 // aprun-style job script (the paper's Fig. 8 format):
 //
-//	sbrun [-v] [-explain] [-fuse] [-transport inproc|tcp|uds] [-broker addr] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
+//	sbrun [-v] [-explain] [-fuse] [-transport inproc|tcp|uds] [-broker addr] [-log-dir DIR] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
 //
 // Every aprun line becomes a component stage; all stages launch
 // simultaneously and rendezvous on their stream names. -transport (or a
@@ -10,6 +10,13 @@
 // or a Unix-socket sbbroker at -broker /path/to.sock — letting several
 // sbrun/sbcomp processes form one workflow without recompiling any
 // component.
+//
+// -log-dir (or a `log` directive in the script) mounts a durable stream
+// log on the in-process broker: every step is journaled to disk, and a
+// relaunched sbrun pointed at the same directory recovers the streams a
+// crashed run left behind. With a remote transport the directive is
+// informational only — durability belongs to the sbbroker process, which
+// takes its own -log-dir.
 //
 // Example script:
 //
@@ -34,6 +41,7 @@ import (
 	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/sb"
+	"repro/internal/streamlog"
 	"repro/internal/workflow"
 
 	_ "repro/internal/sim/gromacs"
@@ -48,6 +56,7 @@ func main() {
 	fuse := flag.Bool("fuse", false, "apply the stage-fusion pass before launching (same as a `fuse` script directive)")
 	transportKind := flag.String("transport", "", "stream fabric backend: inproc, tcp, or uds (default: the script's transport directive, else inproc)")
 	broker := flag.String("broker", "", "backend address: sbbroker host:port for tcp, socket path for uds (plain -broker implies -transport tcp)")
+	logDir := flag.String("log-dir", "", "journal streams to a durable segmented log under this directory (inproc transport; overrides the script's log directive)")
 	maxRestarts := flag.Int("max-restarts", 0, "supervised restarts per stage for retryable failures (0 disables)")
 	restartBackoff := flag.Duration("restart-backoff", 0, "delay before the first stage restart, doubling per retry (0 = 50ms default)")
 	stepTimeout := flag.Duration("step-timeout", 0, "bound on every blocking stream operation per stage (0 disables)")
@@ -138,6 +147,32 @@ func main() {
 	}
 	defer fabric.Close()
 	transport := sb.Transport(sb.Fabric{T: fabric})
+
+	// Durable stream log: the command line overrides the script's `log`
+	// directive. It mounts on the in-process broker only — with a remote
+	// transport, durability is the sbbroker process's job (-log-dir there).
+	if *logDir != "" {
+		spec.LogDir = *logDir
+	}
+	if spec.LogDir != "" {
+		if ip, ok := fabric.(flexpath.InProc); ok {
+			store, err := streamlog.OpenStore(spec.LogDir, streamlog.Options{})
+			if err != nil {
+				log.Fatalf("sbrun: %v", err)
+			}
+			defer store.Close()
+			ip.B.AttachLog(store)
+			n, err := ip.B.Recover()
+			if err != nil {
+				log.Fatalf("sbrun: recovering from %s: %v", spec.LogDir, err)
+			}
+			if n > 0 {
+				log.Printf("sbrun: recovered %d stream(s) from %s", n, spec.LogDir)
+			}
+		} else if *verbose {
+			log.Printf("sbrun: log directory %s ignored on %s transport (set -log-dir on sbbroker instead)", spec.LogDir, kind)
+		}
+	}
 
 	opts := workflow.Options{
 		Restart: workflow.RestartPolicy{

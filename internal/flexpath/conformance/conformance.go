@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs/tracetest"
 	"repro/internal/pool"
 	"repro/internal/sb"
+	"repro/internal/streamlog"
 )
 
 // Backend is one transport under test. Transport is the client-side
@@ -80,6 +81,10 @@ var checks = []check{
 	{"ReaderCloseMidStepNeverStrands", checkReaderCloseMidStepNeverStrands},
 	{"ConcurrentIdempotentClose", checkConcurrentIdempotentClose},
 	{"RetireGenEquality", checkRetireGenEquality},
+	{"ReplayFromStepOrdering", checkReplayFromStepOrdering},
+	{"ReplayCatchupLiveHandoff", checkReplayCatchupLiveHandoff},
+	{"ReplayRetentionHorizon", checkReplayRetentionHorizon},
+	{"ReplayRequiresLog", checkReplayRequiresLog},
 	{"ChaosFaultInjection", checkChaosFaultInjection},
 }
 
@@ -865,6 +870,300 @@ func checkRetireGenEquality(t *testing.T, be Backend) {
 		tracetest.ExpectAllBefore(t, spans,
 			tracetest.And(tracetest.OfKind(obs.KindReaderFetch), tracetest.AtStep(s)),
 			tracetest.And(tracetest.OfKind(obs.KindBrokerRetire), tracetest.AtStep(s)))
+	}
+}
+
+// attachTempLog mounts a fresh durable log store on the backend's
+// broker, rooted in a per-check temp dir. Replay checks call it before
+// any traffic so every published step is journaled.
+func attachTempLog(t *testing.T, be Backend, opts streamlog.Options) *streamlog.Store {
+	t.Helper()
+	store, err := streamlog.OpenStore(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	be.Broker.AttachLog(store)
+	return store
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Catch-up readers replay from an arbitrary step: after the live
+// workflow consumed (and the broker retired) every step, a reader
+// opened at step K must still receive K, K+1, ... in order with the
+// exact published bytes — served from the durable log — and io.EOF
+// past the end. A second session opened at a later step must start
+// exactly there.
+func checkReplayFromStepOrdering(t *testing.T, be Backend) {
+	ctx := ctxT(t)
+	attachTempLog(t, be, streamlog.Options{})
+	const steps = 5
+	w, err := be.Transport.AttachWriter("c.replay.order", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := be.Transport.AttachReader("c.replay.order", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		if err := w.PublishBlock(ctx, s, []byte(fmt.Sprintf("m%d", s)), []byte(fmt.Sprintf("p%d", s))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lr.StepMeta(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := lr.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.StepMeta(ctx, steps); !errors.Is(err, io.EOF) {
+		t.Fatalf("live reader after close = %v, want EOF", err)
+	}
+	if err := lr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []int{0, 2} {
+		rr, err := flexpath.OpenReaderFrom(be.Transport, "c.replay.order", from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rr.NextStep(); got != from {
+			t.Fatalf("NextStep = %d, want %d", got, from)
+		}
+		if n, err := rr.WriterSize(ctx); err != nil || n != 1 {
+			t.Fatalf("WriterSize = %d, %v", n, err)
+		}
+		for s := from; s < steps; s++ {
+			metas, err := rr.StepMeta(ctx, s)
+			if err != nil {
+				t.Fatalf("replay step %d: %v", s, err)
+			}
+			if len(metas) != 1 || string(metas[0]) != fmt.Sprintf("m%d", s) {
+				t.Fatalf("replay step %d metas = %q", s, metas)
+			}
+			p, err := rr.FetchBlock(ctx, s, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(p) != fmt.Sprintf("p%d", s) {
+				t.Fatalf("replay step %d payload = %q", s, p)
+			}
+			if err := rr.ReleaseStep(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := rr.StepMeta(ctx, steps); !errors.Is(err, io.EOF) {
+			t.Fatalf("replay past end = %v, want EOF", err)
+		}
+		if err := rr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The catch-up → live handoff is exactly-once, provable from the
+// broker's own spans: steps the broker already retired are served from
+// segment reads (log.replay), steps still in the in-memory queue are
+// served live (replay.live), and for one replay session every step
+// appears in exactly one of the two.
+func checkReplayCatchupLiveHandoff(t *testing.T, be Backend) {
+	ctx := ctxT(t)
+	tr := obs.NewTracer(0)
+	reg := obs.NewRegistry()
+	be.Broker.SetObserver(tr, reg)
+	attachTempLog(t, be, streamlog.Options{})
+	const (
+		catchup = 3 // steps retired before the replay session opens
+		live    = 3 // steps held in memory while the session reads them
+		steps   = catchup + live
+	)
+	w, err := be.Transport.AttachWriter("c.replay.handoff", 0, 1, 2*steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := be.Transport.AttachReader("c.replay.handoff", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish := func(s int) {
+		t.Helper()
+		if err := w.PublishBlock(ctx, s, []byte{byte(s)}, []byte{0xAA, byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < catchup; s++ {
+		publish(s)
+		if _, err := lr.StepMeta(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := lr.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retirement is asynchronous behind the durability gate; wait until
+	// the catch-up half is actually out of memory so those replays can
+	// only be satisfied from the log.
+	waitFor(t, "catch-up steps to retire", func() bool {
+		return len(tracetest.FromTracer(tr).Where(tracetest.OfKind(obs.KindBrokerRetire))) >= catchup
+	})
+	// The live half is published but never released, so it stays in the
+	// in-memory queue while the replay session crosses it.
+	for s := catchup; s < steps; s++ {
+		publish(s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := flexpath.OpenReaderFrom(be.Transport, "c.replay.handoff", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		p, err := rr.FetchBlock(ctx, s, 0)
+		if err != nil {
+			t.Fatalf("replay step %d: %v", s, err)
+		}
+		if len(p) != 2 || p[0] != 0xAA || p[1] != byte(s) {
+			t.Fatalf("replay step %d payload = %v", s, p)
+		}
+		if err := rr.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rr.StepMeta(ctx, steps); !errors.Is(err, io.EOF) {
+		t.Fatalf("replay past end = %v, want EOF", err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for s := catchup; s < steps; s++ {
+		if _, err := lr.StepMeta(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := lr.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans := tracetest.FromTracer(tr).Where(tracetest.OnStream("c.replay.handoff"))
+	served := func(s obs.Span) bool {
+		return s.Kind == obs.KindLogReplay || s.Kind == obs.KindReplayLive
+	}
+	tracetest.ExactlyOncePer(t, spans, tracetest.StepKey, served)
+	for s := 0; s < catchup; s++ {
+		tracetest.ExpectSpan(t, spans, tracetest.OfKind(obs.KindLogReplay), tracetest.AtStep(s))
+	}
+	for s := catchup; s < steps; s++ {
+		tracetest.ExpectSpan(t, spans, tracetest.OfKind(obs.KindReplayLive), tracetest.AtStep(s))
+	}
+	if got := reg.Snapshot()["log.replayed_steps"]; got != catchup {
+		t.Fatalf("log.replayed_steps = %d, want %d", got, catchup)
+	}
+}
+
+// Retention bounds replay: once the budget evicted a step's segment,
+// a catch-up reader positioned before the horizon gets ErrStepRetired
+// — not a hang, not silent skipping — and one positioned at the
+// horizon replays everything still on disk.
+func checkReplayRetentionHorizon(t *testing.T, be Backend) {
+	ctx := ctxT(t)
+	store := attachTempLog(t, be, streamlog.Options{SegmentBytes: 64, RetainSteps: 2})
+	const steps = 8
+	w, err := be.Transport.AttachWriter("c.replay.retention", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := be.Transport.AttachReader("c.replay.retention", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		if err := w.PublishBlock(ctx, s, []byte{byte(s)}, []byte{byte(s), 0x55}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lr.StepMeta(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := lr.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.StepMeta(ctx, steps); !errors.Is(err, io.EOF) {
+		t.Fatalf("live reader after close = %v, want EOF", err)
+	}
+	if err := lr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := store.Log("c.replay.retention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiesce: the write-behind appender has journaled the final retire
+	// and the end record, after which eviction is settled.
+	waitFor(t, "log to quiesce", func() bool {
+		_, ended := lg.Ended()
+		return ended && lg.LastRetired() == steps-1 && lg.FirstStep() >= 1
+	})
+	horizon := lg.FirstStep()
+	rr, err := flexpath.OpenReaderFrom(be.Transport, "c.replay.retention", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.StepMeta(ctx, 0); !errors.Is(err, flexpath.ErrStepRetired) {
+		t.Fatalf("replay of evicted step = %v, want ErrStepRetired", err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err = flexpath.OpenReaderFrom(be.Transport, "c.replay.retention", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := horizon; s < steps; s++ {
+		p, err := rr.FetchBlock(ctx, s, 0)
+		if err != nil {
+			t.Fatalf("replay step %d (horizon %d): %v", s, horizon, err)
+		}
+		if len(p) != 2 || p[0] != byte(s) || p[1] != 0x55 {
+			t.Fatalf("replay step %d payload = %v", s, p)
+		}
+		if err := rr.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rr.StepMeta(ctx, steps); !errors.Is(err, io.EOF) {
+		t.Fatalf("replay past end = %v, want EOF", err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without an attached log store replay is unavailable, and the failure
+// is a prompt, explicit error — never a hang or a silent empty stream.
+func checkReplayRequiresLog(t *testing.T, be Backend) {
+	if _, err := flexpath.OpenReaderFrom(be.Transport, "c.replay.nolog", 0); err == nil {
+		t.Fatal("OpenReaderFrom succeeded without a log store")
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/streamlog"
 )
 
 // DefaultQueueDepth is the writer-side buffer capacity, in timesteps,
@@ -138,6 +139,18 @@ type stream struct {
 	readerLive   []bool
 	readerClosed map[int]bool // reader ranks that departed gracefully
 	readerNext   []int        // per reader rank: next step it has not released
+
+	// Durable-log state (zero and inert unless the broker has a log
+	// store attached; see log.go). logged is the durability watermark:
+	// steps below it are framed to the stream's segment log, and
+	// retirement — the point pooled buffers recycle — never overtakes
+	// it. logQueue/logBusy drive the per-stream write-behind appender;
+	// logBroken records a disk failure, after which the stream degrades
+	// to non-durable operation instead of wedging its writers.
+	logged    int
+	logQueue  []logJob
+	logBusy   bool
+	logBroken bool
 }
 
 func (s *stream) liveWriters() int {
@@ -164,11 +177,12 @@ func (s *stream) liveReaders() int {
 // is shared by every component of a workflow; it is safe for concurrent
 // use by any number of rank goroutines.
 type Broker struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	streams map[string]*stream
-	stats   Stats
-	obs     brokerObs
+	mu       sync.Mutex
+	cond     *sync.Cond
+	streams  map[string]*stream
+	stats    Stats
+	obs      brokerObs
+	logStore *streamlog.Store // nil = no durability (see AttachLog)
 }
 
 // brokerObs is the broker's observability hookup: a tracer for
@@ -177,13 +191,15 @@ type Broker struct {
 // op (metrics on) per event — never a map lookup.
 type brokerObs struct {
 	tracer      *obs.Tracer
-	steps       *obs.Counter // timesteps fully published
-	retired     *obs.Counter // timesteps retired (storage recycled)
-	blocks      *obs.Counter // FetchBlock calls served
-	bytesPub    *obs.Counter // meta+payload bytes accepted
-	bytesFetch  *obs.Counter // payload bytes served
-	hbMisses    *obs.Counter // writer lease expiries (TCP server only)
-	queuedSteps *obs.Gauge   // buffered, unretired timesteps, all streams
+	reg         *obs.Registry // kept for log metrics registered at AttachLog
+	steps       *obs.Counter  // timesteps fully published
+	retired     *obs.Counter  // timesteps retired (storage recycled)
+	blocks      *obs.Counter  // FetchBlock calls served
+	bytesPub    *obs.Counter  // meta+payload bytes accepted
+	bytesFetch  *obs.Counter  // payload bytes served
+	hbMisses    *obs.Counter  // writer lease expiries (TCP server only)
+	logReplayed *obs.Counter  // historical steps served from the log
+	queuedSteps *obs.Gauge    // buffered, unretired timesteps, all streams
 }
 
 // NewBroker returns an empty broker.
@@ -200,6 +216,7 @@ func (b *Broker) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.obs.tracer = tr
+	b.obs.reg = reg
 	if reg != nil {
 		b.obs.steps = reg.Counter("fabric.steps_published")
 		b.obs.retired = reg.Counter("fabric.steps_retired")
@@ -207,8 +224,10 @@ func (b *Broker) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 		b.obs.bytesPub = reg.Counter("fabric.bytes_published")
 		b.obs.bytesFetch = reg.Counter("fabric.bytes_fetched")
 		b.obs.hbMisses = reg.Counter("fabric.heartbeat_misses")
+		b.obs.logReplayed = reg.Counter("log.replayed_steps")
 		b.obs.queuedSteps = reg.Gauge("fabric.queued_steps")
 	}
+	b.registerLogMetricsLocked()
 }
 
 // Stats returns a snapshot of transport counters.
@@ -425,6 +444,11 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 			tr.Emit(obs.Span{Kind: obs.KindBrokerStep, Stream: s.name, Step: step,
 				Rank: -1, Peer: -1, Bytes: tot})
 		}
+		// Hand the completed step to the write-behind appender before any
+		// retirement decision: the durability watermark gates retireHead,
+		// so the pooled buffers cannot recycle until the step is framed to
+		// the segment log.
+		b.logEnqueueStep(s, step, st)
 		// If the whole reader group has already departed, completed steps
 		// retire immediately so the writer queue never wedges.
 		for s.retireHead(b) {
@@ -462,6 +486,7 @@ func (w *Writer) Close() error {
 		}
 		s.ended = true
 		s.lastStep = last - 1
+		b.logEnqueueEnd(s, s.lastStep)
 	}
 	b.cond.Broadcast()
 	return nil
@@ -782,9 +807,20 @@ func (s *stream) retireHead(b *Broker) bool {
 	if !ok || s.readerSize == 0 || st.pubCount != s.writerSize {
 		return false
 	}
+	// Durability gate: with a log attached, a step retires — and its
+	// pooled storage recycles — only after the appender has framed it to
+	// disk. A broken log drops the gate rather than wedging writers.
+	if b.logStore != nil && !s.logBroken && s.minStep >= s.logged {
+		return false
+	}
+	fullyReleased := true
 	for rank := 0; rank < s.readerSize; rank++ {
-		if !st.released[rank] && !s.readerClosed[rank] {
-			return false
+		if !st.released[rank] {
+			if !s.readerClosed[rank] {
+				return false
+			}
+			// Retirement forced by a departed rank, not an actual release.
+			fullyReleased = false
 		}
 	}
 	retired := s.minStep
@@ -804,6 +840,16 @@ func (s *stream) retireHead(b *Broker) bool {
 			Rank: -1, Peer: -1, Bytes: tot, Gen: st.payloads[0].Gen()})
 	}
 	st.free()
+	// Only a retirement every rank explicitly released is journaled. A
+	// step un-gated because a rank closed (or its connection dropped)
+	// without releasing was never provably consumed — journaling it would
+	// let a broker teardown race poison the durable state, and recovery
+	// would skip steps a restarted reader still needs. Unjournaled
+	// retirements merely re-serve the step after recovery; consumers
+	// deduplicate by step.
+	if fullyReleased {
+		b.logEnqueueRetire(s, retired)
+	}
 	return true
 }
 

@@ -48,8 +48,8 @@ func FuzzFrameDecode(f *testing.F) {
 	flipped := append([]byte(nil), good...)
 	flipped[5] ^= 0x40 // CRC bit flip
 	f.Add(flipped)
-	f.Add(good[:len(good)-2])                        // truncated body
-	f.Add(binary.LittleEndian.AppendUint32(nil, 0))  // zero length
+	f.Add(good[:len(good)-2])                            // truncated body
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0))      // zero length
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}) // length > maxFrame
 
 	f.Fuzz(func(t *testing.T, data []byte) {

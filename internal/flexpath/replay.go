@@ -1,0 +1,293 @@
+package flexpath
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/streamlog"
+)
+
+// ReplayReader is a catch-up reader: it serves a stream's historical
+// steps from the durable segment log and hands off seamlessly to live
+// tailing once it reaches the log head. Unlike a *Reader it is an
+// observer — it does not join the reader group, does not gate step
+// retirement, and any number may be open concurrently — so a re-analysis
+// consumer started after N steps can replay 0..N without back-pressuring
+// the live workflow.
+//
+// Provenance is observable: each step a ReplayReader serves is emitted
+// exactly once as either a log.replay span (served from segment reads)
+// or a replay.live span (served from the in-memory queue), so a trace
+// proves both the handoff point and exactly-once delivery.
+//
+// Like the other rank handles, a ReplayReader is driven by one
+// goroutine at a time.
+type ReplayReader struct {
+	b  *Broker
+	s  *stream
+	lg *streamlog.Log
+
+	// All fields below are guarded by b.mu.
+	pos    int // next unreleased step (bookkeeping only; nothing gates on it)
+	closed bool
+	// One-step serve cache: StepMeta fills it, FetchBlock reads from it,
+	// ReleaseStep drops it. Bytes are always owned by the reader (log
+	// reads allocate; live serves copy), so no retirement can invalidate
+	// them.
+	curStep     int // -1 when empty
+	curMetas    [][]byte
+	curPayloads [][]byte
+}
+
+// OpenReaderFrom opens a catch-up reader on a stream, positioned at
+// step from. Requires an attached log store — without one there is no
+// history to replay. Steps evicted by the retention budget surface as
+// ErrStepRetired; steps not yet published block like a live reader.
+func (b *Broker) OpenReaderFrom(stream string, from int) (*ReplayReader, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("flexpath: replay from negative step %d", from)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.logStore == nil {
+		return nil, fmt.Errorf("flexpath: replay of %q requires a log store (run the broker with -log-dir)", stream)
+	}
+	lg, err := b.logStore.Log(stream)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayReader{b: b, s: b.getStream(stream), lg: lg, pos: from, curStep: -1}, nil
+}
+
+// NextStep returns this reader's position: the next step it has not
+// released. Purely bookkeeping — a replay reader gates nothing.
+func (r *ReplayReader) NextStep() int {
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.pos
+}
+
+// WriterSize blocks until the stream's writer group is known (live
+// attach or recovery) and returns its size.
+func (r *ReplayReader) WriterSize(ctx context.Context) (int, error) {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.wait(ctx, func() bool { return r.closed || r.s.writerSize > 0 || r.s.failed != nil }); err != nil {
+		return 0, err
+	}
+	if r.closed {
+		return 0, ErrClosed
+	}
+	if r.s.writerSize > 0 {
+		return r.s.writerSize, nil
+	}
+	return 0, r.s.failed
+}
+
+// ensure fills the serve cache for step, deciding provenance: the live
+// queue if the step is complete in memory, otherwise the segment log if
+// the step is below the durability watermark, otherwise it blocks until
+// one of those becomes true (or the stream ends, fails, or ctx is
+// done). Caller does not hold b.mu.
+func (r *ReplayReader) ensure(ctx context.Context, step int) error {
+	b := r.b
+	b.mu.Lock()
+	if r.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if r.curStep == step {
+		b.mu.Unlock()
+		return nil
+	}
+	s := r.s
+	memComplete := func() bool {
+		st, ok := s.steps[step]
+		return ok && s.writerSize > 0 && st.pubCount == s.writerSize
+	}
+	err := b.wait(ctx, func() bool {
+		if r.closed || s.failed != nil || memComplete() || step < s.logged {
+			return true
+		}
+		if s.logBroken && step < s.minStep {
+			return true // lost to a broken log: unrecoverable, don't wait
+		}
+		return s.ended && step > s.lastStep
+	})
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	if r.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if memComplete() {
+		// Live serve: copy under the lock — a replay reader does not gate
+		// retirement, so views of broker-held buffers could be recycled
+		// out from under it.
+		st := s.steps[step]
+		metas := make([][]byte, len(st.metas))
+		payloads := make([][]byte, len(st.payloads))
+		var nbytes int64
+		for i := range st.metas {
+			metas[i] = append([]byte(nil), st.metas[i].Bytes()...)
+			payloads[i] = append([]byte(nil), st.payloads[i].Bytes()...)
+			nbytes += int64(len(metas[i]) + len(payloads[i]))
+		}
+		r.curStep, r.curMetas, r.curPayloads = step, metas, payloads
+		if tr := b.obs.tracer; tr.Enabled() {
+			tr.Emit(obs.Span{Kind: obs.KindReplayLive, Parent: obs.ParentFrom(ctx),
+				Stream: s.name, Step: step, Rank: -1, Peer: -1, Bytes: nbytes})
+		}
+		b.mu.Unlock()
+		return nil
+	}
+	if step < s.logged {
+		tracer := b.obs.tracer
+		replayed := b.obs.logReplayed
+		b.mu.Unlock()
+		// Segment read outside the broker lock: replay I/O must not stall
+		// the live fabric.
+		metas, payloads, err := r.lg.ReadStep(step)
+		if err != nil {
+			if errorsIsEvicted(err) {
+				return fmt.Errorf("%w: step %d evicted from log (replay horizon %d)",
+					ErrStepRetired, step, r.lg.FirstStep())
+			}
+			return err
+		}
+		var nbytes int64
+		for i := range metas {
+			nbytes += int64(len(metas[i]) + len(payloads[i]))
+		}
+		b.mu.Lock()
+		if r.closed {
+			b.mu.Unlock()
+			return ErrClosed
+		}
+		r.curStep, r.curMetas, r.curPayloads = step, metas, payloads
+		b.mu.Unlock()
+		if tracer.Enabled() {
+			tracer.Emit(obs.Span{Kind: obs.KindLogReplay,
+				Stream: s.name, Step: step, Rank: -1, Peer: -1, Bytes: nbytes})
+		}
+		replayed.Inc()
+		return nil
+	}
+	if s.logBroken && step < s.minStep {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: step %d lost to a failed stream log", ErrStepRetired, step)
+	}
+	if s.failed != nil {
+		err := s.failed
+		b.mu.Unlock()
+		return err
+	}
+	b.mu.Unlock()
+	return io.EOF
+}
+
+func errorsIsEvicted(err error) bool {
+	for e := err; e != nil; {
+		if e == streamlog.ErrEvicted {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// StepMeta blocks until the step is servable and returns every writer
+// rank's metadata blob. The returned slices are reader-owned and stay
+// valid until the step is released.
+func (r *ReplayReader) StepMeta(ctx context.Context, step int) ([][]byte, error) {
+	if err := r.ensure(ctx, step); err != nil {
+		return nil, err
+	}
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.curMetas, nil
+}
+
+// StepMetaRefs is StepMeta returning wrapped references, satisfying the
+// same contract the TCP server uses for live readers. The bytes are
+// reader-owned copies, so the refs are valid for as long as the caller
+// holds them.
+func (r *ReplayReader) StepMetaRefs(ctx context.Context, step int) ([]*pool.Buf, error) {
+	metas, err := r.StepMeta(ctx, step)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*pool.Buf, len(metas))
+	for i, m := range metas {
+		out[i] = pool.Wrap(m)
+	}
+	return out, nil
+}
+
+// FetchBlock returns one writer rank's payload for the step.
+func (r *ReplayReader) FetchBlock(ctx context.Context, step, writerRank int) ([]byte, error) {
+	if err := r.ensure(ctx, step); err != nil {
+		return nil, err
+	}
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	if writerRank < 0 || writerRank >= len(r.curPayloads) {
+		return nil, fmt.Errorf("flexpath: writer rank %d out of range [0,%d)", writerRank, len(r.curPayloads))
+	}
+	return r.curPayloads[writerRank], nil
+}
+
+// FetchBlockRef is FetchBlock returning a wrapped reference.
+func (r *ReplayReader) FetchBlockRef(ctx context.Context, step, writerRank int) (*pool.Buf, error) {
+	p, err := r.FetchBlock(ctx, step, writerRank)
+	if err != nil {
+		return nil, err
+	}
+	return pool.Wrap(p), nil
+}
+
+// ReleaseStep advances the reader's position past step and drops the
+// serve cache. Nothing in the broker gates on it — release exists so a
+// replay consumer drives the same step loop as a live one.
+func (r *ReplayReader) ReleaseStep(step int) error {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if step+1 > r.pos {
+		r.pos = step + 1
+	}
+	if r.curStep >= 0 && r.curStep <= step {
+		r.curStep, r.curMetas, r.curPayloads = -1, nil, nil
+	}
+	return nil
+}
+
+// Close ends the replay session. Idempotent.
+func (r *ReplayReader) Close() error {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.curStep, r.curMetas, r.curPayloads = -1, nil, nil
+	b.cond.Broadcast()
+	return nil
+}
+
+// Detach is Close: an observer holds no group slot to keep.
+func (r *ReplayReader) Detach() error { return r.Close() }

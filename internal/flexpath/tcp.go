@@ -10,6 +10,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pool"
@@ -52,8 +53,9 @@ const (
 	opDetachWriter
 	opDetachReader
 	opCrashWriter
-	opHeartbeat // one-way: no response is sent
-	opCancel    // one-way: aborts the in-flight blocking request
+	opHeartbeat    // one-way: no response is sent
+	opCancel       // one-way: aborts the in-flight blocking request
+	opAttachReplay // catch-up reader over the broker's durable log
 )
 
 // Response status codes.
@@ -239,9 +241,22 @@ type Server struct {
 	broker *Broker
 	ln     net.Listener
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  chan struct{}
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	done    chan struct{}
+	cleanup func() // backend teardown (UDS lock release); run once by Shutdown
+
+	// dying is set just before Shutdown severs the remaining connections.
+	// A read error on a connection after that reflects the server's own
+	// teardown, not peer death, so the loss-inference defers (crash a
+	// dropped writer, close a dropped reader) must not run: they would
+	// mutate — and, with a durable log attached, journal — broker state on
+	// behalf of peers that are still alive and mid-way through
+	// re-attaching to a successor broker. Worse, the mutations race the
+	// severing loop itself: a writer conn torn down first would fail its
+	// stream, and a reader conn not yet torn down could be handed that
+	// manufactured ErrWriterLost as a terminal, non-retryable answer.
+	dying atomic.Bool
 }
 
 // NewServer creates a server around broker, listening on addr
@@ -282,17 +297,31 @@ func (s *Server) Shutdown(grace time.Duration) error {
 	if grace > 0 {
 		select {
 		case <-s.done: // every connection drained on its own
+			s.runCleanup()
 			return err
 		case <-time.After(grace):
 		}
 	}
+	s.dying.Store(true)
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	<-s.done
+	s.runCleanup()
 	return err
+}
+
+// runCleanup runs the backend teardown hook exactly once.
+func (s *Server) runCleanup() {
+	s.mu.Lock()
+	cleanup := s.cleanup
+	s.cleanup = nil
+	s.mu.Unlock()
+	if cleanup != nil {
+		cleanup()
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -483,7 +512,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if respondOK(conn, &resp, func(f *frameWriter) { f.u32(uint32(w.NextStep())) }) != nil {
-			w.Crash(errors.New("connection lost during attach"))
+			if !s.dying.Load() {
+				w.Crash(errors.New("connection lost during attach"))
+			}
 			return
 		}
 		s.serveWriter(conn, &resp, next, arm, w)
@@ -502,9 +533,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if respondOK(conn, &resp, func(f *frameWriter) { f.u32(uint32(r.NextStep())) }) != nil {
+			if !s.dying.Load() {
+				r.Close()
+			}
+			return
+		}
+		s.serveReader(conn, &resp, next, arm, r)
+	case opAttachReplay:
+		fr := &frameReader{buf: body}
+		stream := fr.str()
+		from := int(fr.u32())
+		if fr.err != nil {
+			respondErr(conn, &resp, fr.err)
+			return
+		}
+		r, err := s.broker.OpenReaderFrom(stream, from)
+		if err != nil {
+			respondErr(conn, &resp, err)
+			return
+		}
+		if respondOK(conn, &resp, func(f *frameWriter) { f.u32(uint32(r.NextStep())) }) != nil {
 			r.Close()
 			return
 		}
+		// A replay session speaks the ordinary reader op set; only how the
+		// broker sources the steps differs.
 		s.serveReader(conn, &resp, next, arm, r)
 	default:
 		respondErr(conn, &resp, fmt.Errorf("flexpath: first message must attach, got opcode %d", op))
@@ -514,8 +567,14 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) serveWriter(conn net.Conn, resp *[]byte, next func() (frame, bool), arm func() (context.Context, func()), w *Writer) {
 	// A connection that drops without a clean close or detach is a lost
 	// writer: fail the stream rather than silently truncating it. Crash
-	// is a no-op if an opcode below already settled the handle.
-	defer w.Crash(errors.New("writer connection lost"))
+	// is a no-op if an opcode below already settled the handle. When the
+	// server severed the connection itself (Shutdown), the handle is
+	// abandoned as-is — the peer didn't die.
+	defer func() {
+		if !s.dying.Load() {
+			w.Crash(errors.New("writer connection lost"))
+		}
+	}()
 	for {
 		f, ok := next()
 		if !ok {
@@ -585,8 +644,28 @@ func (s *Server) serveWriter(conn net.Conn, resp *[]byte, next func() (frame, bo
 	}
 }
 
-func (s *Server) serveReader(conn net.Conn, resp *[]byte, next func() (frame, bool), arm func() (context.Context, func()), r *Reader) {
-	defer r.Close()
+// servedReader is the broker-side surface serveReader drives: satisfied
+// by both live *Reader handles and catch-up *ReplayReader sessions, so
+// one wire loop serves both attachment kinds.
+type servedReader interface {
+	WriterSize(ctx context.Context) (int, error)
+	StepMetaRefs(ctx context.Context, step int) ([]*pool.Buf, error)
+	FetchBlockRef(ctx context.Context, step, writerRank int) (*pool.Buf, error)
+	ReleaseStep(step int) error
+	Close() error
+	Detach() error
+}
+
+func (s *Server) serveReader(conn net.Conn, resp *[]byte, next func() (frame, bool), arm func() (context.Context, func()), r servedReader) {
+	// A dropped reader connection is a departed rank (graceful, un-gates
+	// retirement) — unless the server severed it itself during Shutdown,
+	// in which case the rank is still alive elsewhere and the handle is
+	// abandoned as-is.
+	defer func() {
+		if !s.dying.Load() {
+			r.Close()
+		}
+	}()
 	// Iovec scratch for vectored fetch responses, reused frame to frame.
 	var vecs net.Buffers
 	for {

@@ -158,6 +158,35 @@ func (c *Client) release(conn net.Conn) {
 	conn.Close()
 }
 
+// ErrBrokerClosed reports that the broker went away mid-operation: the
+// connection was severed (server shutdown, broker crash, network loss)
+// while a request or response was in flight. Clients match it with
+// errors.Is. It deliberately does not unwrap to the underlying io.EOF /
+// ECONNRESET — a torn connection must never satisfy an errors.Is(err,
+// io.EOF) end-of-stream check, which is reserved for the broker's
+// explicit stEOF answer.
+var ErrBrokerClosed = errors.New("flexpath: broker closed")
+
+// brokerClosedError carries the transport-level cause as text only (see
+// ErrBrokerClosed). Transient: the broker may be restarting, so the
+// supervisor should retry the stage rather than fail the workflow.
+type brokerClosedError struct{ msg string }
+
+func (e *brokerClosedError) Error() string        { return e.msg }
+func (e *brokerClosedError) Is(target error) bool { return target == ErrBrokerClosed }
+func (e *brokerClosedError) Transient() bool      { return true }
+
+// isBrokerLoss reports whether a call-level read/write error means the
+// peer vanished mid-exchange: clean or torn EOFs, resets, broken pipes,
+// and operations on a connection torn down by Client.Close. A frame
+// checksum mismatch is deliberately excluded — that is data corruption
+// on a live connection, not a shutdown, and must stay loud.
+func isBrokerLoss(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, net.ErrClosed)
+}
+
 // isTransientNetErr reports whether err looks like a transport-level
 // failure worth retrying, as opposed to a protocol rejection from the
 // broker (size conflict, stream failed, ...), which never heals on its
@@ -168,6 +197,9 @@ func isTransientNetErr(err error) bool {
 	}
 	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
 		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	if errors.Is(err, ErrBrokerClosed) {
 		return true
 	}
 	// A Unix-domain socket whose path does not exist yet is the AF_UNIX
@@ -279,6 +311,9 @@ func callWith(ctx context.Context, conn net.Conn, wmu *sync.Mutex, rbuf *[]byte,
 func wrapNetErr(ctx context.Context, err error) error {
 	if ctx != nil && ctx.Err() != nil {
 		return ctx.Err()
+	}
+	if isBrokerLoss(err) {
+		return &brokerClosedError{msg: fmt.Sprintf("%v: %v", ErrBrokerClosed, err)}
 	}
 	return err
 }
@@ -492,6 +527,25 @@ func (c *Client) AttachReader(stream string, rank, size int) (*RemoteReader, err
 	f.u32(uint32(rank))
 	f.u32(uint32(size))
 	conn, fr, err := c.attach(opAttachReader, f.buf)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteReader{c: c, conn: conn, next: int(fr.u32())}, nil
+}
+
+// OpenReaderFrom opens a catch-up replay session on the remote broker,
+// positioned at step from (see Broker.OpenReaderFrom). The returned
+// handle speaks the ordinary reader op set, so it is a *RemoteReader in
+// every respect except that the broker sources historical steps from
+// its durable log and the session never gates retirement.
+func (c *Client) OpenReaderFrom(stream string, from int) (*RemoteReader, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("flexpath: replay from negative step %d", from)
+	}
+	f := &frameWriter{}
+	f.str(stream)
+	f.u32(uint32(from))
+	conn, fr, err := c.attach(opAttachReplay, f.buf)
 	if err != nil {
 		return nil, err
 	}

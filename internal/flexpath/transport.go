@@ -72,6 +72,29 @@ type ReaderHandle interface {
 	Detach() error
 }
 
+// ReplayTransport is the optional catch-up capability: backends whose
+// broker carries a durable stream log (AttachLog) can open observer
+// readers positioned at a historical step. Both shipped backends
+// implement it; OpenReaderFrom is the capability-checked entry point.
+type ReplayTransport interface {
+	// OpenReaderFrom opens a catch-up reader on a stream positioned at
+	// step from. The handle replays steps still within the log's
+	// retention budget from disk (evicted steps surface ErrStepRetired),
+	// then hands off to live tailing. It is an observer: it joins no
+	// reader group and never gates retirement.
+	OpenReaderFrom(stream string, from int) (ReaderHandle, error)
+}
+
+// OpenReaderFrom opens a catch-up reader over any Transport, failing
+// cleanly when the backend lacks the replay capability.
+func OpenReaderFrom(t Transport, stream string, from int) (ReaderHandle, error) {
+	rt, ok := t.(ReplayTransport)
+	if !ok {
+		return nil, fmt.Errorf("flexpath: transport %T does not support replay readers", t)
+	}
+	return rt.OpenReaderFrom(stream, from)
+}
+
 // Transport is a stream-fabric backend: it attaches per-rank writer and
 // reader handles to named streams. All backends share one protocol —
 // the contract checks in internal/flexpath/conformance are the
@@ -131,6 +154,15 @@ func (t InProc) AttachReader(stream string, rank, size int) (ReaderHandle, error
 	return r, nil
 }
 
+// OpenReaderFrom implements ReplayTransport.
+func (t InProc) OpenReaderFrom(stream string, from int) (ReaderHandle, error) {
+	r, err := t.B.OpenReaderFrom(stream, from)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // Close implements Transport. The broker itself holds no resources
 // beyond its streams, which retire through handle settlement.
 func (t InProc) Close() error { return nil }
@@ -152,6 +184,15 @@ func (t Remote) AttachWriter(stream string, rank, size, depth int) (WriterHandle
 // AttachReader implements Transport.
 func (t Remote) AttachReader(stream string, rank, size int) (ReaderHandle, error) {
 	r, err := t.C.AttachReader(stream, rank, size)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// OpenReaderFrom implements ReplayTransport.
+func (t Remote) OpenReaderFrom(stream string, from int) (ReaderHandle, error) {
+	r, err := t.C.OpenReaderFrom(stream, from)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +233,10 @@ var (
 	_ WriterHandle = (*RemoteWriter)(nil)
 	_ ReaderHandle = (*Reader)(nil)
 	_ ReaderHandle = (*RemoteReader)(nil)
+	_ ReaderHandle = (*ReplayReader)(nil)
 	_ Transport    = InProc{}
 	_ Transport    = Remote{}
+
+	_ ReplayTransport = InProc{}
+	_ ReplayTransport = Remote{}
 )

@@ -1,0 +1,188 @@
+package flexpath_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flexpath"
+)
+
+// Regression tests for Unix-socket path ownership. The original
+// listenUnix probed a busy path by dialing it and unlinked on refusal —
+// racy: between another broker's bind and its first accept, the probe
+// could be refused and the *live* socket unlinked. Ownership is now an
+// exclusive flock on a sidecar lock file, so exactly one broker can
+// hold a path and stale sockets are identified by the lock, not by a
+// probe dial.
+
+// A socket file left behind by a dead broker (no flock held) must be
+// detected as stale, unlinked, and rebound.
+func TestUnixStaleSocketRecovered(t *testing.T) {
+	requireUnixSockets(t)
+	path := udsPath(t)
+	// Simulate an uncleanly dead broker: bind the path raw (no lock
+	// file), suppress Go's unlink-on-close, and drop the listener — the
+	// socket file stays behind with nothing accepting on it.
+	ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: path, Net: "unix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.SetUnlinkOnClose(false)
+	ln.Close()
+
+	b := flexpath.NewBroker()
+	srv, err := flexpath.NewUnixServer(b, path)
+	if err != nil {
+		t.Fatalf("NewUnixServer over stale socket: %v", err)
+	}
+	defer srv.Close()
+	c := flexpath.DialUnix(path)
+	defer c.Close()
+	w, err := c.AttachWriter("uds.stale", 0, 1, 0)
+	if err != nil {
+		t.Fatalf("attach over recovered socket: %v", err)
+	}
+	w.Close()
+}
+
+// A live broker on the path must refuse a second broker — and, the
+// actual regression, the loser must not unlink the winner's socket.
+// After the first broker shuts down, the path is reusable.
+func TestUnixSecondBrokerRefused(t *testing.T) {
+	requireUnixSockets(t)
+	path := udsPath(t)
+	srv1, err := flexpath.NewUnixServer(flexpath.NewBroker(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flexpath.NewUnixServer(flexpath.NewBroker(), path); err == nil {
+		t.Fatal("second broker bound a live path")
+	}
+	// The refused attempt must not have damaged the live broker.
+	c := flexpath.DialUnix(path)
+	w, err := c.AttachWriter("uds.second", 0, 1, 0)
+	if err != nil {
+		t.Fatalf("winner unusable after refused contender: %v", err)
+	}
+	w.Close()
+	c.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv3, err := flexpath.NewUnixServer(flexpath.NewBroker(), path)
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	srv3.Close()
+}
+
+// N brokers racing for one path: exactly one wins, and the winner is
+// dialable after every loser has finished erroring out — proving no
+// loser unlinked the winner's freshly bound socket.
+func TestUnixConcurrentBindRace(t *testing.T) {
+	requireUnixSockets(t)
+	for round := 0; round < 5; round++ {
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			path := udsPath(t)
+			const racers = 4
+			var wg sync.WaitGroup
+			srvs := make([]*flexpath.Server, racers)
+			errs := make([]error, racers)
+			for i := 0; i < racers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					srvs[i], errs[i] = flexpath.NewUnixServer(flexpath.NewBroker(), path)
+				}(i)
+			}
+			wg.Wait()
+			winners := 0
+			for i := range srvs {
+				if errs[i] == nil {
+					winners++
+					defer srvs[i].Close()
+				}
+			}
+			if winners != 1 {
+				t.Fatalf("%d brokers won the bind race, want exactly 1", winners)
+			}
+			// Every loser has returned; the winner must still be serving.
+			c := flexpath.DialUnix(path)
+			defer c.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			w, err := c.AttachWriter("uds.race", 0, 1, 0)
+			if err != nil {
+				t.Fatalf("winner not dialable after race: %v", err)
+			}
+			if err := w.PublishBlock(ctx, 0, []byte("m"), []byte("p")); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+		})
+	}
+}
+
+// The lock file must not block reuse across clean shutdowns, and its
+// flock must release with the server so a successor can bind.
+func TestUnixLockReleasedOnShutdown(t *testing.T) {
+	requireUnixSockets(t)
+	path := udsPath(t)
+	for i := 0; i < 3; i++ {
+		srv, err := flexpath.NewUnixServer(flexpath.NewBroker(), path)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("cycle %d close: %v", i, err)
+		}
+	}
+	// The sidecar lock file is deliberately left behind (unlinking it
+	// would reopen the ownership race); the socket file itself is gone.
+	if _, err := os.Stat(path + ".lock"); err != nil {
+		t.Fatalf("lock file missing after shutdown: %v", err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("socket file left behind after clean shutdown")
+	}
+}
+
+// A client blocked in a broker-side wait when the server shuts down
+// must get a clean, retryable ErrBrokerClosed — not a raw short-read
+// or CRC framing error.
+func TestUnixShutdownYieldsBrokerClosed(t *testing.T) {
+	requireUnixSockets(t)
+	path := udsPath(t)
+	srv, err := flexpath.NewUnixServer(flexpath.NewBroker(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := flexpath.DialUnix(path)
+	defer c.Close()
+	r, err := c.AttachReader("uds.shutdown", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		// Blocks server-side: no writer group will ever attach.
+		_, err := r.WriterSize(context.Background())
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, flexpath.ErrBrokerClosed) {
+			t.Fatalf("blocked op after shutdown = %v, want ErrBrokerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked op never unblocked after shutdown")
+	}
+}

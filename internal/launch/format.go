@@ -24,6 +24,11 @@ func Format(spec workflow.Spec) (string, error) {
 		}
 		sb.WriteByte('\n')
 	}
+	if spec.LogDir != "" {
+		sb.WriteString("log ")
+		sb.WriteString(quoteArg(spec.LogDir))
+		sb.WriteByte('\n')
+	}
 	if spec.Fuse {
 		sb.WriteString("fuse\n")
 	}

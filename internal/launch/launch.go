@@ -14,9 +14,12 @@
 // <args…> [&]`, blank lines, `#` comments, a trailing `wait`, an
 // optional `transport <kind> [addr]` directive selecting the stream
 // fabric the workflow runs over (inproc, tcp host:port, or uds
-// /path/to.sock), and an optional `fuse` directive asking the runner to
-// apply the stage-fusion pass (see workflow.Plan.Fuse) before
-// launching. Each directive may appear at most once. Components are
+// /path/to.sock), an optional `log <dir>` directive mounting a durable
+// stream log on the workflow's broker (crash recovery and catch-up
+// replay; see flexpath.Broker.AttachLog), and an optional `fuse`
+// directive asking the runner to apply the stage-fusion pass (see
+// workflow.Plan.Fuse) before launching. Each directive may appear at
+// most once. Components are
 // resolved by name at run time against the registry in package
 // components.
 package launch
@@ -72,6 +75,19 @@ func Parse(name string, script string) (workflow.Spec, error) {
 					Msg: "duplicate transport directive"}
 			}
 			spec.Transport = ts
+			continue
+		}
+		if line == "log" || strings.HasPrefix(line, "log ") || strings.HasPrefix(line, "log\t") {
+			tokens, err := tokenize(line)
+			if err != nil || len(tokens) != 2 || tokens[1] == "" {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "log directive wants: log <dir>"}
+			}
+			if spec.LogDir != "" {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "duplicate log directive"}
+			}
+			spec.LogDir = tokens[1]
 			continue
 		}
 		if line == "fuse" || strings.HasPrefix(line, "fuse ") || strings.HasPrefix(line, "fuse\t") {

@@ -102,6 +102,10 @@ func TestParseErrors(t *testing.T) {
 		"two transports":   "transport inproc\ntransport tcp 1.2.3.4:7\naprun -n 1 histogram a.fp x 4",
 		"two fuses":        "fuse\nfuse\naprun -n 1 histogram a.fp x 4",
 		"fuse extras":      "fuse hard\naprun -n 1 histogram a.fp x 4",
+		"bare log":         "log\naprun -n 1 histogram a.fp x 4",
+		"log extras":       "log /var/a /var/b\naprun -n 1 histogram a.fp x 4",
+		"empty log dir":    "log \"\"\naprun -n 1 histogram a.fp x 4",
+		"two logs":         "log /var/a\nlog /var/b\naprun -n 1 histogram a.fp x 4",
 	}
 	for name, script := range cases {
 		if _, err := Parse(name, script); err == nil {
@@ -140,6 +144,31 @@ func TestParseTransportDirective(t *testing.T) {
 	}
 }
 
+func TestParseLogDirective(t *testing.T) {
+	spec, err := Parse("lg", "log /var/run/sb-log\naprun -n 1 histogram a.fp x 4\nwait\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LogDir != "/var/run/sb-log" {
+		t.Fatalf("log dir = %q", spec.LogDir)
+	}
+	spec, err = Parse("lg", "aprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LogDir != "" {
+		t.Fatalf("log dir set without directive: %q", spec.LogDir)
+	}
+	// Directories with spaces ride in quotes, like any other argument.
+	spec, err = Parse("lg", "log \"/mnt/scratch/my logs\"\naprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LogDir != "/mnt/scratch/my logs" {
+		t.Fatalf("quoted log dir = %q", spec.LogDir)
+	}
+}
+
 func TestParseFuseDirective(t *testing.T) {
 	spec, err := Parse("f", "fuse\naprun -n 1 histogram a.fp x 4\nwait\n")
 	if err != nil {
@@ -164,6 +193,7 @@ func TestParseDuplicateDirectivesReportLine(t *testing.T) {
 	}{
 		"transport": {"transport inproc\ntransport inproc\naprun -n 1 histogram a.fp x 4", 2},
 		"fuse":      {"fuse\n# comment\nfuse\naprun -n 1 histogram a.fp x 4", 3},
+		"log":       {"log /var/a\n\nlog /var/b\naprun -n 1 histogram a.fp x 4", 3},
 	}
 	for name, tc := range cases {
 		_, err := Parse(name, tc.script)
@@ -178,7 +208,7 @@ func TestParseDuplicateDirectivesReportLine(t *testing.T) {
 }
 
 func TestFormatRendersDirectives(t *testing.T) {
-	spec, err := Parse("rt", "transport uds /tmp/b.sock\nfuse\naprun -n 2 -q 4 magnitude a.fp x b.fp y &\nwait\n")
+	spec, err := Parse("rt", "transport uds /tmp/b.sock\nlog \"/mnt/scratch/sb logs\"\nfuse\naprun -n 2 -q 4 magnitude a.fp x b.fp y &\nwait\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,12 +219,18 @@ func TestFormatRendersDirectives(t *testing.T) {
 	if !strings.Contains(text, "transport uds /tmp/b.sock\n") || !strings.Contains(text, "fuse\n") {
 		t.Fatalf("formatted script missing directives:\n%s", text)
 	}
+	if !strings.Contains(text, "log \"/mnt/scratch/sb logs\"\n") {
+		t.Fatalf("formatted script missing log directive:\n%s", text)
+	}
 	again, err := Parse("rt2", text)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if again.Transport != spec.Transport || again.Fuse != spec.Fuse {
 		t.Fatalf("round trip lost directives: %+v fuse=%v", again.Transport, again.Fuse)
+	}
+	if again.LogDir != spec.LogDir {
+		t.Fatalf("round trip lost log dir: %q vs %q", again.LogDir, spec.LogDir)
 	}
 	if again.Stages[0].QueueDepth != 4 {
 		t.Fatalf("round trip lost queue depth: %+v", again.Stages[0])

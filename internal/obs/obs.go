@@ -73,6 +73,21 @@ const (
 	// KindStageRestart marks the supervisor scheduling a restart; Epoch
 	// is the attempt about to launch.
 	KindStageRestart Kind = "stage.restart"
+	// KindLogAppend is one timestep framed onto the durable stream log
+	// by the broker's write-behind appender; Bytes counts the record.
+	KindLogAppend Kind = "log.append"
+	// KindLogReplay is one historical step served to a catch-up reader
+	// from segment reads (as opposed to the live queue).
+	KindLogReplay Kind = "log.replay"
+	// KindReplayLive is one step served to a catch-up reader from the
+	// live in-memory queue — the post-handoff half of a replay session.
+	// For any one replay reader each step appears in exactly one
+	// log.replay or replay.live span: the exactly-once handoff proof.
+	KindReplayLive Kind = "replay.live"
+	// KindBrokerRecover is one stream's state rebuilt from the durable
+	// log after a broker restart; Step is the recovered head, Bytes the
+	// payload bytes restored into the queue.
+	KindBrokerRecover Kind = "broker.recover"
 )
 
 // Span is one observed hop of one timestep through the fabric. Fields

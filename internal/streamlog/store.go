@@ -1,0 +1,138 @@
+package streamlog
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store is a directory of per-stream logs sharing one Options — the
+// unit sbbroker mounts with -log-dir. Opening a store eagerly opens
+// every stream log already on disk (healing torn tails), so a
+// recovering broker can enumerate what survived the crash.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	logs   map[string]*Log
+	closed bool
+}
+
+// OpenStore opens (or creates) the store rooted at dir. Every existing
+// stream directory is opened and healed immediately.
+func OpenStore(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("streamlog: %w", err)
+	}
+	st := &Store{dir: dir, opts: opts, logs: make(map[string]*Log)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("streamlog: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // foreign directory; leave it alone
+		}
+		l, err := OpenLog(st.streamDir(name), opts)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("streamlog: stream %q: %w", name, err)
+		}
+		st.logs[name] = l
+	}
+	return st, nil
+}
+
+// streamDir maps a stream name to its directory: path-escaped so any
+// stream name — slashes included — stays one flat directory entry.
+func (st *Store) streamDir(stream string) string {
+	return st.dir + string(os.PathSeparator) + url.PathEscape(stream)
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Log returns the named stream's log, creating it on first use.
+func (st *Store) Log(stream string) (*Log, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, ErrClosed
+	}
+	if l, ok := st.logs[stream]; ok {
+		return l, nil
+	}
+	l, err := OpenLog(st.streamDir(stream), st.opts)
+	if err != nil {
+		return nil, err
+	}
+	st.logs[stream] = l
+	return l, nil
+}
+
+// Streams returns the names of every open stream log, sorted.
+func (st *Store) Streams() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.logs))
+	for name := range st.logs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Segments returns the live segment count across all streams — the
+// value behind the log.segments metric.
+func (st *Store) Segments() int {
+	st.mu.Lock()
+	logs := make([]*Log, 0, len(st.logs))
+	for _, l := range st.logs {
+		logs = append(logs, l)
+	}
+	st.mu.Unlock()
+	n := 0
+	for _, l := range logs {
+		n += l.Segments()
+	}
+	return n
+}
+
+// Bytes returns the total on-disk size across all streams — the value
+// behind the log.bytes metric.
+func (st *Store) Bytes() int64 {
+	st.mu.Lock()
+	logs := make([]*Log, 0, len(st.logs))
+	for _, l := range st.logs {
+		logs = append(logs, l)
+	}
+	st.mu.Unlock()
+	var n int64
+	for _, l := range logs {
+		n += l.Bytes()
+	}
+	return n
+}
+
+// Close closes every stream log. Further operations return ErrClosed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var first error
+	for _, l := range st.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,788 @@
+// Package streamlog is the durable half of the stream fabric: a
+// segmented, append-only log of every timestep a stream publishes,
+// framed with the same length+CRC record layout the TCP transport uses
+// on the wire. The flexpath broker writes behind the in-memory queue —
+// a step is framed to the active segment before retirement is allowed
+// to recycle its pooled buffers — so a broker that crashes can rebuild
+// its stream state from the log and in-flight workflows resume through
+// the ordinary detach/re-attach path. The same log doubles as a replay
+// substrate: a catch-up reader opened at step K serves historical steps
+// from segment reads and hands off to live tailing at the log head.
+//
+// On-disk layout: one directory per stream under the store root, with
+// numbered segment files (00000000.seg, 00000001.seg, …). Each record
+// is
+//
+//	u32 length   (type byte + body, little-endian)
+//	u32 crc      (CRC-32/IEEE over type byte + body)
+//	u8  type     (recConfig | recStep | recRetire | recEnd)
+//	body
+//
+// Every segment opens with a recConfig record carrying the stream's
+// writer-group size and queue depth, so any single segment is
+// self-describing. Torn tails — a crash mid-write — are healed on open:
+// the scan keeps the longest valid prefix, truncates the segment at the
+// first invalid record, and drops any later segments.
+//
+// Retention is by whole segments, and never evicts a step the broker
+// has not retired: a segment is removable only once its highest step
+// has a retire record, and only when the configured step- or byte-
+// budget is exceeded. Reads below the retention horizon get ErrEvicted.
+//
+// The package is dependency-free below the standard library;
+// observability (spans, counters) is the broker's job.
+package streamlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record types. recConfig opens every segment; recStep carries one full
+// timestep (all writer ranks); recRetire and recEnd journal the
+// broker's retirement watermark and graceful stream end.
+const (
+	recConfig byte = 1
+	recStep   byte = 2
+	recRetire byte = 3
+	recEnd    byte = 4
+)
+
+const (
+	// recHeader is the fixed prefix of every record: u32 length + u32 CRC.
+	recHeader = 8
+	// maxRecord bounds a record's length field, mirroring the wire
+	// codec's frame cap: anything larger is corruption, not data.
+	maxRecord = 1 << 30
+	// configVersion versions the recConfig body.
+	configVersion = 1
+	// DefaultSegmentBytes is the roll-over threshold used when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 64 << 20
+	// segSuffix names segment files.
+	segSuffix = ".seg"
+)
+
+// Errors.
+var (
+	// ErrEvicted is returned by ReadStep for a step below the retention
+	// horizon: it was durably logged once, then reclaimed by the
+	// step/byte budget after the broker retired it.
+	ErrEvicted = errors.New("streamlog: step evicted by retention")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("streamlog: log closed")
+)
+
+// FsyncMode selects when appends reach stable storage.
+type FsyncMode int
+
+const (
+	// FsyncNone leaves flushing to the OS page cache: fastest, loses the
+	// unsynced tail on power failure (the torn-tail scan heals it).
+	FsyncNone FsyncMode = iota
+	// FsyncStep fsyncs the active segment after every appended record —
+	// a published step survives anything short of media failure.
+	FsyncStep
+)
+
+// String renders the mode as its flag spelling.
+func (m FsyncMode) String() string {
+	if m == FsyncStep {
+		return "step"
+	}
+	return "none"
+}
+
+// ParseFsync parses a -log-fsync flag value.
+func ParseFsync(s string) (FsyncMode, error) {
+	switch s {
+	case "none", "":
+		return FsyncNone, nil
+	case "step":
+		return FsyncStep, nil
+	}
+	return FsyncNone, fmt.Errorf("streamlog: unknown fsync mode %q (want none or step)", s)
+}
+
+// Options configures a log (and every log of a store).
+type Options struct {
+	// SegmentBytes is the size at which the active segment rolls over;
+	// 0 selects DefaultSegmentBytes. A single oversized record still
+	// lands in one segment.
+	SegmentBytes int64
+	// RetainSteps keeps at least the last RetainSteps steps readable;
+	// older retired segments become evictable. 0 = retain everything.
+	RetainSteps int
+	// RetainBytes evicts oldest retired segments while the log exceeds
+	// this many bytes. 0 = no byte budget.
+	RetainBytes int64
+	// Fsync is the durability policy for appends.
+	Fsync FsyncMode
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+// Config is the stream configuration journaled at the head of every
+// segment — what a recovering broker needs to rebuild the stream.
+type Config struct {
+	WriterSize int
+	QueueDepth int
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	seq     int
+	path    string
+	f       *os.File
+	size    int64
+	minStep int // lowest step record in this segment, -1 if none
+	maxStep int // highest step record, -1 if none
+}
+
+// stepLoc locates one step record.
+type stepLoc struct {
+	seg *segment
+	off int64
+}
+
+// Log is the durable journal of one stream. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	closed bool
+
+	cfg     Config
+	haveCfg bool
+
+	segs    []*segment // ascending seq; last is the active segment
+	nextSeq int
+	index   map[int]stepLoc
+	total   int64 // bytes across all live segments
+
+	firstStep   int // lowest readable step (evicted below)
+	nextStep    int // next step Append accepts
+	lastRetired int // highest retired step, -1 if none
+	ended       bool
+	lastStep    int // valid once ended
+
+	scratch []byte // record assembly buffer, reused across appends
+}
+
+// OpenLog opens (or creates) the log rooted at dir, healing any torn
+// tail left by a crash: the scan keeps the longest valid record prefix,
+// truncates the first damaged segment at its last valid record, and
+// drops later segments entirely.
+func OpenLog(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("streamlog: %w", err)
+	}
+	l := &Log{
+		dir:         dir,
+		opts:        opts,
+		index:       make(map[int]stepLoc),
+		lastRetired: -1,
+	}
+	if err := l.scan(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// listSegments returns the segment files under dir in ascending
+// sequence order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("streamlog: %w", err)
+	}
+	var seqs []int
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(name, segSuffix))
+		if err != nil || n < 0 {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+func segPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d%s", seq, segSuffix))
+}
+
+// scan replays every segment into the in-memory index, healing torn
+// tails. Called once from OpenLog; no lock needed.
+func (l *Log) scan() error {
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	sawStep := false
+	for i, seq := range seqs {
+		seg := &segment{seq: seq, path: segPath(l.dir, seq), minStep: -1, maxStep: -1}
+		f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("streamlog: %w", err)
+		}
+		seg.f = f
+		valid, clean, err := l.scanSegment(seg)
+		if err != nil {
+			return err
+		}
+		l.segs = append(l.segs, seg)
+		l.total += valid
+		if seg.minStep >= 0 && !sawStep {
+			l.firstStep = seg.minStep
+			sawStep = true
+		}
+		if !clean {
+			// Torn tail: truncate this segment at its last valid record
+			// and drop every later segment — records beyond the tear are
+			// not trustworthy even if individually CRC-clean.
+			if err := f.Truncate(valid); err != nil {
+				return fmt.Errorf("streamlog: healing %s: %w", seg.path, err)
+			}
+			for _, later := range seqs[i+1:] {
+				if err := os.Remove(segPath(l.dir, later)); err != nil {
+					return fmt.Errorf("streamlog: dropping segment past tear: %w", err)
+				}
+			}
+			break
+		}
+	}
+	if len(l.segs) > 0 {
+		l.nextSeq = l.segs[len(l.segs)-1].seq + 1
+	}
+	// If retention evicted every step-holding segment, the surviving
+	// retire/end records still pin the resume point: eviction requires
+	// retirement, so no evicted step can exceed lastRetired.
+	if l.lastRetired+1 > l.nextStep {
+		l.nextStep = l.lastRetired + 1
+	}
+	if l.ended && l.lastStep+1 > l.nextStep {
+		l.nextStep = l.lastStep + 1
+	}
+	if !sawStep {
+		l.firstStep = l.nextStep
+	}
+	return nil
+}
+
+// scanSegment reads seg's records in order, applying each to the log
+// state. It returns the byte offset of the end of the last valid
+// record and whether the segment ended cleanly (no torn tail).
+func (l *Log) scanSegment(seg *segment) (valid int64, clean bool, err error) {
+	info, err := seg.f.Stat()
+	if err != nil {
+		return 0, false, fmt.Errorf("streamlog: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	hdr := make([]byte, recHeader)
+	var body []byte
+	for off < size {
+		if size-off < recHeader {
+			return off, false, nil
+		}
+		if _, err := seg.f.ReadAt(hdr, off); err != nil {
+			return off, false, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n < 1 || n > maxRecord || off+recHeader+n > size {
+			return off, false, nil
+		}
+		if int64(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := seg.f.ReadAt(body, off+recHeader); err != nil {
+			return off, false, nil
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			return off, false, nil
+		}
+		if !l.applyRecord(seg, off, body[0], body[1:]) {
+			return off, false, nil
+		}
+		off += recHeader + n
+		seg.size = off
+	}
+	return off, true, nil
+}
+
+// applyRecord folds one scanned record into the log state. A
+// structurally invalid record (CRC-clean but malformed) reports false,
+// which the scan treats as a tear at this offset.
+func (l *Log) applyRecord(seg *segment, off int64, typ byte, body []byte) bool {
+	switch typ {
+	case recConfig:
+		cfg, ok := decodeConfig(body)
+		if !ok {
+			return false
+		}
+		if l.haveCfg && cfg != l.cfg {
+			return false // a stream's config never changes mid-log
+		}
+		l.cfg, l.haveCfg = cfg, true
+	case recStep:
+		step, _, _, ok := decodeStep(body)
+		if !ok || (len(l.index) > 0 && step != l.nextStep) {
+			return false
+		}
+		l.index[step] = stepLoc{seg: seg, off: off}
+		if seg.minStep < 0 {
+			seg.minStep = step
+		}
+		seg.maxStep = step
+		l.nextStep = step + 1
+	case recRetire:
+		if len(body) != 4 {
+			return false
+		}
+		if step := int(binary.LittleEndian.Uint32(body)); step > l.lastRetired {
+			l.lastRetired = step
+		}
+	case recEnd:
+		if len(body) != 4 {
+			return false
+		}
+		l.ended = true
+		l.lastStep = int(binary.LittleEndian.Uint32(body)) - 1
+	default:
+		return false
+	}
+	return true
+}
+
+func decodeConfig(body []byte) (Config, bool) {
+	if len(body) < 12 {
+		return Config{}, false
+	}
+	if binary.LittleEndian.Uint32(body[0:4]) != configVersion {
+		return Config{}, false
+	}
+	cfg := Config{
+		WriterSize: int(binary.LittleEndian.Uint32(body[4:8])),
+		QueueDepth: int(binary.LittleEndian.Uint32(body[8:12])),
+	}
+	if cfg.WriterSize < 1 || cfg.WriterSize > 1<<16 ||
+		cfg.QueueDepth < 1 || cfg.QueueDepth > 1<<16 {
+		return Config{}, false
+	}
+	return cfg, true
+}
+
+func encodeConfig(cfg Config) []byte {
+	b := make([]byte, 0, 12)
+	b = binary.LittleEndian.AppendUint32(b, configVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(cfg.WriterSize))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cfg.QueueDepth))
+	return b
+}
+
+// decodeStep parses a recStep body: u32 step, u32 nranks, then per rank
+// u32 meta length + meta and u32 payload length + payload. Defensive
+// against CRC-clean garbage: every length is bounds-checked.
+func decodeStep(body []byte) (step int, metas, payloads [][]byte, ok bool) {
+	if len(body) < 8 {
+		return 0, nil, nil, false
+	}
+	step = int(binary.LittleEndian.Uint32(body[0:4]))
+	nranks := int(binary.LittleEndian.Uint32(body[4:8]))
+	// Each rank needs at least two length prefixes, so nranks is bounded
+	// by the body itself — checked before allocating rank slices.
+	if nranks < 1 || nranks > 1<<16 || nranks*8 > len(body)-8 {
+		return 0, nil, nil, false
+	}
+	rest := body[8:]
+	metas = make([][]byte, nranks)
+	payloads = make([][]byte, nranks)
+	next := func() ([]byte, bool) {
+		if len(rest) < 4 {
+			return nil, false
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		rest = rest[4:]
+		if n < 0 || n > len(rest) {
+			return nil, false
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, true
+	}
+	for i := 0; i < nranks; i++ {
+		var okm, okp bool
+		if metas[i], okm = next(); !okm {
+			return 0, nil, nil, false
+		}
+		if payloads[i], okp = next(); !okp {
+			return 0, nil, nil, false
+		}
+	}
+	if len(rest) != 0 {
+		return 0, nil, nil, false
+	}
+	return step, metas, payloads, true
+}
+
+// SetConfig journals the stream configuration. It must be called before
+// the first Append; calling again with the same values is a no-op, with
+// different values an error (a stream's shape is immutable).
+func (l *Log) SetConfig(cfg Config) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if cfg.WriterSize < 1 || cfg.QueueDepth < 1 {
+		return fmt.Errorf("streamlog: invalid config %+v", cfg)
+	}
+	if l.haveCfg {
+		if cfg != l.cfg {
+			return fmt.Errorf("streamlog: config conflict: have %+v, got %+v", l.cfg, cfg)
+		}
+		return nil
+	}
+	l.cfg, l.haveCfg = cfg, true
+	return nil
+}
+
+// Config returns the journaled stream configuration, if any.
+func (l *Log) Config() (Config, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg, l.haveCfg
+}
+
+// Append journals one fully published timestep: every writer rank's
+// metadata and payload blob. Steps must be appended densely in order —
+// step must equal NextStep. The blobs are copied into the record; the
+// caller keeps ownership.
+func (l *Log) Append(step int, metas, payloads [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.haveCfg {
+		return errors.New("streamlog: Append before SetConfig")
+	}
+	if len(metas) != l.cfg.WriterSize || len(payloads) != l.cfg.WriterSize {
+		return fmt.Errorf("streamlog: step %d has %d/%d blobs, writer size is %d",
+			step, len(metas), len(payloads), l.cfg.WriterSize)
+	}
+	if step != l.nextStep {
+		return fmt.Errorf("streamlog: append of step %d, expected %d", step, l.nextStep)
+	}
+	body := l.scratch[:0]
+	body = binary.LittleEndian.AppendUint32(body, uint32(step))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(metas)))
+	for i := range metas {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(metas[i])))
+		body = append(body, metas[i]...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(payloads[i])))
+		body = append(body, payloads[i]...)
+	}
+	l.scratch = body[:0]
+	seg, off, err := l.appendRecord(recStep, body)
+	if err != nil {
+		return err
+	}
+	l.index[step] = stepLoc{seg: seg, off: off}
+	if seg.minStep < 0 {
+		seg.minStep = step
+	}
+	seg.maxStep = step
+	if len(l.index) == 1 {
+		l.firstStep = step
+	}
+	l.nextStep = step + 1
+	return l.afterAppend()
+}
+
+// AppendRetire journals that the broker retired every step up to and
+// including step — the marker that makes older segments evictable.
+func (l *Log) AppendRetire(step int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	body := binary.LittleEndian.AppendUint32(nil, uint32(step))
+	if _, _, err := l.appendRecord(recRetire, body); err != nil {
+		return err
+	}
+	if step > l.lastRetired {
+		l.lastRetired = step
+	}
+	return l.afterAppend()
+}
+
+// AppendEnd journals the stream's graceful end at lastStep (the highest
+// step all writer ranks published; -1 for an empty stream).
+func (l *Log) AppendEnd(lastStep int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	body := binary.LittleEndian.AppendUint32(nil, uint32(lastStep+1))
+	if _, _, err := l.appendRecord(recEnd, body); err != nil {
+		return err
+	}
+	l.ended, l.lastStep = true, lastStep
+	return l.afterAppend()
+}
+
+// afterAppend applies the fsync policy and retention budget. Caller
+// holds the lock.
+func (l *Log) afterAppend() error {
+	if l.opts.Fsync == FsyncStep {
+		if err := l.segs[len(l.segs)-1].f.Sync(); err != nil {
+			return fmt.Errorf("streamlog: %w", err)
+		}
+	}
+	return l.evict()
+}
+
+// appendRecord frames one record onto the active segment, rolling to a
+// new segment when the size threshold is crossed. Caller holds the
+// lock. Returns the segment and offset the record landed at.
+func (l *Log) appendRecord(typ byte, body []byte) (*segment, int64, error) {
+	recLen := int64(recHeader + 1 + len(body))
+	if 1+len(body) > maxRecord {
+		return nil, 0, fmt.Errorf("streamlog: record of %d bytes exceeds limit", len(body))
+	}
+	seg := l.activeSegment()
+	if seg == nil || (seg.size > 0 && seg.size+recLen > l.opts.segmentBytes()) {
+		var err error
+		if seg, err = l.roll(); err != nil {
+			return nil, 0, err
+		}
+	}
+	off, err := l.writeRecord(seg, typ, body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return seg, off, nil
+}
+
+func (l *Log) activeSegment() *segment {
+	if len(l.segs) == 0 {
+		return nil
+	}
+	return l.segs[len(l.segs)-1]
+}
+
+// roll opens a fresh segment and journals the config record at its
+// head, making every segment self-describing. Caller holds the lock.
+func (l *Log) roll() (*segment, error) {
+	seg := &segment{seq: l.nextSeq, path: segPath(l.dir, l.nextSeq), minStep: -1, maxStep: -1}
+	f, err := os.OpenFile(seg.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("streamlog: %w", err)
+	}
+	seg.f = f
+	l.nextSeq++
+	l.segs = append(l.segs, seg)
+	if l.haveCfg {
+		if _, err := l.writeRecord(seg, recConfig, encodeConfig(l.cfg)); err != nil {
+			return nil, err
+		}
+	}
+	return seg, nil
+}
+
+// writeRecord frames header+type+body onto seg in one write. Caller
+// holds the lock. Returns the record's starting offset.
+func (l *Log) writeRecord(seg *segment, typ byte, body []byte) (int64, error) {
+	rec := make([]byte, 0, recHeader+1+len(body))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(1+len(body)))
+	crc := crc32.Update(crc32.ChecksumIEEE([]byte{typ}), crc32.IEEETable, body)
+	rec = binary.LittleEndian.AppendUint32(rec, crc)
+	rec = append(rec, typ)
+	rec = append(rec, body...)
+	off := seg.size
+	if _, err := seg.f.WriteAt(rec, off); err != nil {
+		return 0, fmt.Errorf("streamlog: %w", err)
+	}
+	seg.size += int64(len(rec))
+	l.total += int64(len(rec))
+	return off, nil
+}
+
+// evict drops oldest segments that are fully retired and outside the
+// retention budget. The active segment is never evicted. Caller holds
+// the lock.
+func (l *Log) evict() error {
+	for len(l.segs) > 1 {
+		oldest := l.segs[0]
+		if oldest.maxStep >= 0 && oldest.maxStep > l.lastRetired {
+			return nil // holds unretired steps: never evictable
+		}
+		overSteps := l.opts.RetainSteps > 0 && oldest.maxStep < l.nextStep-l.opts.RetainSteps
+		overBytes := l.opts.RetainBytes > 0 && l.total > l.opts.RetainBytes
+		if !overSteps && !overBytes {
+			return nil
+		}
+		for s := oldest.minStep; oldest.minStep >= 0 && s <= oldest.maxStep; s++ {
+			delete(l.index, s)
+		}
+		if oldest.maxStep >= 0 && oldest.maxStep+1 > l.firstStep {
+			l.firstStep = oldest.maxStep + 1
+		}
+		l.total -= oldest.size
+		oldest.f.Close()
+		if err := os.Remove(oldest.path); err != nil {
+			return fmt.Errorf("streamlog: %w", err)
+		}
+		l.segs = l.segs[1:]
+	}
+	return nil
+}
+
+// ReadStep returns the journaled blobs of one step, indexed by writer
+// rank. The returned slices are freshly allocated; the caller owns
+// them. Steps below the retention horizon return ErrEvicted; steps at
+// or past NextStep return an error (the log never blocks — waiting for
+// unpublished steps is the broker's job).
+func (l *Log) ReadStep(step int) (metas, payloads [][]byte, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, ErrClosed
+	}
+	loc, ok := l.index[step]
+	if !ok {
+		if step < l.nextStep {
+			return nil, nil, fmt.Errorf("%w: step %d below horizon %d", ErrEvicted, step, l.firstStep)
+		}
+		return nil, nil, fmt.Errorf("streamlog: step %d not yet appended (next is %d)", step, l.nextStep)
+	}
+	hdr := make([]byte, recHeader)
+	if _, err := loc.seg.f.ReadAt(hdr, loc.off); err != nil {
+		return nil, nil, fmt.Errorf("streamlog: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if n < 1 || n > maxRecord {
+		return nil, nil, fmt.Errorf("streamlog: step %d record corrupt", step)
+	}
+	body := make([]byte, n)
+	if _, err := loc.seg.f.ReadAt(body, loc.off+recHeader); err != nil {
+		return nil, nil, fmt.Errorf("streamlog: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != want || body[0] != recStep {
+		return nil, nil, fmt.Errorf("streamlog: step %d record corrupt", step)
+	}
+	got, metas, payloads, ok := decodeStep(body[1:])
+	if !ok || got != step {
+		return nil, nil, fmt.Errorf("streamlog: step %d record corrupt", step)
+	}
+	return metas, payloads, nil
+}
+
+// FirstStep returns the lowest readable step (steps below it were
+// evicted by retention).
+func (l *Log) FirstStep() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstStep
+}
+
+// NextStep returns the step the next Append must carry — one past the
+// highest journaled step.
+func (l *Log) NextStep() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextStep
+}
+
+// LastRetired returns the highest step with a retire record, or -1.
+func (l *Log) LastRetired() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastRetired
+}
+
+// Ended reports whether the stream ended gracefully, and at which step.
+func (l *Log) Ended() (lastStep int, ended bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastStep, l.ended
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Bytes returns the total size of all live segments.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Sync flushes the active segment to stable storage regardless of the
+// fsync policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seg := l.activeSegment(); seg != nil {
+		if err := seg.f.Sync(); err != nil {
+			return fmt.Errorf("streamlog: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes every segment file. Further operations return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	if seg := l.activeSegment(); seg != nil {
+		if err := seg.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, seg := range l.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,426 @@
+package streamlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustLog(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func blob(step, rank int, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(step*31 + rank*7 + i)
+	}
+	return b
+}
+
+func appendStep(t *testing.T, l *Log, step, ranks int) {
+	t.Helper()
+	metas := make([][]byte, ranks)
+	payloads := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		metas[r] = blob(step, r, 16)
+		payloads[r] = blob(step, r, 128)
+	}
+	if err := l.Append(step, metas, payloads); err != nil {
+		t.Fatalf("append step %d: %v", step, err)
+	}
+}
+
+func checkStep(t *testing.T, l *Log, step, ranks int) {
+	t.Helper()
+	metas, payloads, err := l.ReadStep(step)
+	if err != nil {
+		t.Fatalf("read step %d: %v", step, err)
+	}
+	if len(metas) != ranks || len(payloads) != ranks {
+		t.Fatalf("step %d: %d/%d blobs, want %d", step, len(metas), len(payloads), ranks)
+	}
+	for r := 0; r < ranks; r++ {
+		if !bytes.Equal(metas[r], blob(step, r, 16)) {
+			t.Fatalf("step %d rank %d: meta mismatch", step, r)
+		}
+		if !bytes.Equal(payloads[r], blob(step, r, 128)) {
+			t.Fatalf("step %d rank %d: payload mismatch", step, r)
+		}
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := mustLog(t, t.TempDir(), Options{})
+	if err := l.SetConfig(Config{WriterSize: 2, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		appendStep(t, l, s, 2)
+	}
+	for s := 0; s < 5; s++ {
+		checkStep(t, l, s, 2)
+	}
+	if got := l.NextStep(); got != 5 {
+		t.Fatalf("NextStep = %d, want 5", got)
+	}
+	if _, _, err := l.ReadStep(5); err == nil {
+		t.Fatal("ReadStep past head succeeded")
+	}
+	if err := l.Append(3, make([][]byte, 2), make([][]byte, 2)); err == nil {
+		t.Fatal("out-of-order append succeeded")
+	}
+}
+
+func TestReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	l := mustLog(t, dir, Options{})
+	if err := l.SetConfig(Config{WriterSize: 3, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		appendStep(t, l, s, 3)
+	}
+	if err := l.AppendRetire(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEnd(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustLog(t, dir, Options{})
+	cfg, ok := r.Config()
+	if !ok || cfg != (Config{WriterSize: 3, QueueDepth: 2}) {
+		t.Fatalf("Config = %+v, %v", cfg, ok)
+	}
+	if got := r.NextStep(); got != 4 {
+		t.Fatalf("NextStep = %d, want 4", got)
+	}
+	if got := r.LastRetired(); got != 1 {
+		t.Fatalf("LastRetired = %d, want 1", got)
+	}
+	if last, ended := r.Ended(); !ended || last != 3 {
+		t.Fatalf("Ended = %d, %v", last, ended)
+	}
+	for s := 0; s < 4; s++ {
+		checkStep(t, r, s, 3)
+	}
+}
+
+func TestSegmentRollAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every step rolls into its own segment.
+	l := mustLog(t, dir, Options{SegmentBytes: 64, RetainSteps: 3})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 10; s++ {
+		appendStep(t, l, s, 1)
+	}
+	// Nothing retired yet: retention must not evict a single step.
+	if got := l.FirstStep(); got != 0 {
+		t.Fatalf("FirstStep = %d before any retire, want 0", got)
+	}
+	if err := l.AppendRetire(8); err != nil {
+		t.Fatal(err)
+	}
+	first := l.FirstStep()
+	if first < 10-3-1 { // horizon minus segment granularity slack
+		t.Fatalf("FirstStep = %d, want eviction near horizon %d", first, 10-3)
+	}
+	if first == 0 {
+		t.Fatal("retention evicted nothing")
+	}
+	if _, _, err := l.ReadStep(0); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("ReadStep(0) = %v, want ErrEvicted", err)
+	}
+	for s := first; s < 10; s++ {
+		checkStep(t, l, s, 1)
+	}
+	// A reopen after eviction resumes at the true head.
+	l.Close()
+	r := mustLog(t, dir, Options{SegmentBytes: 64, RetainSteps: 3})
+	if got := r.NextStep(); got != 10 {
+		t.Fatalf("NextStep after reopen = %d, want 10", got)
+	}
+	if got := r.FirstStep(); got != first {
+		t.Fatalf("FirstStep after reopen = %d, want %d", got, first)
+	}
+}
+
+func TestRetainBytes(t *testing.T) {
+	l := mustLog(t, t.TempDir(), Options{SegmentBytes: 256, RetainBytes: 1024})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 20; s++ {
+		appendStep(t, l, s, 1)
+		if err := l.AppendRetire(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Bytes() > 2048 { // budget plus one active segment of slack
+		t.Fatalf("Bytes = %d, want eviction near 1024", l.Bytes())
+	}
+	if l.FirstStep() == 0 {
+		t.Fatal("byte retention evicted nothing")
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l := mustLog(t, dir, Options{})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		appendStep(t, l, s, 1)
+	}
+	l.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: chop the last 7 bytes off the newest record.
+	if err := os.Truncate(segs[0], info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustLog(t, dir, Options{})
+	if got := r.NextStep(); got != 2 {
+		t.Fatalf("NextStep after tear = %d, want 2", got)
+	}
+	for s := 0; s < 2; s++ {
+		checkStep(t, r, s, 1)
+	}
+	// The healed log accepts the re-publish of the torn step.
+	appendStep(t, r, 2, 1)
+	checkStep(t, r, 2, 1)
+}
+
+func TestCorruptTailDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := mustLog(t, dir, Options{SegmentBytes: 64})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		appendStep(t, l, s, 1)
+	}
+	l.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %v (%v)", segs, err)
+	}
+	// Flip one byte in the middle segment: everything from the flip on
+	// — including intact later segments — must be dropped.
+	mid := segs[1]
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(mid, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustLog(t, dir, Options{SegmentBytes: 64})
+	next := r.NextStep()
+	if next < 1 || next >= 5 {
+		t.Fatalf("NextStep after corruption = %d, want in [1,5)", next)
+	}
+	for s := 0; s < next; s++ {
+		checkStep(t, r, s, 1)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) >= len(segs) {
+		t.Fatalf("segments past the tear survived: %v", left)
+	}
+}
+
+func TestConfigConflict(t *testing.T) {
+	l := mustLog(t, t.TempDir(), Options{})
+	if err := l.SetConfig(Config{WriterSize: 2, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetConfig(Config{WriterSize: 2, QueueDepth: 2}); err != nil {
+		t.Fatalf("idempotent SetConfig: %v", err)
+	}
+	if err := l.SetConfig(Config{WriterSize: 3, QueueDepth: 2}); err == nil {
+		t.Fatal("conflicting SetConfig succeeded")
+	}
+	if err := l.Append(0, [][]byte{{1}}, [][]byte{{2}}); err == nil {
+		t.Fatal("append with wrong rank count succeeded")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a.fp", "weird/name with spaces", "b.fp"}
+	for _, name := range names {
+		l, err := st.Log(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+			t.Fatal(err)
+		}
+		appendStep(t, l, 0, 1)
+	}
+	if st.Segments() != 3 || st.Bytes() == 0 {
+		t.Fatalf("Segments=%d Bytes=%d", st.Segments(), st.Bytes())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Streams()
+	if len(got) != 3 {
+		t.Fatalf("Streams = %v, want 3 entries", got)
+	}
+	want := map[string]bool{"a.fp": true, "b.fp": true, "weird/name with spaces": true}
+	for _, name := range got {
+		if !want[name] {
+			t.Fatalf("unexpected stream %q in %v", name, got)
+		}
+		l, err := re.Log(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStep(t, l, 0, 1)
+	}
+}
+
+func TestEmptyStreamEnd(t *testing.T) {
+	dir := t.TempDir()
+	l := mustLog(t, dir, Options{})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEnd(-1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	r := mustLog(t, dir, Options{})
+	if last, ended := r.Ended(); !ended || last != -1 {
+		t.Fatalf("Ended = %d, %v; want -1, true", last, ended)
+	}
+	if got := r.NextStep(); got != 0 {
+		t.Fatalf("NextStep = %d, want 0", got)
+	}
+}
+
+func TestFsyncStepAndSync(t *testing.T) {
+	l := mustLog(t, t.TempDir(), Options{Fsync: FsyncStep})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	appendStep(t, l, 0, 1)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for in, want := range map[string]FsyncMode{"": FsyncNone, "none": FsyncNone, "step": FsyncStep} {
+		got, err := ParseFsync(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsync(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsync("always"); err == nil {
+		t.Fatal("ParseFsync accepted garbage")
+	}
+	if FsyncStep.String() != "step" || FsyncNone.String() != "none" {
+		t.Fatal("FsyncMode.String mismatch")
+	}
+}
+
+func TestLongestValidPrefixProperty(t *testing.T) {
+	// Build a clean log, then corrupt it at every byte offset in turn:
+	// reopening must never fail and must recover a dense prefix.
+	dir := t.TempDir()
+	l := mustLog(t, dir, Options{})
+	if err := l.SetConfig(Config{WriterSize: 2, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		appendStep(t, l, s, 2)
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	clean, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(clean); off += 13 {
+		sub := t.TempDir()
+		data := append([]byte(nil), clean...)
+		data[off] ^= 0x5a
+		if err := os.WriteFile(filepath.Join(sub, "00000000.seg"), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenLog(sub, Options{})
+		if err != nil {
+			t.Fatalf("offset %d: open: %v", off, err)
+		}
+		next := r.NextStep()
+		if next < 0 || next > 3 {
+			t.Fatalf("offset %d: NextStep = %d", off, next)
+		}
+		for s := 0; s < next; s++ {
+			if _, _, err := r.ReadStep(s); err != nil {
+				t.Fatalf("offset %d: step %d unreadable: %v", off, s, err)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestEmptyBlobs(t *testing.T) {
+	l := mustLog(t, t.TempDir(), Options{})
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, [][]byte{nil}, [][]byte{nil}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(l.NextStep()); got != "1" {
+		t.Fatalf("NextStep = %s", got)
+	}
+}

@@ -87,6 +87,15 @@ type Spec struct {
 	// stages (see Plan.Fuse). Launch scripts set it with a `fuse`
 	// directive; sbrun's -fuse flag forces it on.
 	Fuse bool
+	// LogDir, when set, mounts a durable stream log rooted at this
+	// directory on the workflow's broker: every fully published step is
+	// journaled before it may retire, the broker can rebuild stream
+	// state from the directory after a crash, and catch-up readers can
+	// replay history (flexpath.OpenReaderFrom). Only meaningful for
+	// backends whose broker this process owns (inproc; sbbroker has its
+	// own -log-dir for the remote backends). Launch scripts set it with
+	// a `log <dir>` directive; sbrun's -log-dir flag overrides it.
+	LogDir string
 }
 
 // Validate performs static checks on a spec.
