@@ -25,16 +25,19 @@ plan:
 
 # The transport contract suite under the race detector, once per stream
 # fabric backend. A backend that silently skips is a gate failure —
-# except uds on platforms without AF_UNIX, its only legitimate skip.
+# except uds and shm on platforms without AF_UNIX or shared file
+# mappings, their only legitimate skips.
 conformance:
 	@set -e; \
-	for backend in Inproc TCP UDS; do \
+	for backend in Inproc TCP UDS Shm; do \
 		echo "conformance: backend $$backend (-race)"; \
 		out=$$($(GO) test -race -v -count=1 ./internal/flexpath -run "^TestConformance$$backend$$") || { echo "$$out"; exit 1; }; \
 		if echo "$$out" | grep -q -- "--- PASS: TestConformance$$backend"; then \
 			:; \
 		elif [ "$$backend" = UDS ] && echo "$$out" | grep -q "AF_UNIX"; then \
 			echo "conformance: uds skipped (no AF_UNIX on this platform)"; \
+		elif [ "$$backend" = Shm ] && echo "$$out" | grep -qi "SKIP"; then \
+			echo "conformance: shm skipped (no AF_UNIX or shared mappings on this platform)"; \
 		else \
 			echo "conformance: backend $$backend did not run"; echo "$$out"; exit 1; \
 		fi; \
@@ -83,10 +86,10 @@ recover:
 	$(GO) test -race -count=1 ./internal/workflow -run 'TestChaosBrokerCrashRecovery' -v
 
 # The root benchmark suite (paper tables/figures) at reduced scale, with
-# the machine-readable results written to BENCH_PR5.json (BENCH_PR4.json
+# the machine-readable results written to BENCH_PR7.json (BENCH_PR5.json
 # is the previous baseline for regression comparison). The raw
 # `go test -bench` lines stay visible on stderr via cmd/benchjson.
 # SBBENCH_SIZE is exported (not prefixed) so both sides of the pipe see
 # it: the benchmarks to scale themselves, benchjson to stamp "_meta".
 bench:
-	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR7.json

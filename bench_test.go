@@ -150,16 +150,20 @@ func BenchmarkFig10MagnitudeStrongScaling(b *testing.B) {
 				row = rows[0]
 			}
 			b.ReportMetric(row.StepTime.Seconds(), "timestep-s")
+			b.ReportMetric(row.KernelTime.Seconds(), "kernel-s")
 			b.ReportMetric(float64(row.BytesPerProc)/bench.MB, "MB/proc")
 		})
 	}
 }
 
 // BenchmarkFig10TransportComparison reruns the Fig. 10 strong-scaling
-// sweep's middle points over the two socket fabrics. Together with
+// sweep's middle point over the multi-process fabrics. Together with
 // BenchmarkFig10MagnitudeStrongScaling (the in-process fabric) it shows
-// what each backend costs per timestep: uds must match or beat TCP
-// loopback, or its coalesced publish path has regressed.
+// what each backend costs per timestep: timestep-s is wall time per
+// workflow step (the metric that actually includes transport), kernel-s
+// is the swept component's in-kernel mean, so their gap is fabric cost.
+// shm must beat uds and uds must match or beat TCP loopback, or the
+// shared-segment / coalesced publish paths have regressed.
 func BenchmarkFig10TransportComparison(b *testing.B) {
 	backends := []struct {
 		name    string
@@ -167,6 +171,7 @@ func BenchmarkFig10TransportComparison(b *testing.B) {
 	}{
 		{"tcp", bench.TCPLoopbackBackend},
 		{"uds", bench.UDSBackend},
+		{"shm", bench.ShmBackend},
 	}
 	for _, be := range backends {
 		cfg := bench.DefaultFig10Config(sizeFactor())
@@ -183,6 +188,7 @@ func BenchmarkFig10TransportComparison(b *testing.B) {
 				row = rows[0]
 			}
 			b.ReportMetric(row.StepTime.Seconds(), "timestep-s")
+			b.ReportMetric(row.KernelTime.Seconds(), "kernel-s")
 			b.ReportMetric(float64(row.BytesPerProc)/bench.MB, "MB/proc")
 		})
 	}
@@ -251,4 +257,5 @@ func BenchmarkAblationTransport(b *testing.B) {
 	b.ReportMetric(rows[0].Elapsed.Seconds(), "inproc-s")
 	b.ReportMetric(rows[1].Elapsed.Seconds(), "tcp-s")
 	b.ReportMetric(rows[2].Elapsed.Seconds(), "uds-s")
+	b.ReportMetric(rows[3].Elapsed.Seconds(), "shm-s")
 }

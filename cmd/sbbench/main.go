@@ -115,7 +115,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("Ablation 4: stream fabric backend (inproc vs TCP vs Unix socket, GROMACS pipeline)", tr))
+		fmt.Println(bench.FormatAblation("Ablation 4: stream fabric backend (inproc vs TCP vs Unix socket vs shm ring, GROMACS pipeline)", tr))
 		return nil
 	})
 

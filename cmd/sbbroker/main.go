@@ -2,7 +2,7 @@
 // rendezvous point for workflows whose components run as separate OS
 // processes (via sbrun -broker or sbcomp):
 //
-//	sbbroker [-transport tcp|uds] [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
+//	sbbroker [-transport tcp|uds|shm] [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
 //	         [-log-dir DIR] [-log-segment-bytes N] [-log-retain-steps N] [-log-retain-bytes N] [-log-fsync none|step]
 //
 // It prints the bound address and runs until interrupted. On SIGINT or
@@ -43,8 +43,8 @@ import (
 )
 
 func main() {
-	transport := flag.String("transport", flexpath.KindTCP, "socket flavor to serve: tcp or uds (Unix-domain socket)")
-	addr := flag.String("addr", "", "listen address: host:port for tcp (default 127.0.0.1:7777; port 0 picks a free port), socket path for uds")
+	transport := flag.String("transport", flexpath.KindTCP, "socket flavor to serve: tcp, uds (Unix-domain socket), or shm (UDS doorbell + shared-memory segment)")
+	addr := flag.String("addr", "", "listen address: host:port for tcp (default 127.0.0.1:7777; port 0 picks a free port), socket path for uds/shm")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for open streams to drain on shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (registry snapshot) and /debug/pprof on this address")
 	logDir := flag.String("log-dir", "", "journal streams to a durable segmented log under this directory and recover them at startup")
@@ -94,8 +94,14 @@ func main() {
 			log.Fatalf("sbbroker: -transport uds requires -addr /path/to.sock")
 		}
 		srv, err = flexpath.NewUnixServer(broker, *addr)
+	case flexpath.KindShm:
+		if *addr == "" {
+			log.Fatalf("sbbroker: -transport shm requires -addr /path/to.sock")
+		}
+		srv, err = flexpath.NewShmServer(broker, *addr, flexpath.ShmConfig{})
 	default:
-		log.Fatalf("sbbroker: unknown -transport %q (want %s or %s)", *transport, flexpath.KindTCP, flexpath.KindUDS)
+		log.Fatalf("sbbroker: unknown -transport %q (want %s, %s, or %s)",
+			*transport, flexpath.KindTCP, flexpath.KindUDS, flexpath.KindShm)
 	}
 	if err != nil {
 		log.Fatalf("sbbroker: %v", err)

@@ -3,7 +3,7 @@
 // closest analogue of the paper's one-MPI-executable-per-component
 // deployment model:
 //
-//	sbcomp [-transport tcp|uds] -broker addr -n procs component arg...
+//	sbcomp [-transport tcp|uds|shm|auto] -broker addr -n procs component arg...
 //
 // For example, the Fig. 8 LAMMPS workflow as four separate processes
 // sharing one sbbroker:
@@ -35,8 +35,8 @@ import (
 )
 
 func main() {
-	transportKind := flag.String("transport", "tcp", "broker socket flavor: tcp or uds")
-	broker := flag.String("broker", "127.0.0.1:7777", "sbbroker address: host:port for tcp, socket path for uds")
+	transportKind := flag.String("transport", "tcp", "broker socket flavor: tcp, uds, shm, or auto (resolve from -broker's shape)")
+	broker := flag.String("broker", "127.0.0.1:7777", "sbbroker address: host:port for tcp, socket path for uds/shm")
 	procs := flag.Int("n", 1, "number of ranks for this component")
 	queue := flag.Int("q", 0, "writer-side queue depth for published streams (0 = default)")
 	ports := flag.Bool("ports", false, "print the component's declared stream ports and exit without running")
@@ -74,12 +74,17 @@ func main() {
 		return
 	}
 
-	if *transportKind == flexpath.KindInproc {
+	kind := *transportKind
+	if kind == flexpath.KindAuto {
+		kind = flexpath.ResolveAuto(*broker)
+	}
+	if kind == flexpath.KindInproc {
 		// A private in-process broker has no peers to rendezvous with —
 		// the component would block forever on its streams.
-		log.Fatalf("sbcomp: -transport must name a shared broker (%s or %s)", flexpath.KindTCP, flexpath.KindUDS)
+		log.Fatalf("sbcomp: -transport must name a shared broker (%s, %s, or %s)",
+			flexpath.KindTCP, flexpath.KindUDS, flexpath.KindShm)
 	}
-	fabric, err := flexpath.Open(*transportKind, *broker)
+	fabric, err := flexpath.Open(kind, *broker)
 	if err != nil {
 		log.Fatalf("sbcomp: %v", err)
 	}

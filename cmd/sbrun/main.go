@@ -1,15 +1,19 @@
 // Command sbrun launches a complete SmartBlock workflow from an
 // aprun-style job script (the paper's Fig. 8 format):
 //
-//	sbrun [-v] [-explain] [-fuse] [-transport inproc|tcp|uds] [-broker addr] [-log-dir DIR] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
+//	sbrun [-v] [-explain] [-fuse] [-transport inproc|tcp|uds|shm|auto] [-broker addr] [-log-dir DIR] [-max-restarts N] [-step-timeout D] [-trace out.jsonl] workflow.sh
 //
 // Every aprun line becomes a component stage; all stages launch
 // simultaneously and rendezvous on their stream names. -transport (or a
 // `transport` directive in the script) selects the stream fabric: the
 // default in-process broker, a remote TCP sbbroker at -broker host:port,
-// or a Unix-socket sbbroker at -broker /path/to.sock — letting several
+// a Unix-socket sbbroker at -broker /path/to.sock, or the shared-memory
+// ring of an sbbroker -transport shm on the same node — letting several
 // sbrun/sbcomp processes form one workflow without recompiling any
-// component.
+// component. `auto` resolves the kind from the address shape (no
+// address → inproc, path → shm, host:port → tcp); per-stream `transport
+// ... stream=<name>` directives route individual edges over other
+// backends, and `sbrun -explain` prints the per-edge resolution.
 //
 // -log-dir (or a `log` directive in the script) mounts a durable stream
 // log on the in-process broker: every step is journaled to disk, and a
@@ -34,6 +38,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -54,8 +59,8 @@ func main() {
 	lintOnly := flag.Bool("lint", false, "check the workflow's stream wiring and exit without running")
 	explain := flag.Bool("explain", false, "print the workflow plan (stages, dataflow edges, fusion analysis, lint) and exit without running")
 	fuse := flag.Bool("fuse", false, "apply the stage-fusion pass before launching (same as a `fuse` script directive)")
-	transportKind := flag.String("transport", "", "stream fabric backend: inproc, tcp, or uds (default: the script's transport directive, else inproc)")
-	broker := flag.String("broker", "", "backend address: sbbroker host:port for tcp, socket path for uds (plain -broker implies -transport tcp)")
+	transportKind := flag.String("transport", "", "stream fabric backend: inproc, tcp, uds, shm, or auto (default: the script's transport directive, else inproc)")
+	broker := flag.String("broker", "", "backend address: sbbroker host:port for tcp, socket path for uds/shm (plain -broker implies -transport tcp)")
 	logDir := flag.String("log-dir", "", "journal streams to a durable segmented log under this directory (inproc transport; overrides the script's log directive)")
 	maxRestarts := flag.Int("max-restarts", 0, "supervised restarts per stage for retryable failures (0 disables)")
 	restartBackoff := flag.Duration("restart-backoff", 0, "delay before the first stage restart, doubling per retry (0 = 50ms default)")
@@ -78,6 +83,20 @@ func main() {
 	}
 	if *fuse {
 		spec.Fuse = true
+	}
+
+	// Backend selection happens before the plan is built so -explain
+	// shows the same per-edge transport resolution a run would open. The
+	// command line overrides the script's transport directive; a bare
+	// -broker keeps its historical meaning of "remote TCP broker".
+	if *transportKind != "" {
+		spec.Transport.Kind = *transportKind
+	}
+	if *broker != "" {
+		spec.Transport.Addr = *broker
+		if spec.Transport.Kind == "" || spec.Transport.Kind == flexpath.KindInproc {
+			spec.Transport.Kind = flexpath.KindTCP
+		}
 	}
 
 	// The plan IR underlies everything pre-launch: -explain prints it,
@@ -128,24 +147,21 @@ func main() {
 		spec = fused.Spec
 	}
 
-	// Backend selection: the command line overrides the script's
-	// transport directive; a bare -broker keeps its historical meaning of
-	// "remote TCP broker".
-	kind, addr := spec.Transport.Kind, spec.Transport.Addr
-	if *transportKind != "" {
-		kind = *transportKind
-	}
-	if *broker != "" {
-		addr = *broker
-		if kind == "" || kind == flexpath.KindInproc {
-			kind = flexpath.KindTCP
-		}
-	}
-	fabric, err := flexpath.Open(kind, addr)
+	// Open the fabric: the workflow default backend, plus — when the
+	// script routed individual streams elsewhere — a per-stream Router
+	// over each distinct backend, opened once.
+	resolved := spec.Transport.Resolve()
+	base, err := flexpath.Open(resolved.Kind, resolved.Addr)
 	if err != nil {
 		log.Fatalf("sbrun: %v", err)
 	}
+	fabric, err := routeEdges(base, resolved, spec.EdgeTransports)
+	if err != nil {
+		base.Close()
+		log.Fatalf("sbrun: %v", err)
+	}
 	defer fabric.Close()
+	kind := resolved.Kind
 	transport := sb.Transport(sb.Fabric{T: fabric})
 
 	// Durable stream log: the command line overrides the script's `log`
@@ -155,7 +171,7 @@ func main() {
 		spec.LogDir = *logDir
 	}
 	if spec.LogDir != "" {
-		if ip, ok := fabric.(flexpath.InProc); ok {
+		if ip, ok := base.(flexpath.InProc); ok {
 			store, err := streamlog.OpenStore(spec.LogDir, streamlog.Options{})
 			if err != nil {
 				log.Fatalf("sbrun: %v", err)
@@ -189,7 +205,7 @@ func main() {
 		tracer = obs.NewTracer(*traceRing)
 		opts.Tracer = tracer
 		opts.Registry = obs.Default()
-		if ip, ok := fabric.(flexpath.InProc); ok {
+		if ip, ok := base.(flexpath.InProc); ok {
 			ip.B.SetObserver(tracer, opts.Registry)
 		}
 	}
@@ -211,6 +227,40 @@ func main() {
 	if err != nil {
 		log.Fatalf("sbrun: %v", err)
 	}
+}
+
+// routeEdges wraps the default backend in a per-stream Router when the
+// script routed streams onto other transports. Each distinct resolved
+// (kind, addr) pair opens exactly once — two streams routed to the same
+// broker share one client — and Router.Close closes each once. With no
+// per-stream entries the default backend is returned unwrapped.
+func routeEdges(base flexpath.Transport, resolved workflow.TransportSpec,
+	edges map[string]workflow.TransportSpec) (flexpath.Transport, error) {
+	if len(edges) == 0 {
+		return base, nil
+	}
+	router := flexpath.Router{Routes: map[string]flexpath.Transport{}, Default: base}
+	opened := map[workflow.TransportSpec]flexpath.Transport{resolved: base}
+	streams := make([]string, 0, len(edges))
+	for stream := range edges {
+		streams = append(streams, stream)
+	}
+	sort.Strings(streams) // deterministic open order
+	for _, stream := range streams {
+		r := edges[stream].Resolve()
+		t, ok := opened[r]
+		if !ok {
+			var err error
+			t, err = flexpath.Open(r.Kind, r.Addr)
+			if err != nil {
+				router.Close()
+				return nil, fmt.Errorf("stream %q: %v", stream, err)
+			}
+			opened[r] = t
+		}
+		router.Routes[stream] = t
+	}
+	return router, nil
 }
 
 // writeTrace dumps the tracer's ring as JSONL, one span per line in

@@ -234,6 +234,7 @@ func RunTransportAblation(ctx context.Context, atoms, steps int) ([]AblationRow,
 		{"in-process channels", InprocBackend},
 		{"TCP loopback", TCPLoopbackBackend},
 		{"Unix socket (coalesced)", UDSBackend},
+		{"shared-memory ring", ShmBackend},
 	}
 	rows := make([]AblationRow, 0, len(backends))
 	for _, be := range backends {

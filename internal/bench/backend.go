@@ -54,3 +54,31 @@ func UDSBackend() (sb.Transport, func(), error) {
 		os.RemoveAll(dir)
 	}, nil
 }
+
+// ShmBackend serves a private broker over the shared-memory ring: the
+// Unix socket carries control and metadata only, payloads travel
+// through a mmap'd segment the broker and every rank map in common.
+// The segment lives on tmpfs when the host has one — a disk-backed
+// segment pays dirty-page writeback on every slot fill, which is the
+// socket tax this backend exists to avoid.
+func ShmBackend() (sb.Transport, func(), error) {
+	parent := ""
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		parent = "/dev/shm"
+	}
+	dir, err := os.MkdirTemp(parent, "sbbench-shm")
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := flexpath.NewShmServer(flexpath.NewBroker(), filepath.Join(dir, "b.sock"), flexpath.ShmConfig{})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, fmt.Errorf("bench: shm backend: %w", err)
+	}
+	client := flexpath.DialShm(srv.Addr())
+	return sb.Fabric{T: client}, func() {
+		client.Close()
+		srv.Close()
+		os.RemoveAll(dir)
+	}, nil
+}

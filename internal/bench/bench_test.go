@@ -123,6 +123,11 @@ func TestRunMagnitudeStrongScalingShape(t *testing.T) {
 		if r.StepTime <= 0 {
 			t.Fatalf("row %d has no step time", i)
 		}
+		// The timestep is wall time per step; the swept component's kernel
+		// runs once per step within it, so its mean can never exceed it.
+		if r.KernelTime <= 0 || r.KernelTime > r.StepTime {
+			t.Fatalf("row %d kernel %s outside (0, step %s]", i, r.KernelTime, r.StepTime)
+		}
 		if i > 0 && r.BytesPerProc >= rows[i-1].BytesPerProc {
 			t.Fatalf("per-proc size not shrinking across the sweep")
 		}
@@ -189,7 +194,7 @@ func TestTransportAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
+	if len(rows) != 4 {
 		t.Fatalf("rows = %+v", rows)
 	}
 	for _, r := range rows {

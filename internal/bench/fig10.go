@@ -51,12 +51,31 @@ func DefaultFig10Config(sizeFactor float64) Fig10Config {
 	}
 }
 
-// Fig10Row is one sweep point: the per-process input size of Magnitude
-// and its mean timestep completion time across ranks and steps.
+// Fig10Row is one sweep point: the per-process input size of the swept
+// component, the wall-clock time per workflow timestep, and the mean
+// in-kernel compute time of the swept component across ranks and steps.
+// StepTime is what the paper's y-axis plots (a timestep is not complete
+// until its data has moved through the fabric); KernelTime isolates the
+// compute share, so StepTime−KernelTime approximates transport cost.
 type Fig10Row struct {
 	MagProcs     int
 	BytesPerProc int64
 	StepTime     time.Duration
+	KernelTime   time.Duration
+}
+
+// kernelMean averages a component's per-step mean kernel durations.
+func kernelMean(res *workflow.Result, component string) time.Duration {
+	m := res.Metrics(component)
+	steps := m.Steps()
+	if len(steps) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, st := range steps {
+		total += st.MeanDur
+	}
+	return total / time.Duration(len(steps))
 }
 
 // RunMagnitudeStrongScaling executes the Fig. 10 sweep.
@@ -86,20 +105,11 @@ func RunMagnitudeStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig10 magProcs=%d: %w", magProcs, err)
 		}
-		m := res.Metrics("magnitude")
-		var total time.Duration
-		steps := m.Steps()
-		for _, st := range steps {
-			total += st.MeanDur
-		}
-		mean := time.Duration(0)
-		if len(steps) > 0 {
-			mean = total / time.Duration(len(steps))
-		}
 		rows = append(rows, Fig10Row{
 			MagProcs:     magProcs,
 			BytesPerProc: int64(cfg.Atoms) * 3 * 8 / int64(magProcs),
-			StepTime:     mean,
+			StepTime:     res.Elapsed / time.Duration(cfg.Steps),
+			KernelTime:   kernelMean(res, "magnitude"),
 		})
 	}
 	return rows, nil
@@ -138,20 +148,11 @@ func RunSelectStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row, e
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig10b selProcs=%d: %w", selProcs, err)
 		}
-		m := res.Metrics("select")
-		var total time.Duration
-		steps := m.Steps()
-		for _, st := range steps {
-			total += st.MeanDur
-		}
-		mean := time.Duration(0)
-		if len(steps) > 0 {
-			mean = total / time.Duration(len(steps))
-		}
 		rows = append(rows, Fig10Row{
 			MagProcs:     selProcs,
 			BytesPerProc: int64(cfg.Atoms) * 5 * 8 / int64(selProcs),
-			StepTime:     mean,
+			StepTime:     res.Elapsed / time.Duration(cfg.Steps),
+			KernelTime:   kernelMean(res, "select"),
 		})
 	}
 	return rows, nil
@@ -160,12 +161,13 @@ func RunSelectStrongScaling(ctx context.Context, cfg Fig10Config) ([]Fig10Row, e
 // FormatFig10 renders a Fig. 10-style strong-scaling table: timestep
 // completion time of the swept component against per-process input size.
 func FormatFig10(title string, rows []Fig10Row) string {
-	t := newTable("Magnitude Procs", "Size per proc (MB)", "Timestep (s)")
+	t := newTable("Magnitude Procs", "Size per proc (MB)", "Timestep (s)", "Kernel (s)")
 	for _, r := range rows {
 		t.row(
 			fmt.Sprint(r.MagProcs),
 			Sizef(r.BytesPerProc),
 			fmt.Sprintf("%.4f", r.StepTime.Seconds()),
+			fmt.Sprintf("%.4f", r.KernelTime.Seconds()),
 		)
 	}
 	return title + "\n" + t.String()

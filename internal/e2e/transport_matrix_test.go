@@ -119,4 +119,37 @@ wait
 			t.Fatalf("uds histogram differs from inproc:\n--- uds ---\n%s\n--- inproc ---\n%s", got, want)
 		}
 	})
+	t.Run("shm", func(t *testing.T) {
+		if !haveUnixSockets(t) {
+			t.Skip("platform cannot bind AF_UNIX sockets")
+		}
+		dir, err := os.MkdirTemp("", "sbshm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.RemoveAll(dir) })
+		sock := startBrokerOn(t, brokerBin, "-transport", "shm", "-addr", filepath.Join(dir, "b.sock"))
+		got := run(t, "-transport", "shm", "-broker", sock)
+		if string(got) != string(want) {
+			t.Fatalf("shm histogram differs from inproc:\n--- shm ---\n%s\n--- inproc ---\n%s", got, want)
+		}
+	})
+	// auto against a broker whose socket path lives on the filesystem
+	// must resolve every edge to shm: same bytes as every other fabric,
+	// with the per-edge resolution left entirely to the plan layer.
+	t.Run("auto", func(t *testing.T) {
+		if !haveUnixSockets(t) {
+			t.Skip("platform cannot bind AF_UNIX sockets")
+		}
+		dir, err := os.MkdirTemp("", "sbshm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.RemoveAll(dir) })
+		sock := startBrokerOn(t, brokerBin, "-transport", "shm", "-addr", filepath.Join(dir, "b.sock"))
+		got := run(t, "-transport", "auto", "-broker", sock)
+		if string(got) != string(want) {
+			t.Fatalf("auto histogram differs from inproc:\n--- auto ---\n%s\n--- inproc ---\n%s", got, want)
+		}
+	})
 }

@@ -49,6 +49,11 @@ import (
 type Backend struct {
 	Transport flexpath.Transport
 	Broker    *flexpath.Broker
+	// MakeShm, when non-nil, builds a fresh shared-memory backend with
+	// explicit ring sizing, for the shm-specific checks (slot reuse
+	// safety, ring-full backpressure). Backends without a shared-memory
+	// data plane leave it nil and those checks skip.
+	MakeShm func(cfg flexpath.ShmConfig) (Backend, func(), error)
 }
 
 // Factory builds a fresh, isolated backend for one check. It is called
@@ -85,6 +90,8 @@ var checks = []check{
 	{"ReplayCatchupLiveHandoff", checkReplayCatchupLiveHandoff},
 	{"ReplayRetentionHorizon", checkReplayRetentionHorizon},
 	{"ReplayRequiresLog", checkReplayRequiresLog},
+	{"ShmSlotGenerationReuse", checkShmSlotGenerationReuse},
+	{"ShmRingFullBackpressure", checkShmRingFullBackpressure},
 	{"ChaosFaultInjection", checkChaosFaultInjection},
 }
 
@@ -885,6 +892,166 @@ func attachTempLog(t *testing.T, be Backend, opts streamlog.Options) *streamlog.
 	t.Cleanup(func() { store.Close() })
 	be.Broker.AttachLog(store)
 	return store
+}
+
+// Shm slot lifecycle: a fetched view of a live step must stay intact
+// while the writer keeps publishing (its slot cannot be reclaimed
+// before this rank releases the step), and once released the slot must
+// actually be reused — same physical storage, new generation, new
+// payload — with the fetch-time generation validation still passing.
+// The aliasing assertion compares view base pointers, which only a
+// genuine shared-memory backend can satisfy; backends without a data
+// plane skip.
+func checkShmSlotGenerationReuse(t *testing.T, be Backend) {
+	if be.MakeShm == nil {
+		t.Skip("backend has no shared-memory data plane")
+	}
+	sbe, cleanup, err := be.MakeShm(flexpath.ShmConfig{}) // default ring: queueDepth+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	ctx := ctxT(t)
+	pay := func(step int) []byte {
+		p := make([]byte, 64)
+		for i := range p {
+			p[i] = byte(step)
+		}
+		return p
+	}
+	w, err := sbe.Transport.AttachWriter("c.shm.reuse", 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sbe.Transport.AttachReader("c.shm.reuse", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the window, view both steps without releasing.
+	for s := 0; s < 2; s++ {
+		if err := w.PublishBlock(ctx, s, nil, pay(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v0, err := r.FetchBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0[0] != 0 || v0[63] != 0 {
+		t.Fatalf("step 0 payload corrupt: % x", v0[:4])
+	}
+	v1, err := r.FetchBlock(ctx, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1[0] != 1 {
+		t.Fatalf("step 1 payload corrupt: % x", v1[:4])
+	}
+	// Release 0, let the writer publish into a fresh slot, and check the
+	// still-held step-1 view was not disturbed.
+	if err := r.ReleaseStep(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PublishBlock(ctx, 2, nil, pay(2)); err != nil {
+		t.Fatal(err)
+	}
+	if v1[0] != 1 || v1[63] != 1 {
+		t.Fatalf("held step-1 view disturbed by later publish: % x", v1[:4])
+	}
+	// Drain to step 3, which cycles the ring (queueDepth+1 = 3 slots)
+	// back onto step 0's slot: the new view must alias the same storage
+	// with the new step's bytes.
+	for s := 1; s <= 2; s++ {
+		if err := r.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.PublishBlock(ctx, 3, nil, pay(3)); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := r.FetchBlock(ctx, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3[0] != 3 || v3[63] != 3 {
+		t.Fatalf("reused slot payload corrupt: % x", v3[:4])
+	}
+	if &v3[0] != &v0[0] {
+		t.Fatal("step 3 did not reuse step 0's slot: fetch is not aliasing the shared segment")
+	}
+	if err := r.ReleaseStep(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shm ring-full backpressure: with a ring deliberately smaller than the
+// queue window (RingSlots 2 against depth 3), publishing step 2 needs
+// step 0's slot back, so it must block — even though the broker window
+// would admit it — until the reader releases step 0 and retirement
+// frees the slot.
+func checkShmRingFullBackpressure(t *testing.T, be Backend) {
+	if be.MakeShm == nil {
+		t.Skip("backend has no shared-memory data plane")
+	}
+	sbe, cleanup, err := be.MakeShm(flexpath.ShmConfig{RingSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	ctx := ctxT(t)
+	w, err := sbe.Transport.AttachWriter("c.shm.full", 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := sbe.Transport.AttachReader("c.shm.full", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for s := 0; s < 2; s++ {
+		if err := w.PublishBlock(ctx, s, nil, []byte{byte(s), byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v0, err := r.FetchBlock(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	published := make(chan error, 1)
+	go func() { published <- w.PublishBlock(ctx, 2, nil, []byte{2, 2}) }()
+	select {
+	case err := <-published:
+		t.Fatalf("publish with a full ring returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if v0[0] != 0 {
+		t.Fatalf("held view corrupt while ring blocked: % x", v0)
+	}
+	if err := r.ReleaseStep(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-published; err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 2; s++ {
+		got, err := r.FetchBlock(ctx, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(s) {
+			t.Fatalf("step %d payload = % x", s, got)
+		}
+		if err := r.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 // waitFor polls cond until it holds or the deadline passes.

@@ -54,6 +54,61 @@ func TestConformanceUDS(t *testing.T) {
 	})
 }
 
+func TestConformanceShm(t *testing.T) {
+	requireUnixSockets(t)
+	requireShm(t)
+	conformance.Run(t, func(t *testing.T) conformance.Backend {
+		sbe, cleanup, err := makeShmBackend(flexpath.ShmConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cleanup)
+		sbe.MakeShm = func(cfg flexpath.ShmConfig) (conformance.Backend, func(), error) {
+			return makeShmBackend(cfg)
+		}
+		return sbe
+	})
+}
+
+// makeShmBackend builds an isolated broker + shm doorbell server pair
+// with its own segment file, so shm-specific checks can pick ring
+// geometry without disturbing the suite-wide backend.
+func makeShmBackend(cfg flexpath.ShmConfig) (conformance.Backend, func(), error) {
+	dir, err := os.MkdirTemp("", "sbshm")
+	if err != nil {
+		return conformance.Backend{}, nil, err
+	}
+	b := flexpath.NewBroker()
+	srv, err := flexpath.NewShmServer(b, filepath.Join(dir, "b.sock"), cfg)
+	if err != nil {
+		os.RemoveAll(dir)
+		return conformance.Backend{}, nil, err
+	}
+	tr := flexpath.DialShmConfig(filepath.Join(dir, "b.sock"), cfg)
+	cleanup := func() {
+		tr.Close()
+		srv.Close()
+		os.RemoveAll(dir)
+	}
+	return conformance.Backend{Transport: tr, Broker: b}, cleanup, nil
+}
+
+// requireShm skips on platforms where the shm transport's shared file
+// mapping is unavailable, probed by standing up a real segment.
+func requireShm(t *testing.T) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "sbshm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := flexpath.NewShmServer(flexpath.NewBroker(), filepath.Join(dir, "probe.sock"), flexpath.ShmConfig{})
+	if err != nil {
+		t.Skipf("platform without shm segment support: %v", err)
+	}
+	srv.Close()
+}
+
 // udsPath returns a socket path short enough for the AF_UNIX sun_path
 // limit (~104 bytes). t.TempDir embeds the full subtest name and can
 // blow past it, so a dedicated short-prefix temp dir is used instead.

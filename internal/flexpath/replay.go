@@ -34,12 +34,26 @@ type ReplayReader struct {
 	pos    int // next unreleased step (bookkeeping only; nothing gates on it)
 	closed bool
 	// One-step serve cache: StepMeta fills it, FetchBlock reads from it,
-	// ReleaseStep drops it. Bytes are always owned by the reader (log
-	// reads allocate; live serves copy), so no retirement can invalidate
-	// them.
+	// ReleaseStep drops it. Live serves copy; log serves are mmap views
+	// of sealed segments when the platform allows (curRelease returns
+	// the view, and the log keeps the mapping alive until then) and
+	// fresh allocations otherwise — either way nothing the broker
+	// retires can invalidate the cache.
 	curStep     int // -1 when empty
 	curMetas    [][]byte
 	curPayloads [][]byte
+	curRelease  func() // non-nil while the cache holds a log view
+}
+
+// dropCacheLocked empties the serve cache, returning any mmap view to
+// the log. Caller holds b.mu (the lock order b.mu → log mu is the same
+// one the write-behind appender establishes).
+func (r *ReplayReader) dropCacheLocked() {
+	if rel := r.curRelease; rel != nil {
+		r.curRelease = nil
+		rel()
+	}
+	r.curStep, r.curMetas, r.curPayloads = -1, nil, nil
 }
 
 // OpenReaderFrom opens a catch-up reader on a stream, positioned at
@@ -139,6 +153,7 @@ func (r *ReplayReader) ensure(ctx context.Context, step int) error {
 			payloads[i] = append([]byte(nil), st.payloads[i].Bytes()...)
 			nbytes += int64(len(metas[i]) + len(payloads[i]))
 		}
+		r.dropCacheLocked()
 		r.curStep, r.curMetas, r.curPayloads = step, metas, payloads
 		if tr := b.obs.tracer; tr.Enabled() {
 			tr.Emit(obs.Span{Kind: obs.KindReplayLive, Parent: obs.ParentFrom(ctx),
@@ -152,8 +167,9 @@ func (r *ReplayReader) ensure(ctx context.Context, step int) error {
 		replayed := b.obs.logReplayed
 		b.mu.Unlock()
 		// Segment read outside the broker lock: replay I/O must not stall
-		// the live fabric.
-		metas, payloads, err := r.lg.ReadStep(step)
+		// the live fabric. Sealed segments serve zero-copy mmap views;
+		// the active segment (and mmap-less platforms) serve copies.
+		metas, payloads, release, err := r.lg.ReadStepView(step)
 		if err != nil {
 			if errorsIsEvicted(err) {
 				return fmt.Errorf("%w: step %d evicted from log (replay horizon %d)",
@@ -168,9 +184,11 @@ func (r *ReplayReader) ensure(ctx context.Context, step int) error {
 		b.mu.Lock()
 		if r.closed {
 			b.mu.Unlock()
+			release()
 			return ErrClosed
 		}
-		r.curStep, r.curMetas, r.curPayloads = step, metas, payloads
+		r.dropCacheLocked()
+		r.curStep, r.curMetas, r.curPayloads, r.curRelease = step, metas, payloads, release
 		b.mu.Unlock()
 		if tracer.Enabled() {
 			tracer.Emit(obs.Span{Kind: obs.KindLogReplay,
@@ -270,7 +288,7 @@ func (r *ReplayReader) ReleaseStep(step int) error {
 		r.pos = step + 1
 	}
 	if r.curStep >= 0 && r.curStep <= step {
-		r.curStep, r.curMetas, r.curPayloads = -1, nil, nil
+		r.dropCacheLocked()
 	}
 	return nil
 }
@@ -284,7 +302,7 @@ func (r *ReplayReader) Close() error {
 		return nil
 	}
 	r.closed = true
-	r.curStep, r.curMetas, r.curPayloads = -1, nil, nil
+	r.dropCacheLocked()
 	b.cond.Broadcast()
 	return nil
 }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package flexpath
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("flexpath: shm transport requires a platform with shared file mappings")
+
+func mmapShared(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapShared(b []byte) error { return nil }
+
+func shmAvailable() bool { return false }

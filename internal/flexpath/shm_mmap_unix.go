@@ -1,0 +1,24 @@
+//go:build unix
+
+package flexpath
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapShared maps size bytes of f read-write and shared. Both sides of
+// the shm transport use it: the broker over the segment it created, the
+// clients over the same file — MAP_SHARED makes the mappings coherent
+// views of one physical buffer.
+func mmapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapShared(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// shmAvailable reports whether this platform can back the shm
+// transport at all (mmap of a shared file).
+func shmAvailable() bool { return true }

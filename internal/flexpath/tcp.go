@@ -56,6 +56,10 @@ const (
 	opHeartbeat    // one-way: no response is sent
 	opCancel       // one-way: aborts the in-flight blocking request
 	opAttachReplay // catch-up reader over the broker's durable log
+	opShmRing      // shm: allocate this writer rank's ring of segment slots
+	opShmPublish   // shm: publish a step whose payload sits in a ring slot
+	opShmWaitSlot  // shm: block until a ring slot returns to free
+	opShmFetch     // shm: fetch a block, answered by slot reference when possible
 )
 
 // Response status codes.
@@ -245,6 +249,11 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	done    chan struct{}
 	cleanup func() // backend teardown (UDS lock release); run once by Shutdown
+
+	// shm is the shared-memory data plane (segment + ring allocator),
+	// non-nil only for NewShmServer; the socket protocol is otherwise
+	// identical, with the opShm* opcodes rejected when nil.
+	shm *shmServerState
 
 	// dying is set just before Shutdown severs the remaining connections.
 	// A read error on a connection after that reflects the server's own
@@ -611,6 +620,18 @@ func (s *Server) serveWriter(conn net.Conn, resp *[]byte, next func() (frame, bo
 			if respondOK(conn, resp, nil) != nil {
 				return
 			}
+		case opShmRing:
+			if !s.handleShmRing(conn, resp, body, w) {
+				return
+			}
+		case opShmPublish:
+			if !s.handleShmPublish(conn, resp, body, arm, w) {
+				return
+			}
+		case opShmWaitSlot:
+			if !s.handleShmWaitSlot(conn, resp, body, arm) {
+				return
+			}
 		case opCloseWriter:
 			err := w.Close()
 			if err != nil {
@@ -745,6 +766,10 @@ func (s *Server) serveReader(conn net.Conn, resp *[]byte, next func() (frame, bo
 			*resp = f.buf[:0]
 			payload.Release()
 			if werr != nil {
+				return
+			}
+		case opShmFetch:
+			if !s.handleShmFetch(conn, resp, body, &vecs, arm, r) {
 				return
 			}
 		case opReleaseStep:

@@ -3,6 +3,8 @@ package flexpath
 import (
 	"context"
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/internal/pool"
 )
@@ -126,7 +128,35 @@ const (
 	// published step), for multi-process workflows on one host that
 	// should skip TCP loopback overhead. addr is a socket path.
 	KindUDS = "uds"
+	// KindShm is the shared-memory broker: a UDS doorbell for control
+	// and metadata plus an mmap'd segment (addr + ".seg") carrying
+	// payloads — same-node multi-process runs with cross-process
+	// zero-copy reads. addr is the doorbell socket path.
+	KindShm = "shm"
+	// KindAuto defers the choice to placement: the plan layer (or
+	// ResolveAuto, from the address shape alone) picks inproc when all
+	// stages share a process, shm for a same-node broker path, tcp for
+	// a host:port.
+	KindAuto = "auto"
 )
+
+// ResolveAuto maps a broker address to the cheapest concrete backend
+// kind its shape admits: no address means no other process can
+// rendezvous, so the in-process broker; a path (contains a separator)
+// names a same-node socket, where the shared-memory backend wins; a
+// host:port may cross nodes, so TCP. This is the single address-shape
+// rule sbrun, sbcomp, and the plan resolver share — deterministic by
+// construction, no runtime probing.
+func ResolveAuto(addr string) string {
+	switch {
+	case addr == "":
+		return KindInproc
+	case strings.ContainsRune(addr, os.PathSeparator):
+		return KindShm
+	default:
+		return KindTCP
+	}
+}
 
 // InProc adapts the in-process Broker to Transport.
 type InProc struct {
@@ -221,9 +251,74 @@ func Open(kind, addr string) (Transport, error) {
 			return nil, fmt.Errorf("flexpath: transport %q requires a broker socket path", kind)
 		}
 		return Remote{C: DialUnix(addr)}, nil
+	case KindShm:
+		if addr == "" {
+			return nil, fmt.Errorf("flexpath: transport %q requires a broker socket path", kind)
+		}
+		return DialShm(addr), nil
+	case KindAuto:
+		return Open(ResolveAuto(addr), addr)
 	default:
-		return nil, fmt.Errorf("flexpath: unknown transport kind %q (want %s, %s, or %s)", kind, KindInproc, KindTCP, KindUDS)
+		return nil, fmt.Errorf("flexpath: unknown transport kind %q (want %s, %s, %s, %s, or %s)",
+			kind, KindInproc, KindTCP, KindUDS, KindShm, KindAuto)
 	}
+}
+
+// Router dispatches stream attachments to per-stream transports — the
+// runtime realization of per-edge transport resolution: the plan layer
+// decides which backend each edge rides, the Router carries that
+// decision into every AttachWriter/AttachReader without components
+// knowing anything changed.
+type Router struct {
+	// Routes maps a stream name to its transport. Streams absent from
+	// the map use Default.
+	Routes map[string]Transport
+	// Default carries any stream without an explicit route.
+	Default Transport
+}
+
+func (r Router) route(stream string) Transport {
+	if t, ok := r.Routes[stream]; ok {
+		return t
+	}
+	return r.Default
+}
+
+// AttachWriter implements Transport.
+func (r Router) AttachWriter(stream string, rank, size, depth int) (WriterHandle, error) {
+	return r.route(stream).AttachWriter(stream, rank, size, depth)
+}
+
+// AttachReader implements Transport.
+func (r Router) AttachReader(stream string, rank, size int) (ReaderHandle, error) {
+	return r.route(stream).AttachReader(stream, rank, size)
+}
+
+// OpenReaderFrom implements ReplayTransport, failing cleanly when the
+// routed backend lacks the capability.
+func (r Router) OpenReaderFrom(stream string, from int) (ReaderHandle, error) {
+	return OpenReaderFrom(r.route(stream), stream, from)
+}
+
+// Close closes each distinct underlying transport exactly once.
+func (r Router) Close() error {
+	closed := map[Transport]bool{}
+	var first error
+	for _, t := range r.Routes {
+		if t == nil || closed[t] {
+			continue
+		}
+		closed[t] = true
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if r.Default != nil && !closed[r.Default] {
+		if err := r.Default.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Interface conformance: both broker-side and socket-side handles must
@@ -231,12 +326,18 @@ func Open(kind, addr string) (Transport, error) {
 var (
 	_ WriterHandle = (*Writer)(nil)
 	_ WriterHandle = (*RemoteWriter)(nil)
+	_ WriterHandle = (*ShmWriter)(nil)
 	_ ReaderHandle = (*Reader)(nil)
 	_ ReaderHandle = (*RemoteReader)(nil)
 	_ ReaderHandle = (*ReplayReader)(nil)
+	_ ReaderHandle = (*ShmReader)(nil)
 	_ Transport    = InProc{}
 	_ Transport    = Remote{}
+	_ Transport    = (*ShmTransport)(nil)
+	_ Transport    = Router{}
 
 	_ ReplayTransport = InProc{}
 	_ ReplayTransport = Remote{}
+	_ ReplayTransport = (*ShmTransport)(nil)
+	_ ReplayTransport = Router{}
 )

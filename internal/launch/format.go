@@ -2,6 +2,7 @@ package launch
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/workflow"
@@ -22,6 +23,25 @@ func Format(spec workflow.Spec) (string, error) {
 			sb.WriteByte(' ')
 			sb.WriteString(quoteArg(spec.Transport.Addr))
 		}
+		sb.WriteByte('\n')
+	}
+	streams := make([]string, 0, len(spec.EdgeTransports))
+	for stream := range spec.EdgeTransports {
+		streams = append(streams, stream)
+	}
+	sort.Strings(streams) // deterministic rendering
+	for _, stream := range streams {
+		ts := spec.EdgeTransports[stream]
+		sb.WriteString("transport ")
+		sb.WriteString(quoteArg(ts.Kind))
+		if ts.Addr != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(quoteArg(ts.Addr))
+		}
+		// The stream selector must survive tokenizing as one token, so
+		// the whole selector is quoted when the name needs it.
+		sb.WriteByte(' ')
+		sb.WriteString(quoteArg("stream=" + stream))
 		sb.WriteByte('\n')
 	}
 	if spec.LogDir != "" {

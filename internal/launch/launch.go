@@ -13,13 +13,16 @@
 // Supported syntax: `aprun -n <procs> [-q <queue-depth>] <component>
 // <args…> [&]`, blank lines, `#` comments, a trailing `wait`, an
 // optional `transport <kind> [addr]` directive selecting the stream
-// fabric the workflow runs over (inproc, tcp host:port, or uds
-// /path/to.sock), an optional `log <dir>` directive mounting a durable
+// fabric the workflow runs over (inproc, tcp host:port, uds or shm
+// /path/to.sock, or auto to resolve from the address shape), repeatable
+// `transport <kind> [addr] stream=<name>` directives routing individual
+// streams over a different backend than the workflow default (at most
+// one per stream), an optional `log <dir>` directive mounting a durable
 // stream log on the workflow's broker (crash recovery and catch-up
 // replay; see flexpath.Broker.AttachLog), and an optional `fuse`
 // directive asking the runner to apply the stage-fusion pass (see
-// workflow.Plan.Fuse) before launching. Each directive may appear at
-// most once. Components are
+// workflow.Plan.Fuse) before launching. Apart from the per-stream
+// transport form, each directive may appear at most once. Components are
 // resolved by name at run time against the registry in package
 // components.
 package launch
@@ -66,9 +69,21 @@ func Parse(name string, script string) (workflow.Spec, error) {
 				Msg: "command after wait"}
 		}
 		if strings.HasPrefix(line, "transport") {
-			ts, err := parseTransport(lineNo+1, raw, line)
+			ts, stream, err := parseTransport(lineNo+1, raw, line)
 			if err != nil {
 				return workflow.Spec{}, err
+			}
+			if stream != "" {
+				// Per-stream form: repeatable, once per stream.
+				if _, dup := spec.EdgeTransports[stream]; dup {
+					return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+						Msg: fmt.Sprintf("duplicate transport directive for stream %q", stream)}
+				}
+				if spec.EdgeTransports == nil {
+					spec.EdgeTransports = map[string]workflow.TransportSpec{}
+				}
+				spec.EdgeTransports[stream] = ts
+				continue
 			}
 			if spec.Transport.Kind != "" {
 				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
@@ -125,25 +140,34 @@ func ParseFile(path string) (workflow.Spec, error) {
 	return Parse(path, string(data))
 }
 
-// parseTransport handles the `transport <kind> [addr]` directive. Kind
-// and address validity are checked by workflow.TransportSpec.Validate,
-// so the runner and the linter report the same diagnostics; here only
-// the shape of the line matters.
-func parseTransport(lineNo int, raw, line string) (workflow.TransportSpec, error) {
-	fail := func(msg string) (workflow.TransportSpec, error) {
-		return workflow.TransportSpec{}, &ParseError{Line: lineNo, Text: raw, Msg: msg}
+// parseTransport handles the `transport <kind> [addr]
+// [stream=<name>]` directive, returning the stream name ("" for the
+// workflow-wide form). Kind and address validity are checked by
+// workflow.TransportSpec.Validate, so the runner and the linter report
+// the same diagnostics; here only the shape of the line matters.
+func parseTransport(lineNo int, raw, line string) (workflow.TransportSpec, string, error) {
+	fail := func(msg string) (workflow.TransportSpec, string, error) {
+		return workflow.TransportSpec{}, "", &ParseError{Line: lineNo, Text: raw, Msg: msg}
 	}
 	tokens, err := tokenize(line)
 	if err != nil {
 		return fail(err.Error())
 	}
+	stream := ""
+	if n := len(tokens); n > 1 && strings.HasPrefix(tokens[n-1], "stream=") {
+		stream = strings.TrimPrefix(tokens[n-1], "stream=")
+		if stream == "" {
+			return fail("stream= selector wants a stream name")
+		}
+		tokens = tokens[:n-1]
+	}
 	switch len(tokens) {
 	case 2:
-		return workflow.TransportSpec{Kind: tokens[1]}, nil
+		return workflow.TransportSpec{Kind: tokens[1]}, stream, nil
 	case 3:
-		return workflow.TransportSpec{Kind: tokens[1], Addr: tokens[2]}, nil
+		return workflow.TransportSpec{Kind: tokens[1], Addr: tokens[2]}, stream, nil
 	default:
-		return fail("transport directive wants: transport <inproc|tcp|uds> [addr]")
+		return fail("transport directive wants: transport <inproc|tcp|uds|shm|auto> [addr] [stream=<name>]")
 	}
 }
 

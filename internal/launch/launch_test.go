@@ -144,6 +144,79 @@ func TestParseTransportDirective(t *testing.T) {
 	}
 }
 
+func TestParseEdgeTransportDirective(t *testing.T) {
+	spec, err := Parse("t", strings.Join([]string{
+		"transport auto /run/b.sock",
+		"transport uds /run/b.sock stream=dump.fp",
+		"transport tcp node1:7777 stream=velos.fp",
+		"aprun -n 1 histogram a.fp x 4",
+		"wait",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Transport.Kind != "auto" || spec.Transport.Addr != "/run/b.sock" {
+		t.Fatalf("transport = %+v", spec.Transport)
+	}
+	want := map[string]workflow.TransportSpec{
+		"dump.fp":  {Kind: "uds", Addr: "/run/b.sock"},
+		"velos.fp": {Kind: "tcp", Addr: "node1:7777"},
+	}
+	if len(spec.EdgeTransports) != len(want) {
+		t.Fatalf("edge transports = %+v", spec.EdgeTransports)
+	}
+	for stream, ts := range want {
+		if spec.EdgeTransports[stream] != ts {
+			t.Fatalf("stream %q = %+v, want %+v", stream, spec.EdgeTransports[stream], ts)
+		}
+	}
+	// Per-stream directives don't count as the (single) global one.
+	spec, err = Parse("t", "transport shm /run/b.sock stream=dump.fp\naprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Transport.Kind != "" {
+		t.Fatalf("global transport set by stream form: %+v", spec.Transport)
+	}
+
+	bad := map[string]string{
+		"dup stream": "transport uds /run/b.sock stream=a.fp\ntransport tcp h:1 stream=a.fp\naprun -n 1 histogram a.fp x 4",
+		"bare name":  "transport uds /run/b.sock stream=\naprun -n 1 histogram a.fp x 4",
+		"extras":     "transport tcp h:1 extra stream=a.fp\naprun -n 1 histogram a.fp x 4",
+	}
+	for name, script := range bad {
+		if _, err := Parse(name, script); err == nil {
+			t.Errorf("Parse(%s) succeeded", name)
+		}
+	}
+}
+
+func TestFormatRendersEdgeTransports(t *testing.T) {
+	spec, err := Parse("rt", strings.Join([]string{
+		"transport auto /run/b.sock",
+		"transport tcp node1:7777 stream=velos.fp",
+		"transport uds \"/run/sb dir/b.sock\" \"stream=dump 1.fp\"",
+		"aprun -n 1 histogram a.fp x 4 &",
+		"wait",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse("rt2", text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if len(again.EdgeTransports) != 2 ||
+		again.EdgeTransports["velos.fp"] != spec.EdgeTransports["velos.fp"] ||
+		again.EdgeTransports["dump 1.fp"] != spec.EdgeTransports["dump 1.fp"] {
+		t.Fatalf("round trip lost edge transports:\n%s\n%+v", text, again.EdgeTransports)
+	}
+}
+
 func TestParseLogDirective(t *testing.T) {
 	spec, err := Parse("lg", "log /var/run/sb-log\naprun -n 1 histogram a.fp x 4\nwait\n")
 	if err != nil {

@@ -70,12 +70,13 @@ func init() {
 var genCtr atomic.Uint64
 
 // Buf is a reference-counted byte buffer. The zero value is not usable;
-// obtain one from Get or Wrap.
+// obtain one from Get, Wrap, or WrapOnFree.
 type Buf struct {
-	data  []byte
-	refs  atomic.Int32
-	class int32  // class index, or -1 for unpooled storage
-	gen   uint64 // incarnation stamp, fresh per Get/Wrap (see genCtr)
+	data   []byte
+	refs   atomic.Int32
+	class  int32  // class index, or -1 for unpooled storage
+	gen    uint64 // incarnation stamp, fresh per Get/Wrap (see genCtr)
+	onFree func() // WrapOnFree hook, run once by the final Release
 }
 
 // classFor returns the smallest class whose capacity holds n, or -1 if n
@@ -124,6 +125,20 @@ func Wrap(p []byte) *Buf {
 	return b
 }
 
+// WrapOnFree is Wrap with a reclamation hook: the final Release runs
+// onFree exactly once instead of recycling anything. It is the seam
+// that lets externally managed storage — a shared-memory ring slot
+// owned by another process, say — ride the same refcount lifecycle as
+// pooled buffers: the broker retires a step, the last reference drops,
+// and the hook returns the slot to its owner. The hook may run under
+// broker locks, so it must not block or re-enter the broker; atomic
+// bookkeeping only.
+func WrapOnFree(p []byte, onFree func()) *Buf {
+	b := Wrap(p)
+	b.onFree = onFree
+	return b
+}
+
 // Gen returns the buffer's incarnation stamp: unique per Get/Wrap, so
 // two holders seeing the same Gen hold the same physical incarnation
 // (not a recycled reuse of the storage).
@@ -159,6 +174,11 @@ func (b *Buf) Release() {
 	}
 	if n < 0 {
 		panic("pool: Release of already-released Buf")
+	}
+	if b.onFree != nil {
+		f := b.onFree
+		b.onFree = nil
+		f()
 	}
 	if b.class < 0 {
 		return // unpooled or oversized: leave it to the GC

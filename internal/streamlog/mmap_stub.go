@@ -1,0 +1,16 @@
+//go:build !unix
+
+package streamlog
+
+import (
+	"errors"
+	"os"
+)
+
+func mmapSupported() bool { return false }
+
+func mmapReadOnly(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("streamlog: no mmap on this platform")
+}
+
+func munmap(b []byte) error { return nil }

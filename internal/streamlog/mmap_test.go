@@ -1,0 +1,227 @@
+package streamlog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fillSealed appends steps 0..n-1 of paySize-byte payloads with a
+// segment budget small enough that every step but the last few lands in
+// a sealed segment.
+func fillSealed(t testing.TB, dir string, n, paySize int) *Log {
+	t.Helper()
+	l, err := OpenLog(dir, Options{SegmentBytes: int64(paySize + 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < n; s++ {
+		pay := bytes.Repeat([]byte{byte(s)}, paySize)
+		if err := l.Append(s, [][]byte{fmt.Appendf(nil, "m%d", s)}, [][]byte{pay}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestReadStepViewSealed(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	l := fillSealed(t, t.TempDir(), 8, 1024)
+	defer l.Close()
+	if l.Segments() < 3 {
+		t.Fatalf("expected multiple segments, got %d", l.Segments())
+	}
+	// A sealed step must serve as a view and match the copying read.
+	wantM, wantP, err := l.ReadStep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, payloads, release, err := l.ReadStepView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(metas[0], wantM[0]) || !bytes.Equal(payloads[0], wantP[0]) {
+		t.Fatal("view differs from copying read")
+	}
+	l.mu.Lock()
+	seg := l.index[1].seg
+	if seg.mem == nil || seg.refs != 1 {
+		t.Fatalf("sealed step not served from a mapping (mem=%v refs=%d)", seg.mem != nil, seg.refs)
+	}
+	l.mu.Unlock()
+	release()
+	l.mu.Lock()
+	if seg.refs != 0 {
+		t.Fatalf("refs = %d after release", seg.refs)
+	}
+	l.mu.Unlock()
+}
+
+func TestReadStepViewActiveCopies(t *testing.T) {
+	l := fillSealed(t, t.TempDir(), 8, 1024)
+	defer l.Close()
+	// The last step lives in the active segment: the view must fall back
+	// to a copy (no mapping of a file still being appended to).
+	_, payloads, release, err := l.ReadStepView(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if payloads[0][0] != 7 {
+		t.Fatalf("payload = %x", payloads[0][:4])
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seg := l.index[7].seg; seg.mem != nil {
+		t.Fatal("active segment was mapped")
+	}
+}
+
+func TestReadStepViewNoMmapOption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{SegmentBytes: 1024 + 64, NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if err := l.Append(s, [][]byte{nil}, [][]byte{bytes.Repeat([]byte{byte(s)}, 1024)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, payloads, release, err := l.ReadStepView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if payloads[0][0] != 0 || len(payloads[0]) != 1024 {
+		t.Fatal("pread fallback returned wrong payload")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segs {
+		if seg.mem != nil {
+			t.Fatal("NoMmap log mapped a segment")
+		}
+	}
+}
+
+// TestReadStepViewSurvivesEviction pins the deferred-munmap contract: a
+// held view stays readable after retention evicts (and unlinks) its
+// segment, and the mapping is returned on the final release.
+func TestReadStepViewSurvivesEviction(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{SegmentBytes: 1024 + 64, RetainSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	append1 := func(s int) {
+		t.Helper()
+		if err := l.Append(s, [][]byte{nil}, [][]byte{bytes.Repeat([]byte{byte(s)}, 1024)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		append1(s)
+	}
+	_, payloads, release, err := l.ReadStepView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	seg := l.index[0].seg
+	l.mu.Unlock()
+	// Retire far ahead and keep appending until retention drops step 0's
+	// segment out from under the held view.
+	if err := l.AppendRetire(10); err != nil {
+		t.Fatal(err)
+	}
+	for s := 3; s < 8; s++ {
+		append1(s)
+	}
+	if _, _, err := l.ReadStep(0); err == nil {
+		t.Fatal("step 0 still readable; eviction did not happen")
+	}
+	if payloads[0][0] != 0 || payloads[0][1023] != 0 {
+		t.Fatal("held view corrupted by eviction")
+	}
+	l.mu.Lock()
+	if seg.mem == nil || !seg.pendingUnmap {
+		t.Fatalf("evicted segment not deferred (mem=%v pending=%v)", seg.mem != nil, seg.pendingUnmap)
+	}
+	l.mu.Unlock()
+	release()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seg.mem != nil {
+		t.Fatal("mapping survived the final release")
+	}
+}
+
+// benchReplay measures a full replay pass over sealed segments; the
+// mmap path should move no payload bytes through the heap, the pread
+// path allocates every record. Compare:
+//
+//	go test ./internal/streamlog -bench BenchmarkLogReplay -benchmem
+func benchReplay(b *testing.B, view bool) {
+	const steps, paySize = 64, 64 << 10
+	dir := b.TempDir()
+	opts := Options{SegmentBytes: 4 * int64(paySize), NoMmap: !view}
+	l, err := OpenLog(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.SetConfig(Config{WriterSize: 1, QueueDepth: 2}); err != nil {
+		b.Fatal(err)
+	}
+	pay := bytes.Repeat([]byte{0xab}, paySize)
+	for s := 0; s < steps; s++ {
+		if err := l.Append(s, [][]byte{nil}, [][]byte{pay}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One extra roll so every benchmarked step is sealed.
+	if err := l.AppendEnd(steps - 1); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(steps) * int64(paySize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < steps; s++ {
+			_, payloads, release, err := l.ReadStepView(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink ^= payloads[0][0]
+			release()
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkLogReplayMmap(b *testing.B) {
+	if !mmapSupported() {
+		b.Skip("no mmap on this platform")
+	}
+	benchReplay(b, true)
+}
+
+func BenchmarkLogReplayPread(b *testing.B) { benchReplay(b, false) }

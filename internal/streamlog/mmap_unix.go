@@ -1,0 +1,21 @@
+//go:build unix
+
+package streamlog
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy read path for sealed segments;
+// platforms without shared file mappings fall back to pread copies.
+func mmapSupported() bool { return true }
+
+// mmapReadOnly maps size bytes of f read-only and shared. The mapping
+// outlives the file descriptor, so a mapped segment can be closed and
+// even unlinked (eviction) while views remain valid.
+func mmapReadOnly(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -126,6 +126,10 @@ type Options struct {
 	RetainBytes int64
 	// Fsync is the durability policy for appends.
 	Fsync FsyncMode
+	// NoMmap disables the mmap'd read path for sealed segments:
+	// ReadStepView then always copies via pread, exactly like ReadStep.
+	// Platforms without shared file mappings imply it.
+	NoMmap bool
 }
 
 func (o Options) segmentBytes() int64 {
@@ -150,6 +154,15 @@ type segment struct {
 	size    int64
 	minStep int // lowest step record in this segment, -1 if none
 	maxStep int // highest step record, -1 if none
+
+	// Read-only mapping of a sealed segment (ReadStepView). refs counts
+	// outstanding views; pendingUnmap defers the munmap of an evicted or
+	// closed segment until the last view releases. mapBroken remembers a
+	// failed mmap so the segment permanently falls back to pread.
+	mem          []byte
+	refs         int
+	pendingUnmap bool
+	mapBroken    bool
 }
 
 // stepLoc locates one step record.
@@ -654,6 +667,7 @@ func (l *Log) evict() error {
 			l.firstStep = oldest.maxStep + 1
 		}
 		l.total -= oldest.size
+		releaseMapping(oldest) // deferred to the last view if any are out
 		oldest.f.Close()
 		if err := os.Remove(oldest.path); err != nil {
 			return fmt.Errorf("streamlog: %w", err)
@@ -671,16 +685,31 @@ func (l *Log) evict() error {
 func (l *Log) ReadStep(step int) (metas, payloads [][]byte, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	loc, err := l.locate(step)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l.readStepAt(step, loc)
+}
+
+// locate resolves a step to its record location. Caller holds the lock.
+func (l *Log) locate(step int) (stepLoc, error) {
 	if l.closed {
-		return nil, nil, ErrClosed
+		return stepLoc{}, ErrClosed
 	}
 	loc, ok := l.index[step]
 	if !ok {
 		if step < l.nextStep {
-			return nil, nil, fmt.Errorf("%w: step %d below horizon %d", ErrEvicted, step, l.firstStep)
+			return stepLoc{}, fmt.Errorf("%w: step %d below horizon %d", ErrEvicted, step, l.firstStep)
 		}
-		return nil, nil, fmt.Errorf("streamlog: step %d not yet appended (next is %d)", step, l.nextStep)
+		return stepLoc{}, fmt.Errorf("streamlog: step %d not yet appended (next is %d)", step, l.nextStep)
 	}
+	return loc, nil
+}
+
+// readStepAt is the copying read path: pread the record into fresh
+// allocations. Caller holds the lock.
+func (l *Log) readStepAt(step int, loc stepLoc) (metas, payloads [][]byte, err error) {
 	hdr := make([]byte, recHeader)
 	if _, err := loc.seg.f.ReadAt(hdr, loc.off); err != nil {
 		return nil, nil, fmt.Errorf("streamlog: %w", err)
@@ -702,6 +731,95 @@ func (l *Log) ReadStep(step int) (metas, payloads [][]byte, err error) {
 		return nil, nil, fmt.Errorf("streamlog: step %d record corrupt", step)
 	}
 	return metas, payloads, nil
+}
+
+// ReadStepView is ReadStep without the copy when one can be had for
+// free: a step living in a sealed segment (any segment but the active
+// one — sealed segments are never written again) is served as views
+// into a read-only mmap of the segment file, so replaying history moves
+// no payload bytes through the Go heap. The caller must call release
+// exactly once when finished with every returned slice; until then the
+// backing mapping survives segment eviction and even log Close (the
+// munmap is deferred to the final release). Steps in the active
+// segment, logs opened with Options.NoMmap, and platforms without
+// shared file mappings fall back to the copying path — release is then
+// a no-op, and the caller need not know which path served it.
+func (l *Log) ReadStepView(step int) (metas, payloads [][]byte, release func(), err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	loc, err := l.locate(step)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !l.mapSealed(loc.seg) {
+		metas, payloads, err = l.readStepAt(step, loc)
+		return metas, payloads, func() {}, err
+	}
+	mem, off := loc.seg.mem, loc.off
+	corrupt := func() error { return fmt.Errorf("streamlog: step %d record corrupt", step) }
+	if off+recHeader > int64(len(mem)) {
+		return nil, nil, nil, corrupt()
+	}
+	n := int64(binary.LittleEndian.Uint32(mem[off : off+4]))
+	want := binary.LittleEndian.Uint32(mem[off+4 : off+8])
+	if n < 1 || n > maxRecord || off+recHeader+n > int64(len(mem)) {
+		return nil, nil, nil, corrupt()
+	}
+	body := mem[off+recHeader : off+recHeader+n]
+	if crc32.ChecksumIEEE(body) != want || body[0] != recStep {
+		return nil, nil, nil, corrupt()
+	}
+	got, metas, payloads, ok := decodeStep(body[1:])
+	if !ok || got != step {
+		return nil, nil, nil, corrupt()
+	}
+	seg := loc.seg
+	seg.refs++
+	release = func() {
+		l.mu.Lock()
+		seg.refs--
+		if seg.refs == 0 && seg.pendingUnmap && seg.mem != nil {
+			munmap(seg.mem)
+			seg.mem = nil
+		}
+		l.mu.Unlock()
+	}
+	return metas, payloads, release, nil
+}
+
+// mapSealed lazily maps a sealed segment read-only, reporting whether
+// the mapping is usable. Caller holds the lock. A failed mmap marks the
+// segment broken so every later read preads instead of retrying.
+func (l *Log) mapSealed(seg *segment) bool {
+	if seg.mem != nil {
+		return true
+	}
+	if seg.mapBroken || l.opts.NoMmap || !mmapSupported() ||
+		seg == l.activeSegment() || seg.size == 0 {
+		return false
+	}
+	mem, err := mmapReadOnly(seg.f, seg.size)
+	if err != nil {
+		seg.mapBroken = true
+		return false
+	}
+	seg.mem = mem
+	return true
+}
+
+// releaseMapping unmaps a segment that is leaving the log (eviction or
+// Close), deferring to the last outstanding view when one exists.
+// Caller holds the lock.
+func releaseMapping(seg *segment) {
+	if seg.mem == nil {
+		return
+	}
+	if seg.refs > 0 {
+		seg.pendingUnmap = true
+		return
+	}
+	munmap(seg.mem)
+	seg.mem = nil
 }
 
 // FirstStep returns the lowest readable step (steps below it were
@@ -780,6 +898,7 @@ func (l *Log) Close() error {
 		}
 	}
 	for _, seg := range l.segs {
+		releaseMapping(seg)
 		if err := seg.f.Close(); err != nil && first == nil {
 			first = err
 		}

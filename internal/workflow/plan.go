@@ -120,6 +120,82 @@ func BuildPlan(spec Spec) (*Plan, error) {
 	return p, nil
 }
 
+// EdgeTransport is one dataflow edge's resolved carrier: the relative
+// placement of producer and consumer the choice implies, and the
+// concrete backend the runner will move the edge's blocks over.
+type EdgeTransport struct {
+	Edge PlanEdge
+	// Spec is the concrete transport (kind auto already resolved). For a
+	// fused edge it is inproc — the handoff is a function call, no fabric
+	// involved.
+	Spec TransportSpec
+	// Placement names what the choice implies about where the endpoints
+	// sit: "fused" (one goroutine chain), "co-process" (inproc),
+	// "same-node" (shm, uds), or "cross-node" (tcp).
+	Placement string
+	// Fused marks an edge the fusion pass elides from the fabric.
+	Fused bool
+	// Override marks an edge routed by a per-edge spec entry rather than
+	// the workflow default.
+	Override bool
+}
+
+// placementOf maps a concrete backend kind to the endpoint placement it
+// implies.
+func placementOf(kind string) string {
+	switch kind {
+	case flexpath.KindInproc:
+		return "co-process"
+	case flexpath.KindShm, flexpath.KindUDS:
+		return "same-node"
+	default:
+		return "cross-node"
+	}
+}
+
+// EdgeTransports resolves the transport carrying every edge, in edge
+// order. The rules, first match wins:
+//
+//  1. an edge the fusion pass elides (spec.Fuse set and the edge is
+//     interior to a fusable chain) needs no fabric at all — producer
+//     and consumer share a goroutine;
+//  2. a per-edge spec entry (the `transport ... stream=<name>`
+//     directive) routes the edge, with kind auto resolved from its own
+//     address shape;
+//  3. otherwise the workflow default applies, likewise resolved.
+//
+// Resolution is pure: no runtime probing, so `sbrun -explain` shows
+// exactly what a run would open.
+func (p *Plan) EdgeTransports() []EdgeTransport {
+	elided := map[string]bool{}
+	if p.Spec.Fuse {
+		for _, g := range p.FusionGroups() {
+			for _, s := range g.Elided {
+				elided[s] = true
+			}
+		}
+	}
+	out := make([]EdgeTransport, len(p.Edges))
+	for i, e := range p.Edges {
+		et := EdgeTransport{Edge: e}
+		switch ts, ok := p.Spec.EdgeTransports[e.Stream]; {
+		case elided[e.Stream]:
+			et.Fused = true
+			et.Spec = TransportSpec{Kind: flexpath.KindInproc}
+			et.Placement = "fused"
+		case ok:
+			et.Override = true
+			et.Spec = ts.Resolve()
+			et.Placement = placementOf(et.Spec.Kind)
+		default:
+			et.Spec = p.Spec.Transport.Resolve()
+			et.Placement = placementOf(et.Spec.Kind)
+		}
+		out[i] = et
+	}
+	return out
+}
+
 // publishers returns stream → producing nodes, in index order.
 func (p *Plan) publishers() map[string][]*PlanNode {
 	m := map[string][]*PlanNode{}
@@ -417,6 +493,9 @@ func (p *Plan) Explain() string {
 	if kind == "" {
 		kind = flexpath.KindInproc
 	}
+	if r := p.Spec.Transport.Resolve(); r.Kind != kind {
+		kind = kind + " -> " + r.Kind // auto, shown with its resolution
+	}
 	fmt.Fprintf(&b, "plan %s: %d stages, transport %s\n", p.Spec.Name, len(p.Nodes), kind)
 	fmt.Fprintf(&b, "stages:\n")
 	for _, n := range p.Nodes {
@@ -436,13 +515,19 @@ func (p *Plan) Explain() string {
 	if len(p.Edges) == 0 {
 		b.WriteString("  (none)\n")
 	}
-	for _, e := range p.Edges {
+	for _, et := range p.EdgeTransports() {
+		e := et.Edge
 		from, to := p.Nodes[e.From], p.Nodes[e.To]
 		arr := e.Array
 		if arr == "" {
 			arr = "?"
 		}
-		fmt.Fprintf(&b, "  %-14s %s -> %s  array=%s\n", e.Stream, from.Name(), to.Name(), arr)
+		note := et.Placement
+		if et.Override {
+			note += ", override"
+		}
+		fmt.Fprintf(&b, "  %-14s %s -> %s  array=%s via %s (%s)\n",
+			e.Stream, from.Name(), to.Name(), arr, et.Spec.Kind, note)
 	}
 	fmt.Fprintf(&b, "fusion:\n")
 	groups := p.FusionGroups()

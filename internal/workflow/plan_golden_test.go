@@ -58,6 +58,28 @@ func TestPlanGolden(t *testing.T) {
 				},
 			},
 		},
+		{
+			// The Fig. 8 workflow again, but multi-process on one node:
+			// transport auto against a broker socket path (resolves shm),
+			// with the dump stream explicitly pinned to uds and the fusion
+			// pass on — the plan must show the per-edge resolution,
+			// including the edge fusion elides from the fabric entirely.
+			golden: "plan_lammps_crack_auto.golden",
+			spec: Spec{
+				Name: "lammps-crack-auto",
+				Stages: []Stage{
+					{Component: "histogram", Args: []string{"velos.fp", "velocities", "16", "velocity_hist.txt"}, Procs: 1},
+					{Component: "magnitude", Args: []string{"lmpselect.fp", "lmpsel", "velos.fp", "velocities"}, Procs: 2},
+					{Component: "select", Args: []string{"dump.custom.fp", "atoms", "1", "lmpselect.fp", "lmpsel", "vx", "vy", "vz"}, Procs: 2},
+					{Component: "lammps", Args: []string{"dump.custom.fp", "atoms", "20000", "6"}, Procs: 4},
+				},
+				Transport: TransportSpec{Kind: "auto", Addr: "/run/sb/broker.sock"},
+				EdgeTransports: map[string]TransportSpec{
+					"dump.custom.fp": {Kind: "uds", Addr: "/run/sb/broker.sock"},
+				},
+				Fuse: true,
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.spec.Name, func(t *testing.T) {

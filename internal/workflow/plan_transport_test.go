@@ -1,0 +1,173 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flexpath"
+)
+
+// twoStageSpec is the minimal plannable pipeline: magnitude feeding
+// histogram over velos.fp, the smallest graph with one real edge.
+func twoStageSpec(ts TransportSpec) Spec {
+	return Spec{
+		Name: "resolve",
+		Stages: []Stage{
+			{Component: "magnitude", Args: []string{"sel.fp", "lmpsel", "velos.fp", "velocities"}, Procs: 2},
+			{Component: "histogram", Args: []string{"velos.fp", "velocities", "8"}, Procs: 2},
+		},
+		Transport: ts,
+	}
+}
+
+// edgeFor finds the resolution of the edge carried by the named stream.
+func edgeFor(t *testing.T, p *Plan, stream string) EdgeTransport {
+	t.Helper()
+	for _, et := range p.EdgeTransports() {
+		if et.Edge.Stream == stream {
+			return et
+		}
+	}
+	t.Fatalf("no edge on stream %q", stream)
+	return EdgeTransport{}
+}
+
+// TestTransportSpecResolve pins the address-shape rule the plan layer,
+// sbrun, and sbcomp all share: no address → every stage co-process
+// (inproc); a path → same-node broker (shm); host:port → possibly
+// cross-node (tcp). Explicit kinds pass through untouched.
+func TestTransportSpecResolve(t *testing.T) {
+	cases := []struct {
+		in   TransportSpec
+		want string
+	}{
+		{TransportSpec{}, flexpath.KindInproc},
+		{TransportSpec{Kind: "auto"}, flexpath.KindInproc},
+		{TransportSpec{Kind: "auto", Addr: "/tmp/b.sock"}, flexpath.KindShm},
+		{TransportSpec{Kind: "auto", Addr: "run/b.sock"}, flexpath.KindShm},
+		{TransportSpec{Kind: "auto", Addr: "127.0.0.1:7777"}, flexpath.KindTCP},
+		{TransportSpec{Kind: "auto", Addr: "node12:7777"}, flexpath.KindTCP},
+		{TransportSpec{Kind: "uds", Addr: "/tmp/b.sock"}, flexpath.KindUDS},
+		{TransportSpec{Kind: "tcp", Addr: "127.0.0.1:7777"}, flexpath.KindTCP},
+		{TransportSpec{Kind: "shm", Addr: "/tmp/b.sock"}, flexpath.KindShm},
+	}
+	for _, tc := range cases {
+		got := tc.in.Resolve()
+		if got.Kind != tc.want {
+			t.Errorf("Resolve(%+v).Kind = %q, want %q", tc.in, got.Kind, tc.want)
+		}
+		if got.Addr != tc.in.Addr {
+			t.Errorf("Resolve(%+v) dropped the address: %q", tc.in, got.Addr)
+		}
+	}
+}
+
+// TestEdgeTransportsDefault walks the placement matrix for a workflow
+// whose edges all ride the default transport.
+func TestEdgeTransportsDefault(t *testing.T) {
+	cases := []struct {
+		name      string
+		ts        TransportSpec
+		kind      string
+		placement string
+	}{
+		{"same-process", TransportSpec{}, flexpath.KindInproc, "co-process"},
+		{"same-process-auto", TransportSpec{Kind: "auto"}, flexpath.KindInproc, "co-process"},
+		{"same-node-auto", TransportSpec{Kind: "auto", Addr: "/run/b.sock"}, flexpath.KindShm, "same-node"},
+		{"same-node-uds", TransportSpec{Kind: "uds", Addr: "/run/b.sock"}, flexpath.KindUDS, "same-node"},
+		{"cross-node", TransportSpec{Kind: "auto", Addr: "node3:7777"}, flexpath.KindTCP, "cross-node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := BuildPlan(twoStageSpec(tc.ts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			et := edgeFor(t, p, "velos.fp")
+			if et.Spec.Kind != tc.kind || et.Placement != tc.placement {
+				t.Fatalf("edge resolved via %s (%s), want %s (%s)",
+					et.Spec.Kind, et.Placement, tc.kind, tc.placement)
+			}
+			if et.Override || et.Fused {
+				t.Fatalf("default-resolved edge flagged override=%v fused=%v", et.Override, et.Fused)
+			}
+		})
+	}
+}
+
+// TestEdgeTransportsOverride checks a per-edge entry beats the workflow
+// default and resolves auto from its own address shape.
+func TestEdgeTransportsOverride(t *testing.T) {
+	spec := twoStageSpec(TransportSpec{Kind: "tcp", Addr: "node1:7777"})
+	spec.EdgeTransports = map[string]TransportSpec{
+		"velos.fp": {Kind: "auto", Addr: "/run/b.sock"},
+	}
+	p, err := BuildPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := edgeFor(t, p, "velos.fp")
+	if !et.Override {
+		t.Fatal("edge with a spec entry not flagged as override")
+	}
+	if et.Spec.Kind != flexpath.KindShm || et.Placement != "same-node" {
+		t.Fatalf("override resolved via %s (%s), want shm (same-node)", et.Spec.Kind, et.Placement)
+	}
+}
+
+// TestEdgeTransportsFused checks that an edge the fusion pass elides
+// needs no fabric — even when a per-edge override names one — while the
+// chain's surviving output edge still resolves normally.
+func TestEdgeTransportsFused(t *testing.T) {
+	spec := Spec{
+		Name: "fused",
+		Stages: []Stage{
+			{Component: "select", Args: []string{"dump.fp", "atoms", "1", "sel.fp", "lmpsel", "vx", "vy", "vz"}, Procs: 2},
+			{Component: "magnitude", Args: []string{"sel.fp", "lmpsel", "velos.fp", "velocities"}, Procs: 2},
+			{Component: "histogram", Args: []string{"velos.fp", "velocities", "8"}, Procs: 1},
+		},
+		Transport:      TransportSpec{Kind: "auto", Addr: "/run/b.sock"},
+		EdgeTransports: map[string]TransportSpec{"sel.fp": {Kind: "tcp", Addr: "node1:7777"}},
+		Fuse:           true,
+	}
+	p, err := BuildPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := edgeFor(t, p, "sel.fp")
+	if !in.Fused || in.Placement != "fused" || in.Spec.Kind != flexpath.KindInproc {
+		t.Fatalf("elided edge resolved via %s (%s, fused=%v), want inproc (fused)",
+			in.Spec.Kind, in.Placement, in.Fused)
+	}
+	out := edgeFor(t, p, "velos.fp")
+	if out.Fused || out.Spec.Kind != flexpath.KindShm {
+		t.Fatalf("surviving edge resolved via %s (fused=%v), want shm", out.Spec.Kind, out.Fused)
+	}
+	// Without Fuse the same edge must resolve to its override — fusion
+	// eligibility alone changes nothing.
+	spec.Fuse = false
+	p, err = BuildPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et := edgeFor(t, p, "sel.fp"); et.Fused || et.Spec.Kind != flexpath.KindTCP {
+		t.Fatalf("unfused spec: edge resolved via %s (fused=%v), want tcp override", et.Spec.Kind, et.Fused)
+	}
+}
+
+// TestSpecValidateEdgeTransports checks per-edge specs validate like
+// the workflow default, with the stream name in the diagnostic.
+func TestSpecValidateEdgeTransports(t *testing.T) {
+	spec := twoStageSpec(TransportSpec{})
+	spec.EdgeTransports = map[string]TransportSpec{
+		"velos.fp": {Kind: "shm"}, // shm without an address
+	}
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), `"velos.fp"`) {
+		t.Fatalf("Validate() = %v, want an error naming the stream", err)
+	}
+	spec.EdgeTransports["velos.fp"] = TransportSpec{Kind: "auto"}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("auto without an address must validate (resolves inproc): %v", err)
+	}
+}

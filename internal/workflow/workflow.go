@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -58,16 +59,36 @@ type TransportSpec struct {
 // requires.
 func (ts TransportSpec) Validate() error {
 	switch ts.Kind {
-	case "", flexpath.KindInproc:
+	case "", flexpath.KindInproc, flexpath.KindAuto:
+		// auto without an address legitimately resolves to inproc, so no
+		// address requirement here.
 		return nil
-	case flexpath.KindTCP, flexpath.KindUDS:
+	case flexpath.KindTCP, flexpath.KindUDS, flexpath.KindShm:
 		if ts.Addr == "" {
 			return fmt.Errorf("transport %q requires an address", ts.Kind)
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown transport kind %q (want %s, %s, or %s)",
-			ts.Kind, flexpath.KindInproc, flexpath.KindTCP, flexpath.KindUDS)
+		return fmt.Errorf("unknown transport kind %q (want %s, %s, %s, %s, or %s)",
+			ts.Kind, flexpath.KindInproc, flexpath.KindTCP, flexpath.KindUDS,
+			flexpath.KindShm, flexpath.KindAuto)
+	}
+}
+
+// Resolve maps the spec to the concrete backend the runner opens: the
+// zero kind is inproc, and auto picks by the address shape
+// (flexpath.ResolveAuto) — no broker address means every stage is
+// co-process, so inproc; a filesystem path names a same-node broker,
+// where the shared-memory ring wins; a host:port may cross nodes, so
+// tcp. Deterministic: the same spec always resolves the same way.
+func (ts TransportSpec) Resolve() TransportSpec {
+	switch ts.Kind {
+	case "":
+		return TransportSpec{Kind: flexpath.KindInproc, Addr: ts.Addr}
+	case flexpath.KindAuto:
+		return TransportSpec{Kind: flexpath.ResolveAuto(ts.Addr), Addr: ts.Addr}
+	default:
+		return ts
 	}
 }
 
@@ -82,6 +103,13 @@ type Spec struct {
 	// exactly the re-wiring-without-recompilation property the transport
 	// contract exists for.
 	Transport TransportSpec
+	// EdgeTransports overrides the fabric per stream: stream name →
+	// transport carrying that edge; streams not listed ride Transport.
+	// Launch scripts add entries with `transport <kind> [addr]
+	// stream=<name>` directives, and the runner opens each distinct
+	// backend once and routes attachments by stream (flexpath.Router) —
+	// components stay oblivious, exactly as with the global spec.
+	EdgeTransports map[string]TransportSpec
 	// Fuse asks the runner to apply the stage-fusion pass before
 	// launching: eligible adjacent stages collapse into single fused
 	// stages (see Plan.Fuse). Launch scripts set it with a `fuse`
@@ -105,6 +133,16 @@ func (s Spec) Validate() error {
 	}
 	if err := s.Transport.Validate(); err != nil {
 		return fmt.Errorf("workflow %q: %v", s.Name, err)
+	}
+	streams := make([]string, 0, len(s.EdgeTransports))
+	for stream := range s.EdgeTransports {
+		streams = append(streams, stream)
+	}
+	sort.Strings(streams) // deterministic first error
+	for _, stream := range streams {
+		if err := s.EdgeTransports[stream].Validate(); err != nil {
+			return fmt.Errorf("workflow %q stream %q: %v", s.Name, stream, err)
+		}
 	}
 	for i, st := range s.Stages {
 		if st.Procs <= 0 {
