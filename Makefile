@@ -9,13 +9,13 @@ COVER_FLOOR_workflow ?= 90.0
 # default make the whole smoke about ten seconds.
 FUZZTIME ?= 1s
 
-.PHONY: check build test vet race chaos bench cover conformance plan recover
+.PHONY: check build test vet race chaos bench cover conformance plan recover replay
 
 # The full pre-merge gate: static checks, build, the race-enabled test
 # suite, the backend conformance matrix, coverage floors, plan-output
-# snapshots, crash-recovery drills, and a short fuzz round of every fuzz
-# target.
-check: vet build race conformance cover plan recover
+# snapshots, crash-recovery drills, the offline-replay self-diff, and a
+# short fuzz round of every fuzz target.
+check: vet build race conformance cover plan recover replay
 
 # Golden snapshots of `sbrun -explain` for the example workflows. The
 # plan rendering is a user-facing contract; refresh intentionally with:
@@ -67,12 +67,19 @@ cover:
 		awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}' || { echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \
 	done
 	@set -e; \
-	for pkg in ./internal/adios ./internal/flexpath ./internal/launch ./internal/streamlog; do \
+	for pkg in ./internal/adios ./internal/flexpath ./internal/launch ./internal/replay ./internal/streamlog; do \
 		for target in $$($(GO) test $$pkg -list '^Fuzz' -run '^$$' | grep '^Fuzz'); do \
 			echo "cover: fuzz smoke $$pkg $$target ($(FUZZTIME))"; \
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) >/dev/null; \
 		done; \
 	done
+
+# The offline-replay drills under the race detector: record a fixture
+# workflow, replay it bit-identically, and A/B self-diff a component
+# over the recording expecting zero divergences — determinism of the
+# replay path itself, proven on every gate.
+replay:
+	$(GO) test -race -count=1 ./internal/replay -run 'TestReplayBitIdentical|TestDiffSelfIsClean|TestDiffPerturbedScale' -v
 
 # The fault-injection suite on its own (seeded, deterministic plans).
 chaos:

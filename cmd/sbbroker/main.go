@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -126,6 +127,15 @@ func main() {
 	err = srv.Shutdown(*drain)
 	logStreamStats(broker)
 	if store != nil {
+		// Drain the write-behind appender before closing: otherwise the
+		// tail of the recording (late steps, stream end records) may
+		// still sit in the append queue, and an offline replay would see
+		// a clean run as truncated.
+		flushCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		if ferr := broker.FlushLog(flushCtx); ferr != nil {
+			log.Printf("sbbroker: flushing stream log: %v", ferr)
+		}
+		cancel()
 		if cerr := store.Close(); cerr != nil {
 			log.Printf("sbbroker: closing stream log: %v", cerr)
 		}

@@ -20,7 +20,9 @@
 // relaunched sbrun pointed at the same directory recovers the streams a
 // crashed run left behind. With a remote transport the directive is
 // informational only — durability belongs to the sbbroker process, which
-// takes its own -log-dir.
+// takes its own -log-dir. A recording outlives the run: sbreplay re-runs
+// any component offline against it (a `replay <dir>` script directive
+// names the default recording for sbreplay without affecting sbrun).
 //
 // Example script:
 //
@@ -41,6 +43,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/flexpath"
 	"repro/internal/launch"
@@ -176,7 +179,18 @@ func main() {
 			if err != nil {
 				log.Fatalf("sbrun: %v", err)
 			}
+			// Drain the write-behind appender before closing: without the
+			// flush the tail of the run (late steps, stream end records)
+			// may still sit in the append queue, leaving a recording that
+			// sbreplay sees as truncated even though the run was clean.
 			defer store.Close()
+			defer func() {
+				flushCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := ip.B.FlushLog(flushCtx); err != nil {
+					log.Printf("sbrun: flushing stream log: %v", err)
+				}
+			}()
 			ip.B.AttachLog(store)
 			n, err := ip.B.Recover()
 			if err != nil {

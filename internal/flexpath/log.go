@@ -1,6 +1,7 @@
 package flexpath
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,6 +85,30 @@ func (b *Broker) registerLogMetricsLocked() {
 	store := b.logStore
 	b.obs.reg.RegisterFunc("log.segments", func() int64 { return int64(store.Segments()) })
 	b.obs.reg.RegisterFunc("log.bytes", func() int64 { return store.Bytes() })
+	// log.views counts outstanding mmap views of sealed segments. A
+	// quiescent broker (no replay reader mid-step) must report zero —
+	// anything else is a leaked release closure pinning a mapping.
+	b.obs.reg.RegisterFunc("log.views", func() int64 { return int64(store.OpenViews()) })
+}
+
+// FlushLog blocks until every stream's write-behind append queue has
+// drained to the segment log, or ctx is done. After it returns, the log
+// directory holds everything the broker has accepted — the barrier a
+// recorder needs before handing the directory to offline replay.
+func (b *Broker) FlushLog(ctx context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.logStore == nil {
+		return nil
+	}
+	return b.wait(ctx, func() bool {
+		for _, s := range b.streams {
+			if len(s.logQueue) > 0 || s.logBusy {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // logEnqueueStep hands a just-completed step to the stream's appender,
@@ -198,6 +223,8 @@ func (b *Broker) runLogAppender(s *stream) {
 		}
 	}
 	s.logBusy = false
+	// FlushLog waits for exactly this: queue empty and appender gone.
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }
 

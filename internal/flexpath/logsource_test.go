@@ -1,0 +1,381 @@
+package flexpath_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flexpath"
+	"repro/internal/obs"
+	"repro/internal/streamlog"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// recordStream records ranks×steps deterministic blocks onto stream
+// "s" in dir through a logged broker, using FlushLog as the durability
+// barrier, and returns with the store closed — a directory ready for
+// offline replay. graceful ends the stream (writers Close) or leaves
+// it truncated (writers Detach, no end record).
+func recordStream(t *testing.T, dir string, opts streamlog.Options, ranks, steps int, graceful bool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	store, err := streamlog.OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := flexpath.NewBroker()
+	b.AttachLog(store)
+	ws := make([]flexpath.WriterHandle, ranks)
+	for r := range ws {
+		w, err := b.AttachWriter("s", r, ranks, 2*steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[r] = w
+	}
+	for s := 0; s < steps; s++ {
+		for r, w := range ws {
+			if err := w.PublishBlock(ctx, s, recMeta(s, r), recPayload(s, r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, w := range ws {
+		var err error
+		if graceful {
+			err = w.Close()
+		} else {
+			err = w.Detach()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.FlushLog(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recMeta(step, rank int) []byte    { return []byte{'m', byte(step), byte(rank)} }
+func recPayload(step, rank int) []byte { return []byte{'p', byte(step), byte(rank), byte(step * rank)} }
+
+// A recorded stream replays through the LogSource facade exactly as a
+// live stream whose writers finished: journaled writer size, every
+// step's bytes verbatim, io.EOF at the head, nothing truncated.
+func TestLogSourceServesRecording(t *testing.T) {
+	ctx := ctxT(t)
+	dir := t.TempDir()
+	recordStream(t, dir, streamlog.Options{}, 2, 4, true)
+
+	src, err := flexpath.OpenLogSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := src.Streams(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("Streams() = %v, want [s]", got)
+	}
+	r, err := src.AttachReader("s", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, err := r.WriterSize(ctx); err != nil || size != 2 {
+		t.Fatalf("WriterSize = %d, %v, want 2", size, err)
+	}
+	for s := 0; s < 4; s++ {
+		metas, err := r.StepMeta(ctx, s)
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		if len(metas) != 2 {
+			t.Fatalf("step %d: %d metas, want 2", s, len(metas))
+		}
+		for rank := 0; rank < 2; rank++ {
+			if string(metas[rank]) != string(recMeta(s, rank)) {
+				t.Fatalf("step %d rank %d meta = %q", s, rank, metas[rank])
+			}
+			p, err := r.FetchBlock(ctx, s, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(p) != string(recPayload(s, rank)) {
+				t.Fatalf("step %d rank %d payload = %q", s, rank, p)
+			}
+		}
+		if err := r.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.StepMeta(ctx, 4); !errors.Is(err, io.EOF) {
+		t.Fatalf("past end = %v, want io.EOF", err)
+	}
+	if tr := src.Truncated(); len(tr) != 0 {
+		t.Fatalf("graceful recording reported truncated: %v", tr)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A recording that just stops — no end record, the crash/kill shape —
+// still replays its full valid prefix and then reads as EOF, with the
+// truncation surfaced on the source instead of wedging the replay.
+func TestLogSourceTruncatedRecording(t *testing.T) {
+	ctx := ctxT(t)
+	dir := t.TempDir()
+	recordStream(t, dir, streamlog.Options{}, 1, 2, false)
+
+	src, err := flexpath.OpenLogSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	r, err := src.AttachReader("s", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if _, err := r.StepMeta(ctx, s); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		if err := r.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.StepMeta(ctx, 2); !errors.Is(err, io.EOF) {
+		t.Fatalf("truncated head = %v, want io.EOF", err)
+	}
+	if tr := src.Truncated(); len(tr) != 1 || tr[0] != "s" {
+		t.Fatalf("Truncated() = %v, want [s]", tr)
+	}
+	r.Close()
+}
+
+func TestLogSourceRejectsWriterAndUnknownStream(t *testing.T) {
+	dir := t.TempDir()
+	recordStream(t, dir, streamlog.Options{}, 1, 1, true)
+	src, err := flexpath.OpenLogSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.AttachWriter("s", 0, 1, 4); err == nil {
+		t.Fatal("AttachWriter on a recording succeeded")
+	}
+	if _, err := src.AttachReader("ghost", 0, 1); err == nil || !strings.Contains(err.Error(), "recorded: s") {
+		t.Fatalf("unknown stream error %v should name the recorded streams", err)
+	}
+	if _, err := flexpath.OpenLogSource(dir + "/nope"); err == nil {
+		t.Fatal("open of a missing directory succeeded")
+	}
+}
+
+// OpenReaderFrom on a LogSource positions mid-recording, the same
+// capability-checked entry point the live transports expose.
+func TestLogSourceOpenReaderFrom(t *testing.T) {
+	ctx := ctxT(t)
+	dir := t.TempDir()
+	recordStream(t, dir, streamlog.Options{}, 1, 4, true)
+	src, err := flexpath.OpenLogSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	r, err := flexpath.OpenReaderFrom(src, "s", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NextStep(); got != 2 {
+		t.Fatalf("NextStep = %d, want 2", got)
+	}
+	metas, err := r.StepMeta(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(metas[0]) != string(recMeta(2, 0)) {
+		t.Fatalf("step 2 meta = %q", metas[0])
+	}
+	r.Close()
+}
+
+// viewsRecording records a stream whose early segments seal (small
+// SegmentBytes, padded payloads) so sealed-segment reads serve counted
+// mmap views, and reports whether this platform maps at all.
+func viewsRecording(t *testing.T, dir string) (opts streamlog.Options, supported bool) {
+	t.Helper()
+	opts = streamlog.Options{SegmentBytes: 512}
+	ctx := ctxT(t)
+	store, err := streamlog.OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := flexpath.NewBroker()
+	b.AttachLog(store)
+	w, err := b.AttachWriter("s", 0, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := make([]byte, 200)
+	for s := 0; s < 6; s++ {
+		if err := w.PublishBlock(ctx, s, recMeta(s, 0), append([]byte{byte(s)}, pad...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain through a live reader so every step retires (and journals
+	// its retire record): a later Recover then reloads nothing into
+	// memory, forcing the broker's catch-up reader onto the log path.
+	rd, err := b.AttachReader("s", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 6; s++ {
+		if _, err := rd.StepMeta(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := rd.ReleaseStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlushLog(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Probe from the public API: a view of a sealed segment counts in
+	// OpenViews only where shared file mappings exist.
+	lg, err := store.Log("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rel, err := lg.ReadStepView(lg.FirstStep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	supported = store.OpenViews() > 0
+	rel()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return opts, supported
+}
+
+// TestLogViewsGaugeSourceAbort is the leak regression for the replay
+// serve cache: a reader torn down mid-step — the shape of a diff run
+// aborting on first divergence — must return its mmap view, observable
+// as the log.views gauge falling back to zero.
+func TestLogViewsGaugeSourceAbort(t *testing.T) {
+	ctx := ctxT(t)
+	dir := t.TempDir()
+	opts, supported := viewsRecording(t, dir)
+	if !supported {
+		t.Skip("platform lacks shared file mappings; views are copies")
+	}
+	store, err := streamlog.OpenStore(dir, streamlog.Options{ReadOnly: true, SegmentBytes: opts.SegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := flexpath.NewLogSource(store)
+	defer store.Close()
+	reg := obs.NewRegistry()
+	src.SetObserver(nil, reg)
+	r, err := src.AttachReader("s", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StepMeta(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["log.views"]; got != 1 {
+		t.Fatalf("log.views = %d with a step held, want 1", got)
+	}
+	// Abort: no ReleaseStep, straight to Close.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["log.views"]; got != 0 {
+		t.Fatalf("log.views = %d after aborted reader closed, want 0 (leaked view)", got)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogViewsGaugeBrokerAbort is the same regression on the live
+// broker's catch-up reader: OpenReaderFrom serves a sealed-segment
+// view into its cache; closing the reader mid-step must return it.
+func TestLogViewsGaugeBrokerAbort(t *testing.T) {
+	ctx := ctxT(t)
+	dir := t.TempDir()
+	opts, supported := viewsRecording(t, dir)
+	if !supported {
+		t.Skip("platform lacks shared file mappings; views are copies")
+	}
+	store, err := streamlog.OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	b := flexpath.NewBroker()
+	reg := obs.NewRegistry()
+	b.SetObserver(nil, reg)
+	b.AttachLog(store)
+	if _, err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.OpenReaderFrom("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StepMeta(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["log.views"]; got != 1 {
+		t.Fatalf("log.views = %d with a step held, want 1", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["log.views"]; got != 0 {
+		t.Fatalf("log.views = %d after aborted replay closed, want 0 (leaked view)", got)
+	}
+}
+
+// FlushLog is the recorder's durability barrier: after it returns, a
+// read-only open of the directory sees everything published, end
+// record included — no polling on watermarks.
+func TestLogSourceFlushLogBarrier(t *testing.T) {
+	dir := t.TempDir()
+	recordStream(t, dir, streamlog.Options{}, 2, 3, true)
+	store, err := streamlog.OpenStore(dir, streamlog.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	lg, err := store.Log("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lg.NextStep(); got != 3 {
+		t.Fatalf("flushed log head = %d, want 3", got)
+	}
+	if last, ended := lg.Ended(); !ended || last != 2 {
+		t.Fatalf("flushed log ended=%v last=%d, want ended at 2", ended, last)
+	}
+}

@@ -169,17 +169,9 @@ func (r *ReplayReader) ensure(ctx context.Context, step int) error {
 		// Segment read outside the broker lock: replay I/O must not stall
 		// the live fabric. Sealed segments serve zero-copy mmap views;
 		// the active segment (and mmap-less platforms) serve copies.
-		metas, payloads, release, err := r.lg.ReadStepView(step)
+		metas, payloads, release, nbytes, err := readLogStep(r.lg, step)
 		if err != nil {
-			if errorsIsEvicted(err) {
-				return fmt.Errorf("%w: step %d evicted from log (replay horizon %d)",
-					ErrStepRetired, step, r.lg.FirstStep())
-			}
 			return err
-		}
-		var nbytes int64
-		for i := range metas {
-			nbytes += int64(len(metas[i]) + len(payloads[i]))
 		}
 		b.mu.Lock()
 		if r.closed {
@@ -208,6 +200,27 @@ func (r *ReplayReader) ensure(ctx context.Context, step int) error {
 	}
 	b.mu.Unlock()
 	return io.EOF
+}
+
+// readLogStep serves one step from a stream's segment log through the
+// zero-copy view path, translating the log's eviction sentinel into the
+// fabric's ErrStepRetired contract. This is the single serving path
+// shared by the live catch-up reader (OpenReaderFrom) and the offline
+// replay facade (LogSource): both kinds of replay read history through
+// exactly the same code.
+func readLogStep(lg *streamlog.Log, step int) (metas, payloads [][]byte, release func(), nbytes int64, err error) {
+	metas, payloads, release, err = lg.ReadStepView(step)
+	if err != nil {
+		if errorsIsEvicted(err) {
+			return nil, nil, nil, 0, fmt.Errorf("%w: step %d evicted from log (replay horizon %d)",
+				ErrStepRetired, step, lg.FirstStep())
+		}
+		return nil, nil, nil, 0, err
+	}
+	for i := range metas {
+		nbytes += int64(len(metas[i]) + len(payloads[i]))
+	}
+	return metas, payloads, release, nbytes, nil
 }
 
 func errorsIsEvicted(err error) bool {

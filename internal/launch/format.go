@@ -49,6 +49,11 @@ func Format(spec workflow.Spec) (string, error) {
 		sb.WriteString(quoteArg(spec.LogDir))
 		sb.WriteByte('\n')
 	}
+	if spec.ReplayDir != "" {
+		sb.WriteString("replay ")
+		sb.WriteString(quoteArg(spec.ReplayDir))
+		sb.WriteByte('\n')
+	}
 	if spec.Fuse {
 		sb.WriteString("fuse\n")
 	}

@@ -19,7 +19,9 @@
 // streams over a different backend than the workflow default (at most
 // one per stream), an optional `log <dir>` directive mounting a durable
 // stream log on the workflow's broker (crash recovery and catch-up
-// replay; see flexpath.Broker.AttachLog), and an optional `fuse`
+// replay; see flexpath.Broker.AttachLog), an optional `replay <dir>`
+// directive naming the recorded log directory sbreplay re-runs the
+// workflow's components against offline, and an optional `fuse`
 // directive asking the runner to apply the stage-fusion pass (see
 // workflow.Plan.Fuse) before launching. Apart from the per-stream
 // transport form, each directive may appear at most once. Components are
@@ -103,6 +105,19 @@ func Parse(name string, script string) (workflow.Spec, error) {
 					Msg: "duplicate log directive"}
 			}
 			spec.LogDir = tokens[1]
+			continue
+		}
+		if line == "replay" || strings.HasPrefix(line, "replay ") || strings.HasPrefix(line, "replay\t") {
+			tokens, err := tokenize(line)
+			if err != nil || len(tokens) != 2 || tokens[1] == "" {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "replay directive wants: replay <dir>"}
+			}
+			if spec.ReplayDir != "" {
+				return workflow.Spec{}, &ParseError{Line: lineNo + 1, Text: raw,
+					Msg: "duplicate replay directive"}
+			}
+			spec.ReplayDir = tokens[1]
 			continue
 		}
 		if line == "fuse" || strings.HasPrefix(line, "fuse ") || strings.HasPrefix(line, "fuse\t") {
@@ -244,6 +259,12 @@ func validComponentName(name string) bool {
 	}
 	return true
 }
+
+// Fields splits one script line on whitespace with the same quoting
+// rules the parser applies to aprun lines — the tokenizer sbreplay uses
+// for -args/-alt strings, exported so an override written like a script
+// line splits exactly like a script line.
+func Fields(line string) ([]string, error) { return tokenize(line) }
 
 // tokenize splits a line on whitespace, honoring single and double
 // quotes so stream names and header entries may contain spaces.

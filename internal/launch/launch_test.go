@@ -242,6 +242,33 @@ func TestParseLogDirective(t *testing.T) {
 	}
 }
 
+func TestParseReplayDirective(t *testing.T) {
+	spec, err := Parse("rp", "replay /mnt/scratch/rec\naprun -n 1 histogram a.fp x 4\nwait\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ReplayDir != "/mnt/scratch/rec" {
+		t.Fatalf("replay dir = %q", spec.ReplayDir)
+	}
+	spec, err = Parse("rp", "aprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ReplayDir != "" {
+		t.Fatalf("replay dir set without directive: %q", spec.ReplayDir)
+	}
+	spec, err = Parse("rp", "replay \"/mnt/scratch/old runs\"\naprun -n 1 histogram a.fp x 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ReplayDir != "/mnt/scratch/old runs" {
+		t.Fatalf("quoted replay dir = %q", spec.ReplayDir)
+	}
+	if _, err := Parse("rp", "replay\naprun -n 1 histogram a.fp x 4\n"); err == nil {
+		t.Fatal("bare replay directive accepted")
+	}
+}
+
 func TestParseFuseDirective(t *testing.T) {
 	spec, err := Parse("f", "fuse\naprun -n 1 histogram a.fp x 4\nwait\n")
 	if err != nil {
@@ -267,6 +294,7 @@ func TestParseDuplicateDirectivesReportLine(t *testing.T) {
 		"transport": {"transport inproc\ntransport inproc\naprun -n 1 histogram a.fp x 4", 2},
 		"fuse":      {"fuse\n# comment\nfuse\naprun -n 1 histogram a.fp x 4", 3},
 		"log":       {"log /var/a\n\nlog /var/b\naprun -n 1 histogram a.fp x 4", 3},
+		"replay":    {"replay /var/a\nreplay /var/b\naprun -n 1 histogram a.fp x 4", 2},
 	}
 	for name, tc := range cases {
 		_, err := Parse(name, tc.script)
@@ -281,7 +309,7 @@ func TestParseDuplicateDirectivesReportLine(t *testing.T) {
 }
 
 func TestFormatRendersDirectives(t *testing.T) {
-	spec, err := Parse("rt", "transport uds /tmp/b.sock\nlog \"/mnt/scratch/sb logs\"\nfuse\naprun -n 2 -q 4 magnitude a.fp x b.fp y &\nwait\n")
+	spec, err := Parse("rt", "transport uds /tmp/b.sock\nlog \"/mnt/scratch/sb logs\"\nreplay \"/mnt/scratch/rec\"\nfuse\naprun -n 2 -q 4 magnitude a.fp x b.fp y &\nwait\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,6 +332,9 @@ func TestFormatRendersDirectives(t *testing.T) {
 	}
 	if again.LogDir != spec.LogDir {
 		t.Fatalf("round trip lost log dir: %q vs %q", again.LogDir, spec.LogDir)
+	}
+	if again.ReplayDir != spec.ReplayDir || again.ReplayDir != "/mnt/scratch/rec" {
+		t.Fatalf("round trip lost replay dir: %q vs %q", again.ReplayDir, spec.ReplayDir)
 	}
 	if again.Stages[0].QueueDepth != 4 {
 		t.Fatalf("round trip lost queue depth: %+v", again.Stages[0])
@@ -352,5 +383,26 @@ func TestTokenize(t *testing.T) {
 		if toks[i] != want[i] {
 			t.Fatalf("tokens = %q, want %q", toks, want)
 		}
+	}
+}
+
+// Fields is the exported tokenizer sbreplay splits -args/-alt override
+// strings with: identical quoting rules to aprun lines.
+func TestFields(t *testing.T) {
+	got, err := Fields(`velos.fp velocities "8 bins" 'x y'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"velos.fp", "velocities", "8 bins", "x y"}
+	if len(got) != len(want) {
+		t.Fatalf("Fields = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Fields[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := Fields(`unterminated "quote`); err == nil {
+		t.Fatal("unterminated quote accepted")
 	}
 }

@@ -84,6 +84,10 @@ const (
 	// For any one replay reader each step appears in exactly one
 	// log.replay or replay.live span: the exactly-once handoff proof.
 	KindReplayLive Kind = "replay.live"
+	// KindDiffStep is one step compared between two replayed component
+	// variants; Bytes carries the compared byte volume and Err the first
+	// divergence, when any.
+	KindDiffStep Kind = "diff.step"
 	// KindBrokerRecover is one stream's state rebuilt from the durable
 	// log after a broker restart; Step is the recovered head, Bytes the
 	// payload bytes restored into the queue.

@@ -1,0 +1,426 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/adios"
+	"repro/internal/ndarray"
+	"repro/internal/obs"
+	"repro/internal/workflow"
+)
+
+// Divergence kinds, roughly ordered by how early in decoding the
+// mismatch is found.
+const (
+	DivStream = "stream" // stream captured by only one variant
+	DivEnded  = "ended"  // one variant ended its stream, the other did not
+	DivSteps  = "steps"  // variants captured a different number of steps
+	DivDecode = "decode" // a step's blobs failed to decode or assemble
+	DivArray  = "array"  // an array present in only one variant's step
+	DivShape  = "shape"  // global dimensions disagree
+	DivAttr   = "attr"   // step attributes disagree
+	DivValue  = "value"  // element values disagree beyond tolerance
+)
+
+// Divergence is one point where variant B's output departs from
+// variant A's.
+type Divergence struct {
+	Stream string
+	Step   int
+	Kind   string
+	// Array and Index locate a value divergence: the flat row-major
+	// element index of the first differing element. Count is how many
+	// elements of that array differ in this step. A/B are those first
+	// differing values.
+	Array  string
+	Index  int
+	Count  int
+	A, B   float64
+	Detail string
+}
+
+func (d Divergence) String() string {
+	switch d.Kind {
+	case DivValue:
+		return fmt.Sprintf("%s step %d array %s: %d element(s) differ; first at [%d]: %v vs %v",
+			d.Stream, d.Step, d.Array, d.Count, d.Index, d.A, d.B)
+	case DivStream, DivEnded, DivSteps:
+		return fmt.Sprintf("%s: %s", d.Stream, d.Detail)
+	default:
+		return fmt.Sprintf("%s step %d: %s", d.Stream, d.Step, d.Detail)
+	}
+}
+
+// DiffReport is the outcome of comparing two variants' captures over
+// the same recorded input.
+type DiffReport struct {
+	// Tol is the comparison tolerance: 0 means bit-exact float64
+	// comparison (NaN bit patterns included); otherwise values within
+	// |a-b| <= Tol agree.
+	Tol float64
+	// Streams, Steps and Values count what was compared (both sides).
+	Streams int
+	Steps   int
+	Values  int64
+	// Divergences in (stream, step) order.
+	Divergences []Divergence
+}
+
+// Divergent reports whether the variants disagree anywhere.
+func (r *DiffReport) Divergent() bool { return len(r.Divergences) > 0 }
+
+// FirstDivergence returns the earliest step at which any stream
+// diverged and the divergence itself; ok is false when the variants
+// agree everywhere.
+func (r *DiffReport) FirstDivergence() (Divergence, bool) {
+	if len(r.Divergences) == 0 {
+		return Divergence{}, false
+	}
+	first := r.Divergences[0]
+	for _, d := range r.Divergences[1:] {
+		if d.Step < first.Step {
+			first = d
+		}
+	}
+	return first, true
+}
+
+// Render formats the report for terminals (sbreplay -diff output).
+func (r *DiffReport) Render() string {
+	var b strings.Builder
+	mode := "bit-exact"
+	if r.Tol > 0 {
+		mode = fmt.Sprintf("tol %g", r.Tol)
+	}
+	fmt.Fprintf(&b, "diff: %d stream(s), %d step(s), %d value(s) compared (%s)\n",
+		r.Streams, r.Steps, r.Values, mode)
+	if !r.Divergent() {
+		b.WriteString("no divergence\n")
+		return b.String()
+	}
+	first, _ := r.FirstDivergence()
+	fmt.Fprintf(&b, "DIVERGED: %d divergence(s); first at %s step %d\n",
+		len(r.Divergences), first.Stream, first.Step)
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d.String())
+	}
+	return b.String()
+}
+
+// Diff replays variant A and variant B sequentially against the same
+// recording and compares every output stream step by step,
+// array by array. Comparison is semantic, not byte-level: each step's
+// blocks are decoded and assembled into global arrays first, so
+// variants that partition work differently (different proc counts)
+// still compare equal when they compute the same values. tol selects
+// the value comparison: 0 is bit-exact, otherwise |a-b| <= tol.
+//
+// The returned report is valid whenever err is nil — a divergence is a
+// finding, not an error. Component failures and unreadable recordings
+// are errors.
+func Diff(ctx context.Context, cfg Config, tol float64, a, b []workflow.Stage) (*DiffReport, error) {
+	cfgA, cfgB := cfg, cfg
+	cfgA.OutDir, cfgB.OutDir = "", "" // re-record only applies to single runs
+	if cfgA.Name == "" {
+		cfgA.Name, cfgB.Name = "replay-a", "replay-b"
+	}
+	ra, err := Run(ctx, cfgA, a...)
+	if err != nil {
+		return nil, fmt.Errorf("replay: variant A: %w", err)
+	}
+	rb, err := Run(ctx, cfgB, b...)
+	if err != nil {
+		return nil, fmt.Errorf("replay: variant B: %w", err)
+	}
+	return Compare(cfg.Tracer, tol, ra.Captures, rb.Captures), nil
+}
+
+// Compare diffs two capture sets without re-running anything.
+func Compare(tr *obs.Tracer, tol float64, a, b map[string]*StreamTrace) *DiffReport {
+	rep := &DiffReport{Tol: tol}
+	streams := make(map[string]bool, len(a)+len(b))
+	for s := range a {
+		streams[s] = true
+	}
+	for s := range b {
+		streams[s] = true
+	}
+	names := make([]string, 0, len(streams))
+	for s := range streams {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ta, tb := a[name], b[name]
+		if ta == nil || tb == nil {
+			have := "A"
+			if ta == nil {
+				have = "B"
+			}
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Stream: name, Kind: DivStream,
+				Detail: fmt.Sprintf("stream captured only by variant %s", have),
+			})
+			continue
+		}
+		rep.Streams++
+		compareStreams(tr, rep, ta, tb)
+	}
+	return rep
+}
+
+func compareStreams(tr *obs.Tracer, rep *DiffReport, a, b *StreamTrace) {
+	n := len(a.Steps)
+	if len(b.Steps) < n {
+		n = len(b.Steps)
+	}
+	for i := 0; i < n; i++ {
+		t0 := tr.Now()
+		before := len(rep.Divergences)
+		compareStep(rep, a.Stream, a.Steps[i], b.Steps[i])
+		if tr.Enabled() {
+			note := "agree"
+			if found := len(rep.Divergences) - before; found > 0 {
+				note = fmt.Sprintf("%d divergence(s)", found)
+			}
+			tr.Emit(obs.Span{Kind: obs.KindDiffStep, Stream: a.Stream,
+				Step: a.Steps[i].Step, Rank: -1, Peer: -1,
+				Note: note, Start: t0, End: tr.Now()})
+		}
+	}
+	if len(a.Steps) != len(b.Steps) {
+		at := 0 // first step present on one side only
+		if n < len(a.Steps) {
+			at = a.Steps[n].Step
+		} else if n < len(b.Steps) {
+			at = b.Steps[n].Step
+		}
+		rep.Divergences = append(rep.Divergences, Divergence{
+			Stream: a.Stream, Step: at, Kind: DivSteps,
+			Detail: fmt.Sprintf("variant A captured %d step(s), variant B %d", len(a.Steps), len(b.Steps)),
+		})
+	}
+	if a.Ended != b.Ended {
+		step := a.LastStep
+		if b.LastStep > step {
+			step = b.LastStep
+		}
+		rep.Divergences = append(rep.Divergences, Divergence{
+			Stream: a.Stream, Step: step, Kind: DivEnded,
+			Detail: fmt.Sprintf("variant A ended=%v, variant B ended=%v", a.Ended, b.Ended),
+		})
+	}
+}
+
+func compareStep(rep *DiffReport, stream string, a, b StepBlobs) {
+	rep.Steps++
+	va, errA := assembleStep(a)
+	vb, errB := assembleStep(b)
+	if errA != nil || errB != nil {
+		detail := ""
+		switch {
+		case errA != nil && errB != nil:
+			detail = fmt.Sprintf("both variants undecodable (A: %v; B: %v)", errA, errB)
+		case errA != nil:
+			detail = fmt.Sprintf("variant A undecodable: %v", errA)
+		default:
+			detail = fmt.Sprintf("variant B undecodable: %v", errB)
+		}
+		rep.Divergences = append(rep.Divergences, Divergence{
+			Stream: stream, Step: a.Step, Kind: DivDecode, Detail: detail,
+		})
+		return
+	}
+	// Attributes (writer ranks replicate them; assembly merged them).
+	keys := make(map[string]bool, len(va.Attrs)+len(vb.Attrs))
+	for k := range va.Attrs {
+		keys[k] = true
+	}
+	for k := range vb.Attrs {
+		keys[k] = true
+	}
+	attrKeys := make([]string, 0, len(keys))
+	for k := range keys {
+		attrKeys = append(attrKeys, k)
+	}
+	sort.Strings(attrKeys)
+	for _, k := range attrKeys {
+		x, okA := va.Attrs[k]
+		y, okB := vb.Attrs[k]
+		if okA != okB || x != y {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Stream: stream, Step: a.Step, Kind: DivAttr,
+				Detail: fmt.Sprintf("attribute %q: %q vs %q", k, x, y),
+			})
+		}
+	}
+	// Arrays.
+	arrs := make(map[string]bool, len(va.Arrays)+len(vb.Arrays))
+	for k := range va.Arrays {
+		arrs[k] = true
+	}
+	for k := range vb.Arrays {
+		arrs[k] = true
+	}
+	arrKeys := make([]string, 0, len(arrs))
+	for k := range arrs {
+		arrKeys = append(arrKeys, k)
+	}
+	sort.Strings(arrKeys)
+	for _, name := range arrKeys {
+		ga, gb := va.Arrays[name], vb.Arrays[name]
+		if ga == nil || gb == nil {
+			have := "A"
+			if ga == nil {
+				have = "B"
+			}
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Stream: stream, Step: a.Step, Kind: DivArray, Array: name,
+				Detail: fmt.Sprintf("array %q present only in variant %s", name, have),
+			})
+			continue
+		}
+		da, db := ga.Data(), gb.Data()
+		if !shapeEqual(ga.Dims(), gb.Dims()) {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Stream: stream, Step: a.Step, Kind: DivShape, Array: name,
+				Detail: fmt.Sprintf("array %q shape %v vs %v", name, ga.Dims(), gb.Dims()),
+			})
+			continue
+		}
+		rep.Values += int64(len(da))
+		first, count := -1, 0
+		for i := range da {
+			if !valuesAgree(da[i], db[i], rep.Tol) {
+				if first < 0 {
+					first = i
+				}
+				count++
+			}
+		}
+		if first >= 0 {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Stream: stream, Step: a.Step, Kind: DivValue, Array: name,
+				Index: first, Count: count, A: da[first], B: db[first],
+			})
+		}
+	}
+}
+
+// valuesAgree is the element comparison: tol 0 compares bit patterns
+// (so NaN==NaN and +0 != -0 — a replay of the same code must reproduce
+// the same bits), otherwise |a-b| <= tol with any NaN disagreeing
+// unless both are NaN.
+func valuesAgree(a, b, tol float64) bool {
+	if tol == 0 {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func shapeEqual(a, b []ndarray.Dim) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Size != b[i].Size {
+			return false
+		}
+	}
+	return true
+}
+
+// stepValues is one step's decoded, assembled content: every variable
+// as its full global array, plus the merged step attributes.
+type stepValues struct {
+	Arrays map[string]*ndarray.Array
+	Attrs  map[string]string
+}
+
+// assembleStep decodes every rank's block and pastes the blocks into
+// global arrays, the same assembly a reading component's Box selection
+// performs — so the comparison is independent of how the writer group
+// partitioned the data. Malformed blobs return an error, never panic
+// (fuzzed by FuzzAssembleStep).
+func assembleStep(sb StepBlobs) (*stepValues, error) {
+	out := &stepValues{Arrays: map[string]*ndarray.Array{}, Attrs: map[string]string{}}
+	for rank := range sb.Metas {
+		bm, err := adios.DecodeMeta(sb.Metas[rank])
+		if err != nil {
+			return nil, fmt.Errorf("rank %d meta: %w", rank, err)
+		}
+		vals, err := adios.DecodePayload(sb.Payloads[rank])
+		if err != nil {
+			return nil, fmt.Errorf("rank %d payload: %w", rank, err)
+		}
+		for k, v := range bm.Attrs {
+			if prev, ok := out.Attrs[k]; ok && prev != v {
+				return nil, fmt.Errorf("rank %d attribute %q conflicts across ranks (%q vs %q)", rank, k, prev, v)
+			}
+			out.Attrs[k] = v
+		}
+		for _, vm := range bm.Vars {
+			data, ok := vals[vm.Name]
+			if !ok {
+				return nil, fmt.Errorf("rank %d: variable %q in metadata but not payload", rank, vm.Name)
+			}
+			if vm.Box.Volume() != len(data) {
+				return nil, fmt.Errorf("rank %d variable %q: box volume %d, payload %d values",
+					rank, vm.Name, vm.Box.Volume(), len(data))
+			}
+			global, ok := out.Arrays[vm.Name]
+			if !ok {
+				if err := safeShape(vm.GlobalDims); err != nil {
+					return nil, fmt.Errorf("rank %d variable %q: %w", rank, vm.Name, err)
+				}
+				global = ndarray.New(vm.GlobalDims...)
+				out.Arrays[vm.Name] = global
+			} else if !shapeEqual(global.Dims(), vm.GlobalDims) {
+				return nil, fmt.Errorf("rank %d variable %q: global shape %v conflicts with %v",
+					rank, vm.Name, vm.GlobalDims, global.Dims())
+			}
+			blockDims := make([]ndarray.Dim, len(vm.Box.Counts))
+			for i, c := range vm.Box.Counts {
+				name := ""
+				if i < len(vm.GlobalDims) {
+					name = vm.GlobalDims[i].Name
+				}
+				blockDims[i] = ndarray.Dim{Name: name, Size: c}
+			}
+			block, err := ndarray.FromData(data, blockDims...)
+			if err != nil {
+				return nil, fmt.Errorf("rank %d variable %q: %w", rank, vm.Name, err)
+			}
+			if err := global.PasteBox(vm.Box, block); err != nil {
+				return nil, fmt.Errorf("rank %d variable %q: %w", rank, vm.Name, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// safeShape bounds an untrusted global shape before allocation:
+// decoded dimensions could claim petabyte arrays. The cap is generous
+// for real steps and small enough that hostile metadata cannot
+// exhaust memory.
+func safeShape(dims []ndarray.Dim) error {
+	const maxElems = 1 << 28 // 256M float64s = 2 GiB
+	n := 1
+	for _, d := range dims {
+		if d.Size < 0 {
+			return fmt.Errorf("negative dimension %d", d.Size)
+		}
+		if d.Size > 0 && n > maxElems/d.Size {
+			return fmt.Errorf("global shape too large (> %d elements)", maxElems)
+		}
+		n *= d.Size
+	}
+	return nil
+}

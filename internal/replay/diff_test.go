@@ -1,0 +1,248 @@
+package replay_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/ndarray"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/replay/replaytest"
+	"repro/internal/workflow"
+)
+
+// scaleStages is the recording fixture for the differ: lammps feeds an
+// affine scale whose factor the A/B variants perturb.
+func scaleStages(factor string) []workflow.Stage {
+	return []workflow.Stage{
+		{Component: "histogram", Args: []string{"m.fp", "mag", "8"}, Procs: 1},
+		{Component: "magnitude", Args: []string{"s.fp", "scaled", "m.fp", "mag"}, Procs: 2},
+		{Component: "scale", Args: []string{"dump.fp", "atoms", factor, "0.0", "s.fp", "scaled"}, Procs: 2},
+		{Component: "lammps", Args: []string{"dump.fp", "atoms", "32", "3"}, Procs: 2},
+	}
+}
+
+// TestDiffSelfIsClean is the self-diff drill: a component diffed
+// against itself over the same recording reports zero divergences —
+// the invariant `make replay` re-proves on every run.
+func TestDiffSelfIsClean(t *testing.T) {
+	dir := recordCrack(t)
+	mag := crackStages()[1]
+	rep, err := replay.Diff(replaytest.Ctx(t), replay.Config{LogDir: dir, Logf: t.Logf}, 0,
+		[]workflow.Stage{mag}, []workflow.Stage{mag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent() {
+		t.Fatalf("self-diff diverged:\n%s", rep.Render())
+	}
+	if rep.Streams != 1 || rep.Steps != 3 || rep.Values == 0 {
+		t.Fatalf("compared streams=%d steps=%d values=%d", rep.Streams, rep.Steps, rep.Values)
+	}
+	if !strings.Contains(rep.Render(), "no divergence") {
+		t.Fatalf("render = %q", rep.Render())
+	}
+}
+
+// TestDiffPerturbedScale is the acceptance drill from the issue: a
+// kernel perturbed from factor 1.0 to 1.0001 is caught bit-exactly
+// with the correct first-divergence step, and forgiven under a
+// tolerance wider than the perturbation.
+func TestDiffPerturbedScale(t *testing.T) {
+	dir := t.TempDir()
+	replaytest.Record(t, workflow.Spec{Name: "rec", Stages: scaleStages("1.0")}, dir)
+	a := []workflow.Stage{scaleStages("1.0")[2]}
+	b := []workflow.Stage{scaleStages("1.0001")[2]}
+
+	tr := obs.NewTracer(0)
+	rep, err := replay.Diff(replaytest.Ctx(t), replay.Config{LogDir: dir, Tracer: tr}, 0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Divergent() {
+		t.Fatal("perturbed kernel not caught at tol 0")
+	}
+	first, ok := rep.FirstDivergence()
+	if !ok || first.Step != 0 || first.Stream != "s.fp" || first.Kind != replay.DivValue {
+		t.Fatalf("first divergence = %+v", first)
+	}
+	if first.A == first.B {
+		t.Fatalf("divergence reports equal values: %+v", first)
+	}
+	if !strings.Contains(rep.Render(), "DIVERGED") {
+		t.Fatalf("render = %q", rep.Render())
+	}
+	// Every compared step got a diff.step span.
+	var spans int
+	for _, s := range tr.Spans() {
+		if s.Kind == obs.KindDiffStep {
+			spans++
+		}
+	}
+	if spans != rep.Steps {
+		t.Fatalf("diff.step spans = %d, steps compared = %d", spans, rep.Steps)
+	}
+
+	// A huge tolerance swallows the perturbation.
+	loose, err := replay.Diff(replaytest.Ctx(t), replay.Config{LogDir: dir}, 1e9, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Divergent() {
+		t.Fatalf("tol 1e9 still diverged:\n%s", loose.Render())
+	}
+}
+
+// trace builds an in-memory StreamTrace from value matrices:
+// vals[step][rank] is the rank's slice of a 1-D global array split
+// contiguously across ranks.
+func trace(t *testing.T, stream string, ended bool, vals [][][]float64) *replay.StreamTrace {
+	t.Helper()
+	size := 0
+	if len(vals) > 0 {
+		size = len(vals[0])
+	}
+	tr := &replay.StreamTrace{Stream: stream, WriterSize: size, QueueDepth: 2, Ended: ended, LastStep: len(vals) - 1}
+	for step, ranks := range vals {
+		total := 0
+		for _, v := range ranks {
+			total += len(v)
+		}
+		sb := replay.StepBlobs{Step: step}
+		off := 0
+		for _, v := range ranks {
+			bm := &adios.BlockMeta{
+				Step: step,
+				Vars: []adios.VarMeta{{
+					Name:       "x",
+					GlobalDims: []ndarray.Dim{{Name: "n", Size: total}},
+					Box:        ndarray.Box{Offsets: []int{off}, Counts: []int{len(v)}},
+				}},
+				Attrs: map[string]string{"units": "m"},
+			}
+			sb.Metas = append(sb.Metas, adios.EncodeMeta(bm))
+			sb.Payloads = append(sb.Payloads, adios.EncodePayload([]string{"x"}, [][]float64{v}))
+			off += len(v)
+		}
+		tr.Steps = append(tr.Steps, sb)
+	}
+	return tr
+}
+
+// TestComparePartitionIndependent: the same global values published by
+// one rank and by two ranks compare equal — the differ assembles
+// before comparing, so variants may repartition freely.
+func TestComparePartitionIndependent(t *testing.T) {
+	one := trace(t, "x.fp", true, [][][]float64{
+		{{1, 2, 3, 4}},
+		{{5, 6, 7, 8}},
+	})
+	two := trace(t, "x.fp", true, [][][]float64{
+		{{1, 2}, {3, 4}},
+		{{5, 6}, {7, 8}},
+	})
+	rep := replay.Compare(nil, 0, map[string]*replay.StreamTrace{"x.fp": one},
+		map[string]*replay.StreamTrace{"x.fp": two})
+	if rep.Divergent() {
+		t.Fatalf("repartitioned identical values diverged:\n%s", rep.Render())
+	}
+	if rep.Values != 8 {
+		t.Fatalf("values compared = %d, want 8", rep.Values)
+	}
+}
+
+// TestCompareFirstDivergenceStep: a variant perturbed only from step 2
+// onward reports step 2 as the first divergence, not step 0.
+func TestCompareFirstDivergenceStep(t *testing.T) {
+	a := trace(t, "x.fp", true, [][][]float64{
+		{{1, 2}}, {{3, 4}}, {{5, 6}}, {{7, 8}},
+	})
+	b := trace(t, "x.fp", true, [][][]float64{
+		{{1, 2}}, {{3, 4}}, {{5, 6.5}}, {{7, 8.5}},
+	})
+	rep := replay.Compare(nil, 0, map[string]*replay.StreamTrace{"x.fp": a},
+		map[string]*replay.StreamTrace{"x.fp": b})
+	first, ok := rep.FirstDivergence()
+	if !ok || first.Step != 2 {
+		t.Fatalf("first divergence = %+v, want step 2", first)
+	}
+	if first.Kind != replay.DivValue || first.Index != 1 || first.Count != 1 {
+		t.Fatalf("divergence shape = %+v", first)
+	}
+	if len(rep.Divergences) != 2 {
+		t.Fatalf("divergences = %d, want 2 (steps 2 and 3)", len(rep.Divergences))
+	}
+	// Tolerance wider than the perturbation clears it.
+	if rep := replay.Compare(nil, 1.0, map[string]*replay.StreamTrace{"x.fp": a},
+		map[string]*replay.StreamTrace{"x.fp": b}); rep.Divergent() {
+		t.Fatalf("tol 1.0 diverged:\n%s", rep.Render())
+	}
+}
+
+func TestCompareStructuralDivergences(t *testing.T) {
+	base := func() *replay.StreamTrace {
+		return trace(t, "x.fp", true, [][][]float64{{{1, 2}}, {{3, 4}}})
+	}
+	asMap := func(tr *replay.StreamTrace) map[string]*replay.StreamTrace {
+		return map[string]*replay.StreamTrace{tr.Stream: tr}
+	}
+	kindOf := func(rep *replay.DiffReport) string {
+		if len(rep.Divergences) == 0 {
+			return ""
+		}
+		return rep.Divergences[0].Kind
+	}
+
+	// Stream captured by only one variant.
+	rep := replay.Compare(nil, 0, asMap(base()), map[string]*replay.StreamTrace{})
+	if kindOf(rep) != replay.DivStream {
+		t.Fatalf("missing stream kind = %q", kindOf(rep))
+	}
+	// Different step counts.
+	short := base()
+	short.Steps = short.Steps[:1]
+	rep = replay.Compare(nil, 0, asMap(base()), asMap(short))
+	if kindOf(rep) != replay.DivSteps {
+		t.Fatalf("step count kind = %q (%+v)", kindOf(rep), rep.Divergences)
+	}
+	// Ended mismatch.
+	trunc := base()
+	trunc.Ended = false
+	rep = replay.Compare(nil, 0, asMap(base()), asMap(trunc))
+	if kindOf(rep) != replay.DivEnded {
+		t.Fatalf("ended kind = %q", kindOf(rep))
+	}
+	// Shape mismatch.
+	wide := trace(t, "x.fp", true, [][][]float64{{{1, 2, 9}}, {{3, 4, 9}}})
+	rep = replay.Compare(nil, 0, asMap(base()), asMap(wide))
+	if kindOf(rep) != replay.DivShape {
+		t.Fatalf("shape kind = %q", kindOf(rep))
+	}
+	// Undecodable step.
+	bad := base()
+	bad.Steps[0].Metas[0] = []byte("garbage")
+	rep = replay.Compare(nil, 0, asMap(base()), asMap(bad))
+	if kindOf(rep) != replay.DivDecode {
+		t.Fatalf("decode kind = %q", kindOf(rep))
+	}
+}
+
+// TestCompareNaN: bit-exact mode treats NaN==NaN (a replay reproducing
+// the same NaN agrees); tolerance mode treats NaN as diverging from
+// any number.
+func TestCompareNaN(t *testing.T) {
+	nan := func() *replay.StreamTrace {
+		v := 0.0
+		return trace(t, "x.fp", true, [][][]float64{{{v / v, 2}}})
+	}
+	num := trace(t, "x.fp", true, [][][]float64{{{1, 2}}})
+	if rep := replay.Compare(nil, 0, map[string]*replay.StreamTrace{"x.fp": nan()},
+		map[string]*replay.StreamTrace{"x.fp": nan()}); rep.Divergent() {
+		t.Fatalf("NaN vs NaN diverged bit-exactly:\n%s", rep.Render())
+	}
+	if rep := replay.Compare(nil, 1e12, map[string]*replay.StreamTrace{"x.fp": nan()},
+		map[string]*replay.StreamTrace{"x.fp": num}); !rep.Divergent() {
+		t.Fatal("NaN vs 1 agreed under tolerance")
+	}
+}

@@ -1,0 +1,35 @@
+package replay_test
+
+import (
+	"testing"
+
+	"repro/internal/replay"
+)
+
+// FuzzAssembleStep throws corrupted block blobs at the differ's
+// decode-and-assemble path (via Compare, its only entry point): it
+// must classify garbage as a decode divergence, never panic and never
+// balloon allocation on hostile global shapes.
+func FuzzAssembleStep(f *testing.F) {
+	meta, payload := rawStep(0, 0, 1)
+	f.Add(meta, payload, meta, payload)
+	f.Add([]byte{}, []byte{}, meta, payload)
+	f.Add(meta[:len(meta)/2], payload, meta, payload[:len(payload)/2])
+	f.Add([]byte("garbage"), []byte("noise"), []byte(nil), []byte(nil))
+	f.Fuzz(func(t *testing.T, m0, p0, m1, p1 []byte) {
+		mk := func(m, p []byte) map[string]*replay.StreamTrace {
+			return map[string]*replay.StreamTrace{"f.fp": {
+				Stream: "f.fp", WriterSize: 1, Ended: true, LastStep: 0,
+				Steps: []replay.StepBlobs{{Step: 0, Metas: [][]byte{m}, Payloads: [][]byte{p}}},
+			}}
+		}
+		rep := replay.Compare(nil, 0, mk(m0, p0), mk(m1, p1))
+		// Whatever the bytes were, the report must be internally
+		// consistent: divergences only on the one stream/step compared.
+		for _, d := range rep.Divergences {
+			if d.Stream != "f.fp" {
+				t.Fatalf("divergence on unknown stream: %+v", d)
+			}
+		}
+	})
+}

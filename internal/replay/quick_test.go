@@ -1,0 +1,44 @@
+package replay_test
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/replay"
+	"repro/internal/replay/replaytest"
+	"repro/internal/sb"
+)
+
+// TestReplayDeterminismQuick is the determinism property from the
+// issue: replaying the same component over the same recording under
+// any kernel-worker count and GOMAXPROCS produces bit-identical
+// output. The recording is made once; the property re-replays under
+// randomized parallelism knobs and bit-compares every capture against
+// the first.
+func TestReplayDeterminismQuick(t *testing.T) {
+	dir := recordCrack(t)
+	mag := crackStages()[1]
+
+	defer sb.SetKernelWorkers(sb.KernelWorkers())
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	baseline := replaytest.Replay(t, dir, mag).Captures["m.fp"]
+	if baseline == nil {
+		t.Fatal("baseline capture missing")
+	}
+
+	property := func(workers, procs uint8) bool {
+		sb.SetKernelWorkers(int(workers%8) + 1)
+		runtime.GOMAXPROCS(int(procs%4) + 1)
+		got := replaytest.Replay(t, dir, mag).Captures["m.fp"]
+		detail, ok := replay.BitCompare(baseline, got)
+		if !ok {
+			t.Logf("workers=%d procs=%d: %s", workers%8+1, procs%4+1, detail)
+		}
+		return ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

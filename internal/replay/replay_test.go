@@ -1,0 +1,227 @@
+package replay_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/flexpath"
+	"repro/internal/ndarray"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/replay/replaytest"
+	"repro/internal/streamlog"
+	"repro/internal/workflow"
+
+	_ "repro/internal/sim/lammps" // register the lammps component
+)
+
+// crackStages is the miniature crack pipeline the replay tests record:
+// lammps dumps atoms, magnitude reduces them, histogram consumes the
+// magnitudes. Small enough to run in milliseconds, real enough to
+// exercise multi-rank assembly.
+func crackStages() []workflow.Stage {
+	return []workflow.Stage{
+		{Component: "histogram", Args: []string{"m.fp", "mag", "8"}, Procs: 1},
+		{Component: "magnitude", Args: []string{"dump.fp", "atoms", "m.fp", "mag"}, Procs: 2},
+		{Component: "lammps", Args: []string{"dump.fp", "atoms", "32", "3"}, Procs: 2},
+	}
+}
+
+func recordCrack(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	replaytest.Record(t, workflow.Spec{Name: "rec", Stages: crackStages()}, dir)
+	return dir
+}
+
+func TestReplayBitIdentical(t *testing.T) {
+	dir := recordCrack(t)
+	res := replaytest.Replay(t, dir, crackStages()[1]) // magnitude alone
+	if len(res.Truncated) != 0 {
+		t.Fatalf("clean recording flagged truncated: %v", res.Truncated)
+	}
+	replaytest.AssertBitIdentical(t, dir, res.Captures["m.fp"], "m.fp")
+	if n := len(res.Captures["m.fp"].Steps); n != 3 {
+		t.Fatalf("replayed %d steps, want 3", n)
+	}
+	if !res.Captures["m.fp"].Ended {
+		t.Fatal("replayed stream did not end gracefully")
+	}
+}
+
+func TestReplaySubsetInteriorStream(t *testing.T) {
+	dir := recordCrack(t)
+	stages := crackStages()
+	outPath := filepath.Join(t.TempDir(), "hist.txt")
+	hist := stages[0]
+	hist.Args = append(append([]string(nil), hist.Args...), outPath)
+	// magnitude + histogram together: m.fp is interior (produced and
+	// consumed within the subset), dump.fp comes from the recording.
+	res, err := replay.Run(replaytest.Ctx(t), replay.Config{LogDir: dir, Logf: t.Logf},
+		hist, stages[1])
+	if err != nil {
+		t.Fatalf("subset replay: %v", err)
+	}
+	// The interior stream is still captured — and still byte-equal to
+	// what the live run recorded.
+	replaytest.AssertBitIdentical(t, dir, res.Captures["m.fp"], "m.fp")
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatalf("histogram output not written by subset replay: %v", err)
+	}
+}
+
+func TestReplayRerecord(t *testing.T) {
+	dir := recordCrack(t)
+	out := filepath.Join(t.TempDir(), "rerec")
+	res, err := replay.Run(replaytest.Ctx(t), replay.Config{LogDir: dir, OutDir: out, Logf: t.Logf},
+		crackStages()[1])
+	if err != nil {
+		t.Fatalf("re-recording replay: %v", err)
+	}
+	rerec, err := replay.ReadTrace(out, "m.fp")
+	if err != nil {
+		t.Fatalf("reading re-recorded trace: %v", err)
+	}
+	if detail, ok := replay.BitCompare(res.Captures["m.fp"], rerec); !ok {
+		t.Fatalf("re-recorded log differs from capture: %s", detail)
+	}
+	if !rerec.Ended {
+		t.Fatal("re-recorded stream has no end record")
+	}
+	// And the re-recording is itself replayable: replay histogram
+	// against it.
+	outPath := filepath.Join(t.TempDir(), "hist.txt")
+	if _, err := replay.Run(replaytest.Ctx(t), replay.Config{LogDir: out, Logf: t.Logf},
+		workflow.Stage{Component: "histogram", Args: []string{"m.fp", "mag", "8", outPath}, Procs: 1},
+	); err != nil {
+		t.Fatalf("replaying the re-recording: %v", err)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatalf("histogram output not written from re-recording: %v", err)
+	}
+}
+
+// TestReplayTruncatedRecording replays against a recording whose
+// writer detached without an end record (crash shape): the replay
+// serves every captured step and reports the stream truncated.
+func TestReplayTruncatedRecording(t *testing.T) {
+	dir := t.TempDir()
+	recordRaw(t, dir, "in.fp", 3, false)
+	res, err := replay.Run(replaytest.Ctx(t), replay.Config{LogDir: dir, Logf: t.Logf},
+		workflow.Stage{Component: "scale", Args: []string{"in.fp", "x", "1.0", "0.0", "out.fp", "y"}, Procs: 1})
+	if err != nil {
+		t.Fatalf("replay over truncated recording: %v", err)
+	}
+	if len(res.Truncated) != 1 || res.Truncated[0] != "in.fp" {
+		t.Fatalf("Truncated = %v, want [in.fp]", res.Truncated)
+	}
+	cap := res.Captures["out.fp"]
+	if cap == nil || len(cap.Steps) != 3 {
+		t.Fatalf("capture = %+v, want 3 steps", cap)
+	}
+	// The component saw EOF, not an error, so its own close is graceful.
+	if !cap.Ended {
+		t.Fatal("capture not ended")
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	ctx := replaytest.Ctx(t)
+	if _, err := replay.Run(ctx, replay.Config{LogDir: t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "no stages") {
+		t.Fatalf("no-stage error = %v", err)
+	}
+	if _, err := replay.Run(ctx, replay.Config{},
+		workflow.Stage{Component: "histogram", Args: []string{"a.fp", "x", "4"}, Procs: 1},
+	); err == nil || !strings.Contains(err.Error(), "no recording") {
+		t.Fatalf("no-recording error = %v", err)
+	}
+	// A stream absent from the recording names what is recorded.
+	dir := t.TempDir()
+	recordRaw(t, dir, "in.fp", 1, true)
+	_, err := replay.Run(ctx, replay.Config{LogDir: dir},
+		workflow.Stage{Component: "histogram", Args: []string{"ghost.fp", "x", "4"}, Procs: 1})
+	if err == nil {
+		t.Fatal("unrecorded stream replayed")
+	}
+}
+
+// TestReplayObservability: the replay path emits log.replayed_steps and
+// the source's open-view gauge drains back to zero after the run.
+func TestReplayObservability(t *testing.T) {
+	dir := recordCrack(t)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	_, err := replay.Run(replaytest.Ctx(t), replay.Config{LogDir: dir, Registry: reg, Tracer: tr},
+		crackStages()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["log.replayed_steps"] < 3 {
+		t.Fatalf("log.replayed_steps = %d, want >= 3", snap["log.replayed_steps"])
+	}
+	if snap["log.views"] != 0 {
+		t.Fatalf("log.views = %d after run, want 0", snap["log.views"])
+	}
+}
+
+// recordRaw writes a recording by hand through a broker with a log
+// attached: n steps of a 4-element array "x" on stream, single writer.
+// graceful=false detaches instead of closing, leaving no end record.
+func recordRaw(t *testing.T, dir, stream string, n int, graceful bool) {
+	t.Helper()
+	ctx := replaytest.Ctx(t)
+	store, err := streamlog.OpenStore(dir, streamlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := flexpath.NewBroker()
+	b.AttachLog(store)
+	w, err := b.AttachWriter(stream, 0, 1, n+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < n; step++ {
+		meta, payload := rawStep(step, 0, 1)
+		if err := w.PublishBlock(ctx, step, meta, payload); err != nil {
+			t.Fatalf("publish step %d: %v", step, err)
+		}
+	}
+	if graceful {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := w.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlushLog(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawStep builds one rank's adios-encoded block: array "x", global
+// size 4·size, this rank holding its contiguous quarter of values
+// step*100 + rank*10 + i.
+func rawStep(step, rank, size int) (meta, payload []byte) {
+	vals := []float64{0, 1, 2, 3}
+	for i := range vals {
+		vals[i] += float64(step*100 + rank*10)
+	}
+	bm := &adios.BlockMeta{
+		Step: step,
+		Vars: []adios.VarMeta{{
+			Name:       "x",
+			GlobalDims: []ndarray.Dim{{Name: "n", Size: 4 * size}},
+			Box:        ndarray.Box{Offsets: []int{4 * rank}, Counts: []int{4}},
+		}},
+		Attrs: map[string]string{"origin": "raw"},
+	}
+	return adios.EncodeMeta(bm), adios.EncodePayload([]string{"x"}, [][]float64{vals})
+}

@@ -1,0 +1,305 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/flexpath"
+	"repro/internal/pool"
+	"repro/internal/streamlog"
+)
+
+// StepBlobs is one captured timestep: every writer rank's metadata and
+// payload blobs, exactly as published.
+type StepBlobs struct {
+	Step            int
+	Metas, Payloads [][]byte
+}
+
+// StreamTrace is everything one replayed component published on one
+// stream: the writer-group shape and the step blobs in order. Traces
+// are what the differ compares and what the capture store re-records.
+type StreamTrace struct {
+	Stream     string
+	WriterSize int
+	QueueDepth int
+	Steps      []StepBlobs
+	// Ended is true when every writer rank closed gracefully; LastStep
+	// is then the last common step (mirroring a live stream's end).
+	Ended    bool
+	LastStep int
+}
+
+// Bytes sums the captured blob volume.
+func (tr *StreamTrace) Bytes() int64 {
+	var n int64
+	for _, st := range tr.Steps {
+		for i := range st.Metas {
+			n += int64(len(st.Metas[i]) + len(st.Payloads[i]))
+		}
+	}
+	return n
+}
+
+// Sink captures a replayed component's output streams. It accepts the
+// writer side of the flexpath contract — per-rank attach, in-order
+// publish, graceful close — but nothing gates on readers and nothing
+// retires: every completed step is kept, in memory always and in a
+// fresh stream log when a store is attached. Steps complete strictly
+// in order (each rank publishes in order, and a step completes only
+// when every rank published it), so the capture is append-only by
+// construction.
+//
+// Unlike the live broker's write-behind appender, a sink's store
+// writes are synchronous and a write error fails the stream: an
+// offline replay has no live workflow to keep flowing, so losing part
+// of the capture silently would only corrupt the comparison it exists
+// to serve.
+type Sink struct {
+	mu      sync.Mutex
+	store   *streamlog.Store // optional write-through re-recording
+	streams map[string]*sinkStream
+}
+
+// NewSink returns an in-memory capture sink. Attach a store with
+// Record to also re-record captured streams as a new log directory.
+func NewSink() *Sink {
+	return &Sink{streams: make(map[string]*sinkStream)}
+}
+
+// Record mounts a writable store: from now on every completed step is
+// appended to the store's stream log before the publish returns.
+// Attach before the replayed component does.
+func (k *Sink) Record(store *streamlog.Store) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.store = store
+}
+
+// Traces returns the captured streams by name.
+func (k *Sink) Traces() map[string]*StreamTrace {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[string]*StreamTrace, len(k.streams))
+	for name, s := range k.streams {
+		out[name] = s.trace
+	}
+	return out
+}
+
+// completedTrace returns the stream's trace once every writer rank has
+// settled, nil otherwise — the guard routing applies before serving a
+// capture to a downstream stage of the same replay subset.
+func (k *Sink) completedTrace(stream string) *StreamTrace {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s, ok := k.streams[stream]
+	if !ok {
+		return nil
+	}
+	for _, c := range s.closed {
+		if !c {
+			return nil
+		}
+	}
+	return s.trace
+}
+
+// Streams returns the captured stream names, sorted.
+func (k *Sink) Streams() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, 0, len(k.streams))
+	for name := range k.streams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type sinkStream struct {
+	name   string
+	size   int
+	depth  int
+	trace  *StreamTrace
+	lg     *streamlog.Log
+	next   []int // per-rank next step (in-order publish enforcement)
+	closed []bool
+	// pending[step] accumulates blobs until every rank published.
+	pending map[int]*StepBlobs
+	counts  map[int]int
+	broken  error
+}
+
+// AttachWriter implements flexpath.Transport's writer side.
+func (k *Sink) AttachWriter(stream string, rank, size, depth int) (flexpath.WriterHandle, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("replay: writer rank %d of %d out of range", rank, size)
+	}
+	if depth <= 0 {
+		depth = flexpath.DefaultQueueDepth // mirror the live broker's default
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s, ok := k.streams[stream]
+	if !ok {
+		s = &sinkStream{
+			name: stream, size: size, depth: depth,
+			trace:   &StreamTrace{Stream: stream, WriterSize: size, QueueDepth: depth, LastStep: -1},
+			next:    make([]int, size),
+			closed:  make([]bool, size),
+			pending: make(map[int]*StepBlobs),
+			counts:  make(map[int]int),
+		}
+		if k.store != nil {
+			lg, err := k.store.Log(stream)
+			if err != nil {
+				return nil, err
+			}
+			if err := lg.SetConfig(streamlog.Config{WriterSize: size, QueueDepth: depth}); err != nil {
+				return nil, err
+			}
+			s.lg = lg
+		}
+		k.streams[stream] = s
+	}
+	if s.size != size {
+		return nil, fmt.Errorf("replay: stream %q writer group size %d conflicts with earlier %d", stream, size, s.size)
+	}
+	return &sinkWriter{k: k, s: s, rank: rank}, nil
+}
+
+// AttachReader implements flexpath.Transport by refusing: a capture is
+// a terminal; subset-interior streams ride a live broker instead (see
+// Run).
+func (k *Sink) AttachReader(stream string, rank, size int) (flexpath.ReaderHandle, error) {
+	return nil, fmt.Errorf("replay: stream %q is a capture-only output; a replay subset cannot subscribe it", stream)
+}
+
+// Close implements flexpath.Transport. The sink holds nothing beyond
+// its traces (the store is owned by the caller that attached it).
+func (k *Sink) Close() error { return nil }
+
+// publish records one rank's block for a step, completing the step
+// when it is the last rank in. Caller must not hold k.mu.
+func (k *Sink) publish(s *sinkStream, rank, step int, meta, payload []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.closed[rank] {
+		return flexpath.ErrClosed
+	}
+	if step != s.next[rank] {
+		return fmt.Errorf("replay: stream %q rank %d published step %d, want %d (in order)",
+			s.name, rank, step, s.next[rank])
+	}
+	s.next[rank] = step + 1
+	acc, ok := s.pending[step]
+	if !ok {
+		acc = &StepBlobs{Step: step, Metas: make([][]byte, s.size), Payloads: make([][]byte, s.size)}
+		s.pending[step] = acc
+	}
+	acc.Metas[rank] = append([]byte(nil), meta...)
+	acc.Payloads[rank] = append([]byte(nil), payload...)
+	s.counts[step]++
+	if s.counts[step] < s.size {
+		return nil
+	}
+	// Step complete. In-order publish per rank makes completion ordered
+	// too, so the capture appends monotonically.
+	delete(s.pending, step)
+	delete(s.counts, step)
+	s.trace.Steps = append(s.trace.Steps, *acc)
+	if s.lg != nil {
+		if err := s.lg.Append(step, acc.Metas, acc.Payloads); err != nil {
+			s.broken = fmt.Errorf("replay: re-recording stream %q: %w", s.name, err)
+			return s.broken
+		}
+	}
+	return nil
+}
+
+// closeRank settles one rank; graceful marks a Close (all graceful →
+// stream ends at the last common step, journaled when re-recording).
+func (k *Sink) closeRank(s *sinkStream, rank int, graceful bool) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if s.closed[rank] {
+		return nil
+	}
+	s.closed[rank] = true
+	if !graceful {
+		return nil
+	}
+	for _, c := range s.closed {
+		if !c {
+			return nil
+		}
+	}
+	last := s.next[0] - 1
+	for _, n := range s.next[1:] {
+		if n-1 < last {
+			last = n - 1
+		}
+	}
+	s.trace.Ended, s.trace.LastStep = true, last
+	if s.lg != nil && s.broken == nil {
+		if err := s.lg.AppendEnd(last); err != nil {
+			s.broken = fmt.Errorf("replay: re-recording stream %q end: %w", s.name, err)
+			return s.broken
+		}
+	}
+	return nil
+}
+
+// sinkWriter is one rank's writer handle on a captured stream.
+type sinkWriter struct {
+	k    *Sink
+	s    *sinkStream
+	rank int
+}
+
+// NextStep implements flexpath.WriterHandle: a capture always starts
+// fresh.
+func (w *sinkWriter) NextStep() int {
+	w.k.mu.Lock()
+	defer w.k.mu.Unlock()
+	return w.s.next[w.rank]
+}
+
+// PublishBlock implements flexpath.WriterHandle. It never blocks on a
+// queue window — the capture is unbounded; an offline replay's memory
+// is its own budget.
+func (w *sinkWriter) PublishBlock(ctx context.Context, step int, meta, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return w.k.publish(w.s, w.rank, step, meta, payload)
+}
+
+// PublishBlockRef implements flexpath.WriterHandle, consuming both
+// references.
+func (w *sinkWriter) PublishBlockRef(ctx context.Context, step int, meta, payload *pool.Buf) error {
+	err := w.PublishBlock(ctx, step, meta.Bytes(), payload.Bytes())
+	meta.Release()
+	payload.Release()
+	return err
+}
+
+// Close implements flexpath.WriterHandle (graceful end).
+func (w *sinkWriter) Close() error { return w.k.closeRank(w.s, w.rank, true) }
+
+// Detach implements flexpath.WriterHandle: the capture keeps what it
+// has, with no end record — the truncated-recording shape.
+func (w *sinkWriter) Detach() error { return w.k.closeRank(w.s, w.rank, false) }
+
+// Crash implements flexpath.WriterHandle: same as Detach for a capture
+// (the run's error reporting carries the cause).
+func (w *sinkWriter) Crash(cause error) error { return w.k.closeRank(w.s, w.rank, false) }
+
+var _ flexpath.Transport = (*Sink)(nil)
+var _ flexpath.WriterHandle = (*sinkWriter)(nil)

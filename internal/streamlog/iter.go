@@ -1,0 +1,71 @@
+package streamlog
+
+import "io"
+
+// StepIter walks a log's readable steps in order — the step-iteration
+// API offline replay is built on. Each Next serves one step through the
+// same zero-copy view path ReadStepView uses (mmap views of sealed
+// segments, copies otherwise) and hands the caller the view's release
+// closure; the caller must invoke it once finished with the slices
+// (calling it more than once is safe — releases are idempotent).
+//
+// Iteration starts at the log's retention horizon (FirstStep) — or at
+// the caller's chosen step for IterFrom — and ends at the log head:
+// io.EOF when the stream ended gracefully (an end record is journaled),
+// ErrTruncated when the recording just stops (crash, kill, or a log
+// still being written). Either way no torn or corrupt step is ever
+// served: a record that fails its CRC or decode surfaces as an error
+// from Next, not as data.
+//
+// A StepIter holds no lock between calls and pins nothing; it is safe
+// to abandon one mid-iteration as long as every release obtained from
+// Next has been called.
+type StepIter struct {
+	l    *Log
+	next int
+}
+
+// Iter returns an iterator over every readable step, starting at the
+// retention horizon.
+func (l *Log) Iter() *StepIter {
+	return l.IterFrom(l.FirstStep())
+}
+
+// IterFrom returns an iterator starting at the given step. Steps below
+// the retention horizon surface as ErrEvicted from the first Next.
+func (l *Log) IterFrom(step int) *StepIter {
+	return &StepIter{l: l, next: step}
+}
+
+// NextStep returns the step the next call to Next will serve.
+func (it *StepIter) NextStep() int { return it.next }
+
+// Next serves the next step: its number, every writer rank's metadata
+// and payload blobs, and the release closure returning the underlying
+// view. At the log head it returns io.EOF (stream ended gracefully) or
+// ErrTruncated (recording stops without an end record); any other error
+// leaves the iterator positioned at the same step.
+func (it *StepIter) Next() (step int, metas, payloads [][]byte, release func(), err error) {
+	l := it.l
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, nil, nil, nil, ErrClosed
+	}
+	if it.next >= l.nextStep {
+		ended := l.ended
+		l.mu.Unlock()
+		if ended {
+			return 0, nil, nil, nil, io.EOF
+		}
+		return 0, nil, nil, nil, ErrTruncated
+	}
+	l.mu.Unlock()
+	step = it.next
+	metas, payloads, release, err = l.ReadStepView(step)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	it.next++
+	return step, metas, payloads, release, nil
+}

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -23,7 +24,15 @@ type Store struct {
 // OpenStore opens (or creates) the store rooted at dir. Every existing
 // stream directory is opened and healed immediately.
 func OpenStore(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if opts.ReadOnly {
+		info, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("streamlog: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("streamlog: %s is not a directory", dir)
+		}
+	} else if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("streamlog: %w", err)
 	}
 	st := &Store{dir: dir, opts: opts, logs: make(map[string]*Log)}
@@ -58,7 +67,9 @@ func (st *Store) streamDir(stream string) string {
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }
 
-// Log returns the named stream's log, creating it on first use.
+// Log returns the named stream's log, creating it on first use. A
+// read-only store never creates: a stream absent from the recording is
+// an error naming what is there.
 func (st *Store) Log(stream string) (*Log, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -67,6 +78,15 @@ func (st *Store) Log(stream string) (*Log, error) {
 	}
 	if l, ok := st.logs[stream]; ok {
 		return l, nil
+	}
+	if st.opts.ReadOnly {
+		names := make([]string, 0, len(st.logs))
+		for name := range st.logs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("streamlog: stream %q not in recorded store %s (recorded: %s)",
+			stream, st.dir, strings.Join(names, ", "))
 	}
 	l, err := OpenLog(st.streamDir(stream), st.opts)
 	if err != nil {
@@ -116,6 +136,22 @@ func (st *Store) Bytes() int64 {
 	var n int64
 	for _, l := range logs {
 		n += l.Bytes()
+	}
+	return n
+}
+
+// OpenViews returns the outstanding mmap view count across all streams
+// — the value behind the log.views leak gauge.
+func (st *Store) OpenViews() int {
+	st.mu.Lock()
+	logs := make([]*Log, 0, len(st.logs))
+	for _, l := range st.logs {
+		logs = append(logs, l)
+	}
+	st.mu.Unlock()
+	n := 0
+	for _, l := range logs {
+		n += l.OpenViews()
 	}
 	return n
 }

@@ -79,6 +79,15 @@ var (
 	ErrEvicted = errors.New("streamlog: step evicted by retention")
 	// ErrClosed is returned by operations on a closed log.
 	ErrClosed = errors.New("streamlog: log closed")
+	// ErrReadOnly is returned by every mutating operation on a log
+	// opened with Options.ReadOnly.
+	ErrReadOnly = errors.New("streamlog: log is read-only")
+	// ErrTruncated is reported by a StepIter that reached the log head
+	// without finding an end record: the recording stopped mid-stream
+	// (crash, kill, or a live log still being written). Every step before
+	// the head was served intact — the error only says the stream's tail
+	// is unknown.
+	ErrTruncated = errors.New("streamlog: log ends without an end record")
 )
 
 // FsyncMode selects when appends reach stable storage.
@@ -130,6 +139,15 @@ type Options struct {
 	// ReadStepView then always copies via pread, exactly like ReadStep.
 	// Platforms without shared file mappings imply it.
 	NoMmap bool
+	// ReadOnly opens the log without the ability — or the need — to
+	// mutate anything: segment files open O_RDONLY, a torn tail is
+	// tolerated in place instead of healed by truncation, no directory is
+	// created, and every mutating method returns ErrReadOnly. This is the
+	// mode offline replay uses: a recorded run must come back from a
+	// replay byte-for-byte untouched. As a bonus the final segment is
+	// sealed by definition (nothing will ever append), so even it serves
+	// mmap views.
+	ReadOnly bool
 }
 
 func (o Options) segmentBytes() int64 {
@@ -193,6 +211,8 @@ type Log struct {
 	ended       bool
 	lastStep    int // valid once ended
 
+	views int // outstanding ReadStepView mmap views (leak accounting)
+
 	scratch []byte // record assembly buffer, reused across appends
 }
 
@@ -201,7 +221,15 @@ type Log struct {
 // truncates the first damaged segment at its last valid record, and
 // drops later segments entirely.
 func OpenLog(dir string, opts Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if opts.ReadOnly {
+		info, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("streamlog: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("streamlog: %s is not a directory", dir)
+		}
+	} else if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("streamlog: %w", err)
 	}
 	l := &Log{
@@ -252,9 +280,13 @@ func (l *Log) scan() error {
 		return err
 	}
 	sawStep := false
+	mode := os.O_RDWR
+	if l.opts.ReadOnly {
+		mode = os.O_RDONLY
+	}
 	for i, seq := range seqs {
 		seg := &segment{seq: seq, path: segPath(l.dir, seq), minStep: -1, maxStep: -1}
-		f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+		f, err := os.OpenFile(seg.path, mode, 0)
 		if err != nil {
 			return fmt.Errorf("streamlog: %w", err)
 		}
@@ -272,7 +304,13 @@ func (l *Log) scan() error {
 		if !clean {
 			// Torn tail: truncate this segment at its last valid record
 			// and drop every later segment — records beyond the tear are
-			// not trustworthy even if individually CRC-clean.
+			// not trustworthy even if individually CRC-clean. A read-only
+			// open must leave the recording exactly as found, so it keeps
+			// the valid prefix indexed and simply stops scanning: same
+			// view of the data, no disk mutation.
+			if l.opts.ReadOnly {
+				break
+			}
 			if err := f.Truncate(valid); err != nil {
 				return fmt.Errorf("streamlog: healing %s: %w", seg.path, err)
 			}
@@ -466,8 +504,8 @@ func decodeStep(body []byte) (step int, metas, payloads [][]byte, ok bool) {
 func (l *Log) SetConfig(cfg Config) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if err := l.writable(); err != nil {
+		return err
 	}
 	if cfg.WriterSize < 1 || cfg.QueueDepth < 1 {
 		return fmt.Errorf("streamlog: invalid config %+v", cfg)
@@ -496,8 +534,8 @@ func (l *Log) Config() (Config, bool) {
 func (l *Log) Append(step int, metas, payloads [][]byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if err := l.writable(); err != nil {
+		return err
 	}
 	if !l.haveCfg {
 		return errors.New("streamlog: Append before SetConfig")
@@ -540,8 +578,8 @@ func (l *Log) Append(step int, metas, payloads [][]byte) error {
 func (l *Log) AppendRetire(step int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if err := l.writable(); err != nil {
+		return err
 	}
 	body := binary.LittleEndian.AppendUint32(nil, uint32(step))
 	if _, _, err := l.appendRecord(recRetire, body); err != nil {
@@ -558,8 +596,8 @@ func (l *Log) AppendRetire(step int) error {
 func (l *Log) AppendEnd(lastStep int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if err := l.writable(); err != nil {
+		return err
 	}
 	body := binary.LittleEndian.AppendUint32(nil, uint32(lastStep+1))
 	if _, _, err := l.appendRecord(recEnd, body); err != nil {
@@ -567,6 +605,18 @@ func (l *Log) AppendEnd(lastStep int) error {
 	}
 	l.ended, l.lastStep = true, lastStep
 	return l.afterAppend()
+}
+
+// writable rejects mutation on a closed or read-only log. Caller holds
+// the lock.
+func (l *Log) writable() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	return nil
 }
 
 // afterAppend applies the fsync policy and retention budget. Caller
@@ -775,8 +825,20 @@ func (l *Log) ReadStepView(step int) (metas, payloads [][]byte, release func(), 
 	}
 	seg := loc.seg
 	seg.refs++
+	l.views++
+	// The release closure is idempotent: an abort path that unwinds
+	// through both its own cleanup and a deferred one must not decrement
+	// the view count twice — a double munmap of a shared mapping would
+	// corrupt every other outstanding view of the segment.
+	released := false
 	release = func() {
 		l.mu.Lock()
+		if released {
+			l.mu.Unlock()
+			return
+		}
+		released = true
+		l.views--
 		seg.refs--
 		if seg.refs == 0 && seg.pendingUnmap && seg.mem != nil {
 			munmap(seg.mem)
@@ -794,8 +856,13 @@ func (l *Log) mapSealed(seg *segment) bool {
 	if seg.mem != nil {
 		return true
 	}
-	if seg.mapBroken || l.opts.NoMmap || !mmapSupported() ||
-		seg == l.activeSegment() || seg.size == 0 {
+	if seg.mapBroken || l.opts.NoMmap || !mmapSupported() || seg.size == 0 {
+		return false
+	}
+	// The active segment may still grow, so it always preads — except on
+	// a read-only log, where nothing will ever append and even the final
+	// segment is sealed.
+	if !l.opts.ReadOnly && seg == l.activeSegment() {
 		return false
 	}
 	mem, err := mmapReadOnly(seg.f, seg.size)
@@ -866,13 +933,23 @@ func (l *Log) Bytes() int64 {
 	return l.total
 }
 
+// OpenViews returns the number of ReadStepView mmap views not yet
+// released — the value behind the log.views leak gauge. A quiescent log
+// (no reader mid-step) must report zero; anything else is a view whose
+// release closure was dropped on an early-return path.
+func (l *Log) OpenViews() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.views
+}
+
 // Sync flushes the active segment to stable storage regardless of the
 // fsync policy.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if err := l.writable(); err != nil {
+		return err
 	}
 	if seg := l.activeSegment(); seg != nil {
 		if err := seg.f.Sync(); err != nil {
@@ -892,7 +969,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	var first error
-	if seg := l.activeSegment(); seg != nil {
+	if seg := l.activeSegment(); seg != nil && !l.opts.ReadOnly {
 		if err := seg.f.Sync(); err != nil && first == nil {
 			first = err
 		}

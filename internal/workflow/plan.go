@@ -3,6 +3,7 @@ package workflow
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/components"
@@ -483,6 +484,58 @@ func (p *Plan) Fuse() (*FusedSpec, error) {
 	return fs, nil
 }
 
+// StageSubset is one stage cut out of the plan for isolated
+// re-execution: the node plus the streams that cross the cut. An
+// offline replay serves Inputs from a recording and captures Outputs —
+// the rest of the workflow does not run at all, which is exactly why
+// the cut streams must be known statically.
+type StageSubset struct {
+	Node *PlanNode
+	// Inputs and Outputs are the node's ports in declaration order —
+	// the subset's boundary with the recorded workflow.
+	Inputs, Outputs []sb.Port
+}
+
+// StageSubset selects one stage of the plan by component name or by
+// numeric stage index. A name matching several stages is ambiguous and
+// the error says which indices match, so the caller can retry by
+// index; an unknown name's error lists what the plan has.
+func (p *Plan) StageSubset(sel string) (*StageSubset, error) {
+	if idx, err := strconv.Atoi(sel); err == nil {
+		if idx < 0 || idx >= len(p.Nodes) {
+			return nil, fmt.Errorf("workflow %q has no stage %d (stages 0..%d)",
+				p.Spec.Name, idx, len(p.Nodes)-1)
+		}
+		n := p.Nodes[idx]
+		return &StageSubset{Node: n, Inputs: n.Ins, Outputs: n.Outs}, nil
+	}
+	var matches []*PlanNode
+	for _, n := range p.Nodes {
+		if n.Component.Name() == sel || n.Stage.Component == sel {
+			matches = append(matches, n)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		n := matches[0]
+		return &StageSubset{Node: n, Inputs: n.Ins, Outputs: n.Outs}, nil
+	case 0:
+		names := make([]string, len(p.Nodes))
+		for i, n := range p.Nodes {
+			names[i] = n.Component.Name()
+		}
+		return nil, fmt.Errorf("workflow %q has no stage %q (stages: %s)",
+			p.Spec.Name, sel, strings.Join(names, ", "))
+	default:
+		idxs := make([]int, len(matches))
+		for i, n := range matches {
+			idxs[i] = n.Index
+		}
+		return nil, fmt.Errorf("workflow %q runs %d stages named %q (indices %s); select by index",
+			p.Spec.Name, len(matches), sel, intList(idxs))
+	}
+}
+
 // Explain renders the plan deterministically: stages with their ports,
 // the derived dataflow edges, what the fusion pass would collapse, and
 // any lint findings. This is the output of `sbrun -explain`, golden-
@@ -497,6 +550,9 @@ func (p *Plan) Explain() string {
 		kind = kind + " -> " + r.Kind // auto, shown with its resolution
 	}
 	fmt.Fprintf(&b, "plan %s: %d stages, transport %s\n", p.Spec.Name, len(p.Nodes), kind)
+	if p.Spec.ReplayDir != "" {
+		fmt.Fprintf(&b, "replay: recorded log %s\n", p.Spec.ReplayDir)
+	}
 	fmt.Fprintf(&b, "stages:\n")
 	for _, n := range p.Nodes {
 		fmt.Fprintf(&b, "  %-2d %-14s procs=%-3d", n.Index, n.Component.Name(), n.Stage.Procs)

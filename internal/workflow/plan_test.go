@@ -239,3 +239,58 @@ func TestPlanExplainDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestStageSubset(t *testing.T) {
+	plan := buildT(t, crackSpec())
+	// By component name.
+	sub, err := plan.StageSubset("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Node.Index != 0 || len(sub.Inputs) != 1 || sub.Inputs[0].Stream != "velos.fp" {
+		t.Fatalf("histogram subset = node %d inputs %v", sub.Node.Index, sub.Inputs)
+	}
+	if len(sub.Outputs) != 0 {
+		t.Fatalf("histogram subset outputs = %v, want none (sink)", sub.Outputs)
+	}
+	// By index: magnitude has both sides of the cut.
+	sub, err = plan.StageSubset("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Node.Component.Name() != "magnitude" {
+		t.Fatalf("subset 1 = %s", sub.Node.Component.Name())
+	}
+	if len(sub.Inputs) != 1 || sub.Inputs[0].Stream != "sel.fp" ||
+		len(sub.Outputs) != 1 || sub.Outputs[0].Stream != "velos.fp" {
+		t.Fatalf("magnitude subset cut = in %v out %v", sub.Inputs, sub.Outputs)
+	}
+	// Unknown name lists the plan's components.
+	if _, err := plan.StageSubset("ghost"); err == nil || !strings.Contains(err.Error(), "histogram") {
+		t.Fatalf("unknown stage error = %v", err)
+	}
+	// Out-of-range index.
+	if _, err := plan.StageSubset("9"); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	// Ambiguous name points at the indices.
+	dup := crackSpec()
+	dup.Stages[1].Component = "histogram"
+	dup.Stages[1].Args = []string{"velos.fp", "velocities", "8"}
+	dupPlan := buildT(t, dup)
+	if _, err := dupPlan.StageSubset("histogram"); err == nil || !strings.Contains(err.Error(), "0,1") {
+		t.Fatalf("ambiguous stage error = %v", err)
+	}
+}
+
+func TestExplainShowsReplayDir(t *testing.T) {
+	spec := crackSpec()
+	spec.ReplayDir = "/mnt/scratch/rec"
+	plan := buildT(t, spec)
+	if !strings.Contains(plan.Explain(), "replay: recorded log /mnt/scratch/rec\n") {
+		t.Fatalf("Explain missing replay line:\n%s", plan.Explain())
+	}
+	if strings.Contains(buildT(t, crackSpec()).Explain(), "replay:") {
+		t.Fatal("Explain shows a replay line without ReplayDir")
+	}
+}

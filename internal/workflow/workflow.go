@@ -124,6 +124,13 @@ type Spec struct {
 	// own -log-dir for the remote backends). Launch scripts set it with
 	// a `log <dir>` directive; sbrun's -log-dir flag overrides it.
 	LogDir string
+	// ReplayDir, when set, names a recorded log directory this workflow
+	// can be re-run against offline: sbreplay opens it read-only as the
+	// stream source instead of a live fabric and drives any stage (or
+	// stage subset) over the recording. Purely declarative for a live
+	// run — the runner ignores it. Launch scripts set it with a
+	// `replay <dir>` directive; sbreplay's -log-dir flag overrides it.
+	ReplayDir string
 }
 
 // Validate performs static checks on a spec.
