@@ -5,17 +5,19 @@ GO ?= go
 # lower them to ship.
 COVER_FLOOR_flexpath ?= 80.0
 COVER_FLOOR_workflow ?= 90.0
+COVER_FLOOR_controlplane ?= 85.0
 # Per-target fuzz budget for the smoke in `cover`. Eight targets at the
 # default make the whole smoke about ten seconds.
 FUZZTIME ?= 1s
 
-.PHONY: check build test vet race chaos bench cover conformance plan recover replay
+.PHONY: check build test vet race chaos bench cover conformance plan recover replay corpus
 
 # The full pre-merge gate: static checks, build, the race-enabled test
 # suite, the backend conformance matrix, coverage floors, plan-output
-# snapshots, crash-recovery drills, the offline-replay self-diff, and a
-# short fuzz round of every fuzz target.
-check: vet build race conformance cover plan recover replay
+# snapshots, crash-recovery drills, the offline-replay self-diff, the
+# golden-corpus regression gate, and a short fuzz round of every fuzz
+# target.
+check: vet build race conformance cover plan recover replay corpus
 
 # Golden snapshots of `sbrun -explain` for the example workflows. The
 # plan rendering is a user-facing contract; refresh intentionally with:
@@ -59,7 +61,7 @@ race:
 # listed here, so a new Fuzz* function is smoked automatically.
 cover:
 	@set -e; \
-	for spec in internal/flexpath:$(COVER_FLOOR_flexpath) internal/workflow:$(COVER_FLOOR_workflow); do \
+	for spec in internal/flexpath:$(COVER_FLOOR_flexpath) internal/workflow:$(COVER_FLOOR_workflow) internal/controlplane:$(COVER_FLOOR_controlplane); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg | awk '{for(i=1;i<=NF;i++) if ($$i ~ /%$$/) {gsub(/%/,"",$$i); print $$i}}'); \
 		[ -n "$$pct" ] || { echo "cover: go test -cover ./$$pkg failed"; exit 1; }; \
@@ -67,7 +69,7 @@ cover:
 		awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}' || { echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \
 	done
 	@set -e; \
-	for pkg in ./internal/adios ./internal/flexpath ./internal/launch ./internal/replay ./internal/streamlog; do \
+	for pkg in ./internal/adios ./internal/controlplane ./internal/flexpath ./internal/launch ./internal/replay ./internal/streamlog; do \
 		for target in $$($(GO) test $$pkg -list '^Fuzz' -run '^$$' | grep '^Fuzz'); do \
 			echo "cover: fuzz smoke $$pkg $$target ($(FUZZTIME))"; \
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) >/dev/null; \
@@ -81,6 +83,17 @@ cover:
 replay:
 	$(GO) test -race -count=1 ./internal/replay -run 'TestReplayBitIdentical|TestDiffSelfIsClean|TestDiffPerturbedScale' -v
 
+# The golden-corpus regression gate: replay the checked-in crack
+# workflow recording (internal/replay/testdata/corpus) against HEAD
+# kernels and demand bit-identical outputs — once through the sbreplay
+# CLI's cross-recording diff at tol 0, once through the go test (which
+# also pins the histogram text output). Regenerate deliberately with:
+#   go test ./internal/replay -run TestCorpusGolden -update
+CORPUS := internal/replay/testdata/corpus
+corpus:
+	$(GO) run ./cmd/sbreplay -diff -tol 0 -stage magnitude -log-dir $(CORPUS)/crack -against $(CORPUS)/crack $(CORPUS)/crack.sb
+	$(GO) test -race -count=1 ./internal/replay -run TestCorpusGolden -v
+
 # The fault-injection suite on its own (seeded, deterministic plans).
 chaos:
 	$(GO) test ./internal/workflow -run TestChaos -v
@@ -90,7 +103,7 @@ chaos:
 # end-to-end — the log's whole reason to exist, exercised on every gate.
 recover:
 	$(GO) test -race -count=1 ./internal/flexpath -run 'TestBrokerRecover|TestRecover|TestReplay'
-	$(GO) test -race -count=1 ./internal/workflow -run 'TestChaosBrokerCrashRecovery' -v
+	$(GO) test -race -count=1 ./internal/workflow -run 'TestChaosBrokerCrashRecovery|TestChaosTenantIsolation' -v
 
 # The root benchmark suite (paper tables/figures) at reduced scale, with
 # the machine-readable results written to BENCH_PR7.json (BENCH_PR5.json

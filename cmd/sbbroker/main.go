@@ -3,6 +3,7 @@
 // processes (via sbrun -broker or sbcomp):
 //
 //	sbbroker [-transport tcp|uds|shm] [-addr :7777] [-drain 10s] [-metrics-addr 127.0.0.1:7778]
+//	         [-admin-addr 127.0.0.1:7779]
 //	         [-log-dir DIR] [-log-segment-bytes N] [-log-retain-steps N] [-log-retain-bytes N] [-log-fsync none|step]
 //
 // It prints the bound address and runs until interrupted. On SIGINT or
@@ -24,6 +25,15 @@
 // retired, bytes on the wire, pool hit rate, heartbeat misses), and
 // /debug/pprof/ exposes the standard Go profiler, so a live broker can
 // be inspected while a workflow runs against it.
+//
+// With -admin-addr the broker becomes a long-running multi-tenant
+// service: the address serves the control-plane admin API (package
+// controlplane) — tenant registration with quotas, workflow submission
+// in the launch-script format, live status, cancellation, and graceful
+// tenant eviction. sbctl is the companion client. Submitted workflows
+// run inside the broker process over the in-process fabric, namespaced
+// per tenant and submission, so their streams are also reachable from
+// outside through the socket transport under their qualified names.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -38,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/flexpath"
 	"repro/internal/obs"
 	"repro/internal/streamlog"
@@ -48,6 +60,7 @@ func main() {
 	addr := flag.String("addr", "", "listen address: host:port for tcp (default 127.0.0.1:7777; port 0 picks a free port), socket path for uds/shm")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for open streams to drain on shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (registry snapshot) and /debug/pprof on this address")
+	adminAddr := flag.String("admin-addr", "", "serve the multi-tenant control-plane admin API (tenants, workflow submission, eviction; see sbctl) on this address")
 	logDir := flag.String("log-dir", "", "journal streams to a durable segmented log under this directory and recover them at startup")
 	logSegmentBytes := flag.Int64("log-segment-bytes", 0, "log segment roll-over size in bytes (0 = default 64 MiB)")
 	logRetainSteps := flag.Int("log-retain-steps", 0, "keep at least this many retired steps replayable (0 = keep all)")
@@ -119,11 +132,40 @@ func main() {
 		}()
 		fmt.Printf("sbbroker metrics on http://%s/metrics\n", *metricsAddr)
 	}
+	var cp *controlplane.Service
+	if *adminAddr != "" {
+		cp, err = controlplane.NewService(controlplane.Config{
+			Transport: flexpath.InProc{B: broker},
+			Broker:    broker,
+			Registry:  obs.Default(),
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("sbbroker: %v", err)
+		}
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("sbbroker: admin endpoint: %v", err)
+		}
+		go func() {
+			if err := http.Serve(adminLn, cp.Handler()); err != nil {
+				log.Printf("sbbroker: admin endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("sbbroker admin API on http://%s/v1/tenants\n", adminLn.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	log.Printf("sbbroker: received %s, draining streams for up to %s", s, *drain)
+	if cp != nil {
+		// Stop the control plane first: cancel in-process workflows so
+		// their streams settle before the socket server drains.
+		if cerr := cp.Close(); cerr != nil {
+			log.Printf("sbbroker: control plane: %v", cerr)
+		}
+	}
 	err = srv.Shutdown(*drain)
 	logStreamStats(broker)
 	if store != nil {

@@ -1,0 +1,303 @@
+// Command sbctl operates a broker-as-a-service: it speaks the admin
+// API sbbroker serves on -admin-addr (package controlplane).
+//
+//	sbctl -addr http://127.0.0.1:7779 tenant add NAME [-max-streams N] [-max-queue-depth N] [-max-bytes N] [-max-workflows N]
+//	sbctl -addr URL tenant list
+//	sbctl -addr URL tenant evict NAME [-timeout 30s]
+//	sbctl -addr URL submit -tenant NAME [-name WF] [-key IDEMKEY] [-wait] SCRIPT.sb
+//	sbctl -addr URL status -tenant NAME ID
+//	sbctl -addr URL list -tenant NAME
+//	sbctl -addr URL cancel -tenant NAME ID
+//
+// The submit payload is the launch script itself — the same file sbrun
+// executes locally — so moving a workflow from "run it myself" to
+// "submit it to the shared broker" is a change of verb, not of format.
+// Passing "-" as the script path reads it from stdin. With -key the
+// submit is retry-safe: resubmitting the same key returns the original
+// submission instead of launching a duplicate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/controlplane"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "sbctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("sbctl", flag.ContinueOnError)
+	addr := global.String("addr", envOr("SBCTL_ADDR", ""), "admin API base URL (e.g. http://127.0.0.1:7779); defaults to $SBCTL_ADDR")
+	timeout := global.Duration("timeout", 60*time.Second, "request deadline (also bounds -wait and tenant eviction drains)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("no command (want tenant, submit, status, list, or cancel)")
+	}
+	if *addr == "" {
+		return controlplane.ErrNoAddr
+	}
+	c := &controlplane.Client{BaseURL: strings.TrimSuffix(*addr, "/")}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch rest[0] {
+	case "tenant":
+		return runTenant(ctx, c, rest[1:])
+	case "submit":
+		return runSubmit(ctx, c, rest[1:])
+	case "status":
+		return runStatus(ctx, c, rest[1:])
+	case "list":
+		return runList(ctx, c, rest[1:])
+	case "cancel":
+		return runCancel(ctx, c, rest[1:])
+	default:
+		return fmt.Errorf("unknown command %q (want tenant, submit, status, list, or cancel)", rest[0])
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func runTenant(ctx context.Context, c *controlplane.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("tenant wants a subcommand: add, list, or evict")
+	}
+	switch args[0] {
+	case "add":
+		fs := flag.NewFlagSet("tenant add", flag.ContinueOnError)
+		maxStreams := fs.Int("max-streams", 0, "cap concurrently existing streams (0 = unlimited)")
+		maxDepth := fs.Int("max-queue-depth", 0, "cap per-stream queue depth (0 = unlimited)")
+		maxBytes := fs.Int64("max-bytes", 0, "cap resident bytes: queued in memory plus on-disk log (0 = unlimited)")
+		maxWorkflows := fs.Int("max-workflows", 0, "cap concurrently running workflows (0 = unlimited)")
+		// Accept the documented "tenant add NAME -flags" order: flag
+		// parsing stops at the name, so resume it on the remainder.
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() == 0 {
+			return fmt.Errorf("tenant add wants a tenant name")
+		}
+		name := fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("tenant add wants exactly one tenant name")
+		}
+		spec := controlplane.TenantSpec{
+			MaxStreams:    *maxStreams,
+			MaxQueueDepth: *maxDepth,
+			MaxBytes:      *maxBytes,
+			MaxWorkflows:  *maxWorkflows,
+		}
+		if err := c.RegisterTenant(ctx, name, spec); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s registered\n", name)
+		return nil
+	case "list":
+		tenants, err := c.Tenants(ctx)
+		if err != nil {
+			return err
+		}
+		if len(tenants) == 0 {
+			fmt.Println("no tenants registered")
+			return nil
+		}
+		fmt.Printf("%-16s %8s %8s %10s %12s %s\n", "TENANT", "RUNNING", "TOTAL", "STREAMS", "BYTES", "STATE")
+		for _, t := range tenants {
+			state := "active"
+			if t.Evicting {
+				state = "evicting"
+			}
+			fmt.Printf("%-16s %8d %8d %10d %12d %s\n",
+				t.Tenant, t.Running, t.Total, t.Streams, t.BytesLive+t.BytesLog, state)
+		}
+		return nil
+	case "evict":
+		if len(args) != 2 {
+			return fmt.Errorf("tenant evict wants exactly one tenant name")
+		}
+		if err := c.EvictTenant(ctx, args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s evicted\n", args[1])
+		return nil
+	default:
+		return fmt.Errorf("unknown tenant subcommand %q (want add, list, or evict)", args[0])
+	}
+}
+
+func runSubmit(ctx context.Context, c *controlplane.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	tenant := fs.String("tenant", "", "tenant to submit as (required)")
+	name := fs.String("name", "", "workflow name (defaults to the script file name)")
+	key := fs.String("key", "", "idempotency key: resubmitting the same key returns the original submission")
+	wait := fs.Bool("wait", false, "block until the workflow reaches a terminal state and report it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenant == "" {
+		return fmt.Errorf("submit requires -tenant")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit wants exactly one launch script path (or - for stdin)")
+	}
+	path := fs.Arg(0)
+	var script []byte
+	var err error
+	if path == "-" {
+		script, err = io.ReadAll(os.Stdin)
+	} else {
+		script, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	wfName := *name
+	if wfName == "" && path != "-" {
+		wfName = path
+	}
+	st, err := c.Submit(ctx, *tenant, controlplane.SubmitRequest{
+		Name: wfName, Script: string(script), IdempotencyKey: *key,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s)\n", st.ID, st.State)
+	if !*wait {
+		return nil
+	}
+	final, err := c.WaitDone(ctx, *tenant, st.ID)
+	if err != nil {
+		return err
+	}
+	printStatus(final)
+	if final.State != controlplane.StateSucceeded {
+		return fmt.Errorf("workflow %s %s", final.ID, final.State)
+	}
+	return nil
+}
+
+func runStatus(ctx context.Context, c *controlplane.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	tenant := fs.String("tenant", "", "tenant owning the submission (required)")
+	raw := fs.Bool("json", false, "emit the raw status JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenant == "" || fs.NArg() != 1 {
+		return fmt.Errorf("status wants -tenant NAME and exactly one submission id")
+	}
+	st, err := c.Stat(ctx, *tenant, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	printStatus(st)
+	return nil
+}
+
+func runList(ctx context.Context, c *controlplane.Client, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	tenant := fs.String("tenant", "", "tenant to list (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenant == "" {
+		return fmt.Errorf("list requires -tenant")
+	}
+	subs, err := c.List(ctx, *tenant)
+	if err != nil {
+		return err
+	}
+	if len(subs) == 0 {
+		fmt.Println("no submissions")
+		return nil
+	}
+	fmt.Printf("%-12s %-24s %-10s %s\n", "ID", "NAME", "STATE", "SUBMITTED")
+	for _, st := range subs {
+		fmt.Printf("%-12s %-24s %-10s %s\n", st.ID, st.Name, st.State,
+			st.Submitted.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func runCancel(ctx context.Context, c *controlplane.Client, args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ContinueOnError)
+	tenant := fs.String("tenant", "", "tenant owning the submission (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenant == "" || fs.NArg() != 1 {
+		return fmt.Errorf("cancel wants -tenant NAME and exactly one submission id")
+	}
+	st, err := c.Cancel(ctx, *tenant, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s\n", st.ID, st.State)
+	return nil
+}
+
+// printStatus renders one submission human-readably: the header line,
+// per-stage rows, and the most interesting progress counters.
+func printStatus(st controlplane.Status) {
+	fmt.Printf("%s  %s  %s", st.ID, st.Name, st.State)
+	if st.Elapsed > 0 {
+		fmt.Printf("  (%s)", st.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Println()
+	for _, stage := range st.Stages {
+		line := fmt.Sprintf("  stage %-16s procs=%d", stage.Component, stage.Procs)
+		if stage.Restarts > 0 {
+			line += fmt.Sprintf(" restarts=%d", stage.Restarts)
+		}
+		if stage.Err != "" {
+			line += " err=" + stage.Err
+		}
+		fmt.Println(line)
+	}
+	if st.Err != "" {
+		fmt.Printf("  error: %s\n", st.Err)
+	}
+	// Progress counters: the per-component step samples tell at a
+	// glance which stage is moving and which is stuck.
+	keys := make([]string, 0, len(st.Metrics))
+	for k := range st.Metrics {
+		if strings.HasSuffix(k, ".step_samples") || k == "workflow.restarts" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := st.Metrics[k]; v != 0 {
+			fmt.Printf("  %s=%d\n", k, v)
+		}
+	}
+}

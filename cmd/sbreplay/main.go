@@ -6,6 +6,7 @@
 //
 //	sbreplay [-v] [-stage SEL] [-args "…"] [-log-dir DIR] [-out DIR] [-trace out.jsonl] workflow.sh
 //	sbreplay -diff [-tol EPS] -stage SEL [-args "…"] [-alt "…"] [-log-dir DIR] workflow.sh
+//	sbreplay -diff [-tol EPS] -against DIRB [-stage SEL [-args "…"]] [-log-dir DIRA] [workflow.sh]
 //	sbreplay -ls [-log-dir DIR] [workflow.sh]
 //
 // The script is the same aprun job script sbrun launches; the recording
@@ -25,6 +26,16 @@
 // otherwise values within the tolerance agree. Exit status follows
 // diff(1): 0 when the variants agree, 1 when they diverge, 2 on usage
 // or execution trouble.
+//
+// -diff -against DIR compares against a second RECORDING instead of a
+// second re-run: without -stage the two recordings are diffed stream
+// by stream as they sit on disk (a clean run against its
+// crash-recovered re-run, this week's corpus refresh against last
+// week's); with -stage the selected stage replays over recording A and
+// its captured outputs are compared to the same-named streams of
+// recording B — the regression-corpus gate, pinning today's kernels to
+// a golden recording's outputs. The script may be omitted in the pure
+// recording-vs-recording form when -log-dir names recording A.
 //
 // -ls lists what the recording holds and exits.
 package main
@@ -60,6 +71,7 @@ func main() {
 	argsOverride := flag.String("args", "", "replace the selected stage's arguments (script quoting rules; requires -stage)")
 	diffMode := flag.Bool("diff", false, "differential mode: run the selected stage twice and compare outputs (requires -stage)")
 	altArgs := flag.String("alt", "", "variant B's arguments for -diff (default: same as variant A, a self-diff)")
+	against := flag.String("against", "", "variant B is this RECORDING for -diff: compare replayed captures (with -stage) or the whole primary recording (without) to its streams")
 	tol := flag.Float64("tol", 0, "value tolerance for -diff: 0 compares float64 bits exactly")
 	logDir := flag.String("log-dir", "", "recorded log directory to replay against (default: the script's replay directive, else its log directive)")
 	outDir := flag.String("out", "", "re-record the replayed outputs as a fresh log directory here")
@@ -76,7 +88,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	if flag.NArg() > 1 || (flag.NArg() == 0 && !(*list && *logDir != "")) {
+	// The script may be omitted when the mode needs no stages and the
+	// recording comes from -log-dir: listing, and the pure
+	// recording-vs-recording diff.
+	scriptless := *logDir != "" && (*list || (*diffMode && *against != "" && *stageSel == ""))
+	if flag.NArg() > 1 || (flag.NArg() == 0 && !scriptless) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,11 +153,17 @@ func main() {
 		}
 		stages[0].Args = args
 	}
-	if *diffMode && *stageSel == "" {
-		fail("-diff needs -stage: pick the component to A/B")
+	if *diffMode && *stageSel == "" && *against == "" {
+		fail("-diff needs -stage (pick the component to A/B) or -against (a recording to compare to)")
 	}
 	if !*diffMode && *altArgs != "" {
 		fail("-alt only applies with -diff")
+	}
+	if !*diffMode && *against != "" {
+		fail("-against only applies with -diff")
+	}
+	if *against != "" && *altArgs != "" {
+		fail("-alt and -against both name variant B; pick one")
 	}
 
 	cfg := replay.Config{Source: src, OutDir: *outDir, Name: "sbreplay"}
@@ -160,19 +182,54 @@ func main() {
 
 	status := 0
 	if *diffMode {
-		a := []workflow.Stage{stages[0]}
-		b := []workflow.Stage{stages[0]}
-		if *altArgs != "" {
-			alt, err := launch.Fields(*altArgs)
+		var rep *replay.DiffReport
+		var err error
+		switch {
+		case *against != "" && *stageSel == "":
+			// Recording vs recording: nothing replays, the two
+			// directories are compared as they sit on disk.
+			rep, err = replay.CompareRecordings(tracer, *tol, dir, *against)
 			if err != nil {
-				fail("-alt: %v", err)
+				writeTraceIfAsked(*tracePath, tracer)
+				fail("%v", err)
 			}
-			b[0].Args = alt
-		}
-		rep, err := replay.Diff(ctx, cfg, *tol, a, b)
-		if err != nil {
-			writeTraceIfAsked(*tracePath, tracer)
-			fail("%v", err)
+		case *against != "":
+			// Replay the selected stage over recording A and pin its
+			// captured outputs to recording B's same-named streams.
+			// Streams B holds beyond the captures are A's inputs, not
+			// the stage's outputs — they are not compared.
+			res, rerr := replay.Run(ctx, cfg, stages...)
+			if rerr != nil {
+				writeTraceIfAsked(*tracePath, tracer)
+				fail("%v", rerr)
+			}
+			all, terr := replay.ReadTraces(*against)
+			if terr != nil {
+				writeTraceIfAsked(*tracePath, tracer)
+				fail("%v", terr)
+			}
+			b := make(map[string]*replay.StreamTrace, len(res.Captures))
+			for name := range res.Captures {
+				if tr, ok := all[name]; ok {
+					b[name] = tr
+				}
+			}
+			rep = replay.Compare(tracer, *tol, res.Captures, b)
+		default:
+			a := []workflow.Stage{stages[0]}
+			b := []workflow.Stage{stages[0]}
+			if *altArgs != "" {
+				alt, aerr := launch.Fields(*altArgs)
+				if aerr != nil {
+					fail("-alt: %v", aerr)
+				}
+				b[0].Args = alt
+			}
+			rep, err = replay.Diff(ctx, cfg, *tol, a, b)
+			if err != nil {
+				writeTraceIfAsked(*tracePath, tracer)
+				fail("%v", err)
+			}
 		}
 		fmt.Print(rep.Render())
 		if rep.Divergent() {

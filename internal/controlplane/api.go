@@ -1,0 +1,227 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/flexpath"
+)
+
+// This file is the admin API: the HTTP surface sbbroker exposes on
+// -admin-addr and sbctl speaks. Routes (go 1.22 method+wildcard mux):
+//
+//	GET    /v1/tenants                          list tenants
+//	PUT    /v1/tenants/{tenant}                 register / update quotas
+//	DELETE /v1/tenants/{tenant}                 graceful eviction
+//	GET    /v1/tenants/{tenant}/workflows       list submissions
+//	POST   /v1/tenants/{tenant}/workflows       submit a launch script
+//	GET    /v1/tenants/{tenant}/workflows/{id}  live status
+//	DELETE /v1/tenants/{tenant}/workflows/{id}  cancel
+//
+// The submit payload is the launch-script format itself (text/plain
+// body, name and idempotency key in headers) or its JSON envelope —
+// see DecodeSubmitRequest. Errors map onto a small JSON body carrying
+// a retryable bit, so clients can distinguish "back off and resubmit"
+// (quota) from "gone" (evicted) without parsing messages.
+
+// SubmitRequest is one workflow submission as decoded off the wire.
+type SubmitRequest struct {
+	// Name labels the workflow (spec name, status display). Optional.
+	Name string `json:"name,omitempty"`
+	// Script is the launch script itself — the same aprun-line format
+	// sbrun executes from disk (package launch).
+	Script string `json:"script"`
+	// IdempotencyKey, when non-empty, makes the submit retry-safe:
+	// resubmitting with the same key returns the original submission.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// maxScriptBytes bounds a submitted script; a launch script is human-
+// written configuration, not data, so 1 MiB is generous.
+const maxScriptBytes = 1 << 20
+
+// DecodeSubmitRequest decodes a submit payload from its wire form.
+// contentType selects the envelope: "application/json" carries a
+// SubmitRequest object; anything else is the raw launch script with
+// name/idempotency key supplied out of band (headers, flags). The
+// returned request is syntactically vetted — non-empty UTF-8 script
+// within size bounds — but not yet parsed; ValidateScript does that.
+//
+// Exported (rather than inlined into the handler) so the fuzz smoke
+// can drive the exact bytes-off-the-wire path.
+func DecodeSubmitRequest(contentType, name, idemKey string, body []byte) (SubmitRequest, error) {
+	if len(body) > maxScriptBytes {
+		return SubmitRequest{}, fmt.Errorf("controlplane: submit payload %d bytes exceeds %d", len(body), maxScriptBytes)
+	}
+	req := SubmitRequest{Name: name, IdempotencyKey: idemKey}
+	if mediaType(contentType) == "application/json" {
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return SubmitRequest{}, fmt.Errorf("controlplane: submit body: %w", err)
+		}
+		if dec.More() {
+			return SubmitRequest{}, errors.New("controlplane: submit body: trailing data after JSON object")
+		}
+		// Out-of-band name/key lose to the envelope only when the
+		// envelope actually set them.
+		if req.Name == "" {
+			req.Name = name
+		}
+		if req.IdempotencyKey == "" {
+			req.IdempotencyKey = idemKey
+		}
+	} else {
+		req.Script = string(body)
+	}
+	if strings.TrimSpace(req.Script) == "" {
+		return SubmitRequest{}, errors.New("controlplane: submit body carries no script")
+	}
+	if !utf8.ValidString(req.Script) {
+		return SubmitRequest{}, errors.New("controlplane: script is not valid UTF-8")
+	}
+	if len(req.Script) > maxScriptBytes {
+		return SubmitRequest{}, fmt.Errorf("controlplane: script %d bytes exceeds %d", len(req.Script), maxScriptBytes)
+	}
+	if strings.ContainsAny(req.Name, "\r\n") || len(req.Name) > 256 {
+		return SubmitRequest{}, errors.New("controlplane: workflow name must be a short single line")
+	}
+	if strings.ContainsAny(req.IdempotencyKey, "\r\n") || len(req.IdempotencyKey) > 256 {
+		return SubmitRequest{}, errors.New("controlplane: idempotency key must be a short single line")
+	}
+	return req, nil
+}
+
+// mediaType strips content-type parameters ("application/json;
+// charset=utf-8" → "application/json") without pulling in mime.
+func mediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// writeErr maps a service error onto status code + JSON body.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	retryable := false
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, flexpath.ErrQuotaExceeded):
+		code = http.StatusTooManyRequests
+		retryable = true
+	case errors.Is(err, flexpath.ErrTenantEvicted):
+		code = http.StatusGone
+	}
+	writeJSON(w, code, apiError{Error: err.Error(), Retryable: retryable})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler returns the admin API over the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Tenants())
+	})
+
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		var spec TenantSpec
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxScriptBytes))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &spec); err != nil {
+				writeErr(w, fmt.Errorf("controlplane: tenant spec: %w", err))
+				return
+			}
+		}
+		tenant := r.PathValue("tenant")
+		if err := s.RegisterTenant(tenant, spec); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, TenantInfo{Tenant: tenant, Spec: spec})
+	})
+
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.EvictTenant(r.Context(), r.PathValue("tenant")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"evicted": r.PathValue("tenant")})
+	})
+
+	mux.HandleFunc("GET /v1/tenants/{tenant}/workflows", func(w http.ResponseWriter, r *http.Request) {
+		list, err := s.List(r.PathValue("tenant"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if list == nil {
+			list = []Status{}
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+
+	mux.HandleFunc("POST /v1/tenants/{tenant}/workflows", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxScriptBytes+1))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		req, err := DecodeSubmitRequest(r.Header.Get("Content-Type"),
+			r.Header.Get("X-Workflow-Name"), r.Header.Get("Idempotency-Key"), body)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		st, err := s.Submit(r.PathValue("tenant"), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /v1/tenants/{tenant}/workflows/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Stat(r.PathValue("tenant"), r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}/workflows/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("tenant"), r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	return mux
+}

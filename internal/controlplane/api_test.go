@@ -1,0 +1,287 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flexpath"
+	"repro/internal/obs"
+)
+
+func newTestAPI(t *testing.T) (*Client, *Service) {
+	t.Helper()
+	s, _ := newTestService(t)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}, s
+}
+
+func TestAdminAPIRoundTrip(t *testing.T) {
+	c, _ := newTestAPI(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := c.RegisterTenant(ctx, "alice", TenantSpec{MaxWorkflows: 4, MaxBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := c.Tenants(ctx)
+	if err != nil || len(tenants) != 1 || tenants[0].Tenant != "alice" || tenants[0].Spec.MaxWorkflows != 4 {
+		t.Fatalf("Tenants = %+v, %v", tenants, err)
+	}
+
+	hist := filepath.Join(t.TempDir(), "h.txt")
+	st, err := c.Submit(ctx, "alice", SubmitRequest{Name: "demo", Script: demoScript(hist), IdempotencyKey: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Tenant != "alice" {
+		t.Fatalf("submit status = %+v", st)
+	}
+	// Idempotent retry over the wire maps to the same submission.
+	again, err := c.Submit(ctx, "alice", SubmitRequest{Name: "demo", Script: demoScript(hist), IdempotencyKey: "k1"})
+	if err != nil || again.ID != st.ID {
+		t.Fatalf("retry = %+v, %v", again, err)
+	}
+
+	final, err := c.WaitDone(ctx, "alice", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateSucceeded {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.Metrics["comp.histogram.step_samples"] == 0 {
+		t.Fatalf("status lost its live metrics: %v", final.Metrics)
+	}
+	if _, err := os.Stat(hist); err != nil {
+		t.Fatalf("workflow output missing: %v", err)
+	}
+
+	list, err := c.List(ctx, "alice")
+	if err != nil || len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("List = %+v, %v", list, err)
+	}
+
+	if err := c.EvictTenant(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if tenants, _ := c.Tenants(ctx); len(tenants) != 0 {
+		t.Fatalf("tenant survived eviction: %+v", tenants)
+	}
+}
+
+func TestAdminAPITypedErrors(t *testing.T) {
+	c, _ := newTestAPI(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Unknown tenant → ErrNotFound on both read and submit paths.
+	if _, err := c.Stat(ctx, "ghost", "wf-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat: err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.List(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("list: err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Submit(ctx, "ghost", SubmitRequest{Script: parkedScript}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("submit: err = %v, want ErrNotFound", err)
+	}
+	if err := c.EvictTenant(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evict: err = %v, want ErrNotFound", err)
+	}
+
+	// Quota rejections survive the wire as typed, retryable errors —
+	// the same contract the data plane gives in-process.
+	if err := c.RegisterTenant(ctx, "bob", TenantSpec{MaxWorkflows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Submit(ctx, "bob", SubmitRequest{Name: "parked", Script: parkedScript})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, "bob", SubmitRequest{Name: "second", Script: parkedScript})
+	if !errors.Is(err, flexpath.ErrQuotaExceeded) {
+		t.Fatalf("over-cap submit: err = %v, want ErrQuotaExceeded", err)
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("wire quota error lost its retryable bit: %v", err)
+	}
+
+	// Bad scripts → plain 400s with the parser's message.
+	if _, err := c.Submit(ctx, "bob", SubmitRequest{Script: "aprun -n x y"}); err == nil ||
+		!strings.Contains(err.Error(), "process count") {
+		t.Fatalf("bad script: %v", err)
+	}
+
+	// Cancel through the API, then drain.
+	if _, err := c.Cancel(ctx, "bob", st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitDone(ctx, "bob", st.ID)
+	if err != nil || final.State != StateCancelled {
+		t.Fatalf("cancelled = %+v, %v", final, err)
+	}
+
+	// Evicted tenants answer with a typed terminal error.
+	if err := c.EvictTenant(ctx, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, "bob", SubmitRequest{Script: parkedScript}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("submit after eviction: err = %v, want ErrNotFound (tenant gone)", err)
+	}
+}
+
+func TestAdminAPIJSONSubmitEnvelope(t *testing.T) {
+	c, s := newTestAPI(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.RegisterTenant(ctx, "alice", TenantSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the JSON wire form directly (Client.Submit uses text/plain).
+	hist := filepath.Join(t.TempDir(), "h.txt")
+	var st Status
+	err := c.do(ctx, "POST", "/v1/tenants/alice/workflows",
+		SubmitRequest{Name: "json-demo", Script: demoScript(hist), IdempotencyKey: "jk"}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "json-demo" {
+		t.Fatalf("status = %+v", st)
+	}
+	if _, err := s.Wait(ctx, "alice", st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionSealsOverTheWire(t *testing.T) {
+	c, _ := newTestAPI(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.RegisterTenant(ctx, "carol", TenantSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Submit(ctx, "carol", SubmitRequest{Name: "parked", Script: parkedScript})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded eviction times out against the parked workflow; the
+	// tenant is sealed, and the wire reports the evicted state.
+	shortCtx, cancelShort := context.WithTimeout(ctx, 200*time.Millisecond)
+	err = c.EvictTenant(shortCtx, "carol")
+	cancelShort()
+	if err == nil {
+		t.Fatal("bounded eviction succeeded with a running workflow")
+	}
+	if _, err := c.Submit(ctx, "carol", SubmitRequest{Script: parkedScript}); !errors.Is(err, flexpath.ErrTenantEvicted) {
+		t.Fatalf("submit to sealed tenant: err = %v, want ErrTenantEvicted", err)
+	}
+	if _, err := c.Cancel(ctx, "carol", st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitDone(ctx, "carol", st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EvictTenant(ctx, "carol"); err != nil {
+		t.Fatalf("final eviction: %v", err)
+	}
+}
+
+func TestDecodeSubmitRequest(t *testing.T) {
+	good := "aprun -n 1 gromacs a.fp x 8 1 &\nwait\n"
+	cases := []struct {
+		name        string
+		contentType string
+		hdrName     string
+		hdrKey      string
+		body        string
+		want        SubmitRequest
+		wantErr     string
+	}{
+		{name: "raw script", contentType: "text/plain", hdrName: "wf", hdrKey: "k",
+			body: good, want: SubmitRequest{Name: "wf", Script: good, IdempotencyKey: "k"}},
+		{name: "no content type defaults to raw", body: good,
+			want: SubmitRequest{Script: good}},
+		{name: "json envelope", contentType: "application/json",
+			body: `{"name":"j","script":"aprun -n 1 gromacs a.fp x 8 1 &","idempotency_key":"jk"}`,
+			want: SubmitRequest{Name: "j", Script: "aprun -n 1 gromacs a.fp x 8 1 &", IdempotencyKey: "jk"}},
+		{name: "json with charset param", contentType: "application/json; charset=utf-8",
+			body: `{"script":"aprun -n 1 gromacs a.fp x 8 1 &"}`, hdrName: "fallback",
+			want: SubmitRequest{Name: "fallback", Script: "aprun -n 1 gromacs a.fp x 8 1 &"}},
+		{name: "json unknown field", contentType: "application/json",
+			body: `{"script":"x","mystery":1}`, wantErr: "unknown field"},
+		{name: "json trailing garbage", contentType: "application/json",
+			body: `{"script":"x"} extra`, wantErr: "trailing data"},
+		{name: "json wrong type", contentType: "application/json",
+			body: `[1,2]`, wantErr: "submit body"},
+		{name: "empty body", contentType: "text/plain", body: "", wantErr: "no script"},
+		{name: "whitespace only", contentType: "text/plain", body: "  \n\t", wantErr: "no script"},
+		{name: "invalid utf8", contentType: "text/plain", body: "aprun \xff\xfe", wantErr: "UTF-8"},
+		{name: "newline in name", contentType: "text/plain", hdrName: "a\nb", body: good,
+			wantErr: "single line"},
+		{name: "newline in key", contentType: "text/plain", hdrKey: "a\rb", body: good,
+			wantErr: "single line"},
+		{name: "oversized name", contentType: "text/plain", hdrName: strings.Repeat("n", 300),
+			body: good, wantErr: "single line"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := DecodeSubmitRequest(c.contentType, c.hdrName, c.hdrKey, []byte(c.body))
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Fatalf("got %+v, want %+v", got, c.want)
+			}
+		})
+	}
+	// The size bound applies to the payload as a whole.
+	if _, err := DecodeSubmitRequest("text/plain", "", "", make([]byte, maxScriptBytes+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+// TestServiceWithoutBroker covers the degraded wiring: a service over a
+// bare transport (no in-process broker handle) still admits, runs, and
+// evicts — only stream-level quotas and broker accounting are absent.
+func TestServiceWithoutBroker(t *testing.T) {
+	s, err := NewService(Config{Transport: flexpath.NewInProc(), Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.RegisterTenant("alice", TenantSpec{MaxWorkflows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	hist := filepath.Join(t.TempDir(), "h.txt")
+	st, err := s.Submit("alice", SubmitRequest{Name: "demo", Script: demoScript(hist)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if final, err := s.Wait(ctx, "alice", st.ID); err != nil || final.State != StateSucceeded {
+		t.Fatalf("final = %+v, %v", final, err)
+	}
+	if err := s.EvictTenant(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewServiceRequiresTransport(t *testing.T) {
+	if _, err := NewService(Config{}); err == nil {
+		t.Fatal("NewService accepted a nil transport")
+	}
+}

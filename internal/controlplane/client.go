@@ -1,0 +1,196 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/flexpath"
+)
+
+// Client speaks the admin API — the library behind sbctl, also used by
+// tests to exercise the service exactly as a remote operator would.
+type Client struct {
+	// BaseURL is the admin endpoint, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes the JSON response into out (unless
+// out is nil). Error bodies are mapped back onto the same typed errors
+// the service raises, so errors.Is(err, flexpath.ErrQuotaExceeded) and
+// workflow.Retryable hold on both sides of the wire.
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	ct := ""
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd, ct = bytes.NewReader(b), "text/plain"
+	default:
+		buf, err := json.Marshal(b)
+		if err != nil {
+			return err
+		}
+		rd, ct = bytes.NewReader(buf), "application/json"
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxScriptBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		msg := string(data)
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, msg)
+		case http.StatusTooManyRequests:
+			return &flexpath.QuotaError{Msg: msg}
+		case http.StatusGone:
+			return fmt.Errorf("%w: %s", flexpath.ErrTenantEvicted, msg)
+		default:
+			return fmt.Errorf("controlplane: %s %s: %s (HTTP %d)", method, path, msg, resp.StatusCode)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// RegisterTenant registers or updates a tenant.
+func (c *Client) RegisterTenant(ctx context.Context, tenant string, spec TenantSpec) error {
+	return c.do(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(tenant), spec, nil)
+}
+
+// Tenants lists registered tenants.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var out []TenantInfo
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// EvictTenant gracefully evicts a tenant; the ctx deadline bounds the
+// server-side drain.
+func (c *Client) EvictTenant(ctx context.Context, tenant string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/tenants/"+url.PathEscape(tenant), nil, nil)
+}
+
+// Submit sends a launch script; the raw-script wire form is used so
+// the payload on the wire is exactly the file sbrun would execute.
+func (c *Client) Submit(ctx context.Context, tenant string, req SubmitRequest) (Status, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/tenants/"+url.PathEscape(tenant)+"/workflows",
+		bytes.NewReader([]byte(req.Script)))
+	if err != nil {
+		return Status{}, err
+	}
+	hreq.Header.Set("Content-Type", "text/plain")
+	if req.Name != "" {
+		hreq.Header.Set("X-Workflow-Name", req.Name)
+	}
+	if req.IdempotencyKey != "" {
+		hreq.Header.Set("Idempotency-Key", req.IdempotencyKey)
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxScriptBytes))
+	if err != nil {
+		return Status{}, err
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		msg := string(data)
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return Status{}, fmt.Errorf("%w: %s", ErrNotFound, msg)
+		case http.StatusTooManyRequests:
+			return Status{}, &flexpath.QuotaError{Msg: msg}
+		case http.StatusGone:
+			return Status{}, fmt.Errorf("%w: %s", flexpath.ErrTenantEvicted, msg)
+		default:
+			return Status{}, fmt.Errorf("controlplane: submit: %s (HTTP %d)", msg, resp.StatusCode)
+		}
+	}
+	var st Status
+	err = json.Unmarshal(data, &st)
+	return st, err
+}
+
+// Stat fetches a submission's live status.
+func (c *Client) Stat(ctx context.Context, tenant, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet,
+		"/v1/tenants/"+url.PathEscape(tenant)+"/workflows/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// List fetches every submission of a tenant.
+func (c *Client) List(ctx context.Context, tenant string) ([]Status, error) {
+	var out []Status
+	err := c.do(ctx, http.MethodGet,
+		"/v1/tenants/"+url.PathEscape(tenant)+"/workflows", nil, &out)
+	return out, err
+}
+
+// Cancel aborts a running submission.
+func (c *Client) Cancel(ctx context.Context, tenant, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodDelete,
+		"/v1/tenants/"+url.PathEscape(tenant)+"/workflows/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// WaitDone polls until the submission reaches a terminal state or ctx
+// expires.
+func (c *Client) WaitDone(ctx context.Context, tenant, id string) (Status, error) {
+	for {
+		st, err := c.Stat(ctx, tenant, id)
+		if err != nil || st.Done() {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// ErrNoAddr reports a client constructed without an endpoint.
+var ErrNoAddr = errors.New("controlplane: no admin address (want -addr host:port)")

@@ -1,0 +1,189 @@
+package e2e
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildServiceBinaries compiles sbbroker and sbctl once per test.
+func buildServiceBinaries(t *testing.T) (broker, ctl string) {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"sbbroker", "sbctl"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "repro/cmd/"+name)
+		cmd.Dir = repoRoot(t)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+	}
+	return filepath.Join(dir, "sbbroker"), filepath.Join(dir, "sbctl")
+}
+
+// startServiceBroker launches sbbroker with an admin endpoint and
+// returns the admin API base URL.
+func startServiceBroker(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	adminURL := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "admin API on ") {
+			// "sbbroker admin API on http://127.0.0.1:PORT/v1/tenants"
+			fields := strings.Fields(line)
+			adminURL = strings.TrimSuffix(fields[len(fields)-1], "/v1/tenants")
+			break
+		}
+	}
+	if adminURL == "" {
+		t.Fatal("sbbroker printed no admin API address")
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return adminURL
+}
+
+func sbctl(t *testing.T, bin, adminURL string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", adminURL}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestBrokerAsAServiceTwoTenants is the acceptance walk of the
+// control plane: one long-running sbbroker process serves two tenants
+// whose workflows — deliberately using IDENTICAL stream names — run
+// concurrently, isolated by the tenant namespace, with status,
+// quota enforcement, and graceful eviction all driven through sbctl.
+func TestBrokerAsAServiceTwoTenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	brokerBin, ctlBin := buildServiceBinaries(t)
+	adminURL := startServiceBroker(t, brokerBin)
+
+	// Register tenants: alice generously, bob with a one-workflow cap.
+	if out, err := sbctl(t, ctlBin, adminURL, "tenant", "add", "alice", "-max-workflows", "4"); err != nil {
+		t.Fatalf("tenant add alice: %v\n%s", err, out)
+	}
+	if out, err := sbctl(t, ctlBin, adminURL, "tenant", "add", "bob", "-max-workflows", "1", "-max-queue-depth", "4"); err != nil {
+		t.Fatalf("tenant add bob: %v\n%s", err, out)
+	}
+
+	// Both scripts name the same streams; isolation is the broker's job.
+	outDir := t.TempDir()
+	script := func(tenant string, atoms int) string {
+		path := filepath.Join(outDir, tenant+".sb")
+		hist := filepath.Join(outDir, tenant+"_hist.txt")
+		body := fmt.Sprintf(`
+aprun -n 1 gromacs pos.fp xyz %d 3 11 &
+aprun -n 1 magnitude pos.fp xyz dist.fp radii &
+aprun -n 1 histogram dist.fp radii 5 %s &
+wait
+`, atoms, hist)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	aliceScript := script("alice", 96)
+	bobScript := script("bob", 64)
+
+	// Submit both concurrently and wait for terminal states.
+	var wg sync.WaitGroup
+	outs := make([]string, 2)
+	errs := make([]error, 2)
+	for i, sub := range []struct{ tenant, path string }{
+		{"alice", aliceScript}, {"bob", bobScript},
+	} {
+		wg.Add(1)
+		go func(i int, tenant, path string) {
+			defer wg.Done()
+			outs[i], errs[i] = sbctl(t, ctlBin, adminURL,
+				"submit", "-tenant", tenant, "-name", tenant+"-demo", "-key", tenant+"-k1", "-wait", path)
+		}(i, sub.tenant, sub.path)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submission %d failed: %v\n%s", i, err, outs[i])
+		}
+		if !strings.Contains(outs[i], "succeeded") {
+			t.Fatalf("submission %d did not succeed:\n%s", i, outs[i])
+		}
+	}
+	for _, tenant := range []string{"alice", "bob"} {
+		data, err := os.ReadFile(filepath.Join(outDir, tenant+"_hist.txt"))
+		if err != nil {
+			t.Fatalf("%s histogram missing: %v", tenant, err)
+		}
+		if !strings.Contains(string(data), "# step 2") {
+			t.Fatalf("%s histogram truncated:\n%s", tenant, data)
+		}
+	}
+
+	// Idempotent resubmit: the same key reports the same submission,
+	// already terminal, without re-running it.
+	out, err := sbctl(t, ctlBin, adminURL, "submit", "-tenant", "alice", "-key", "alice-k1", aliceScript)
+	if err != nil {
+		t.Fatalf("idempotent resubmit: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "succeeded") {
+		t.Fatalf("idempotent resubmit re-ran the workflow:\n%s", out)
+	}
+
+	// Listing and status via the CLI.
+	out, err = sbctl(t, ctlBin, adminURL, "list", "-tenant", "alice")
+	if err != nil || !strings.Contains(out, "alice-demo") {
+		t.Fatalf("list: %v\n%s", err, out)
+	}
+	id := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "alice-demo") {
+			id = strings.Fields(line)[0]
+		}
+	}
+	out, err = sbctl(t, ctlBin, adminURL, "status", "-tenant", "alice", id)
+	if err != nil || !strings.Contains(out, "succeeded") || !strings.Contains(out, "stage gromacs") {
+		t.Fatalf("status: %v\n%s", err, out)
+	}
+	out, err = sbctl(t, ctlBin, adminURL, "tenant", "list")
+	if err != nil || !strings.Contains(out, "alice") || !strings.Contains(out, "bob") {
+		t.Fatalf("tenant list: %v\n%s", err, out)
+	}
+
+	// Graceful eviction through the CLI; the tenant disappears.
+	if out, err := sbctl(t, ctlBin, adminURL, "tenant", "evict", "bob"); err != nil {
+		t.Fatalf("evict: %v\n%s", err, out)
+	}
+	out, err = sbctl(t, ctlBin, adminURL, "tenant", "list")
+	if err != nil || strings.Contains(out, "bob") {
+		t.Fatalf("bob survived eviction: %v\n%s", err, out)
+	}
+	// Submitting as an evicted (now unknown) tenant fails cleanly.
+	if out, err := sbctl(t, ctlBin, adminURL, "submit", "-tenant", "bob", bobScript); err == nil {
+		t.Fatalf("submit as evicted tenant succeeded:\n%s", out)
+	}
+}

@@ -92,6 +92,10 @@ var checks = []check{
 	{"ReplayRequiresLog", checkReplayRequiresLog},
 	{"ShmSlotGenerationReuse", checkShmSlotGenerationReuse},
 	{"ShmRingFullBackpressure", checkShmRingFullBackpressure},
+	{"TenantNamespaceIsolation", checkTenantNamespaceIsolation},
+	{"TenantQuotaRejection", checkTenantQuotaRejection},
+	{"TenantEvictionDrains", checkTenantEvictionDrains},
+	{"TenantSubmissionIdempotency", checkTenantSubmissionIdempotency},
 	{"ChaosFaultInjection", checkChaosFaultInjection},
 }
 

@@ -1,0 +1,295 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/flexpath"
+	"repro/internal/workflow"
+)
+
+// This file is the tenancy chapter of the contract: the multi-tenant
+// control plane (PR 9) leans on four properties that must hold on
+// every backend, because tenants reach the broker through whichever
+// socket flavor their deployment picked. Namespacing is carried in
+// stream names, quota and eviction rejections must survive the wire as
+// typed errors (stQuota/stEvicted on the socket backends), and
+// eviction must drain — readers keep their data — rather than sever.
+
+// Two tenants using the SAME stream name never observe each other:
+// the namespace prefix is a real partition, not a convention.
+func checkTenantNamespaceIsolation(t *testing.T, be Backend) {
+	ctx := ctxT(t)
+	alice, err := flexpath.Namespaced(be.Transport, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := flexpath.Namespaced(be.Transport, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish := func(tr flexpath.Transport, payload string) flexpath.WriterHandle {
+		w, err := tr.AttachWriter("c.tenant", 0, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.PublishBlock(ctx, 0, []byte("m:"+payload), []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wa := publish(alice, "alice-data")
+	wb := publish(bob, "bob-data")
+
+	read := func(tr flexpath.Transport, want string) {
+		r, err := tr.AttachReader("c.tenant", 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas, err := r.StepMeta(ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(metas[0]) != "m:"+want {
+			t.Fatalf("tenant read crossed the namespace: meta %q, want %q", metas[0], "m:"+want)
+		}
+		blk, err := r.FetchBlock(ctx, 0, 0)
+		if err != nil || string(blk) != want {
+			t.Fatalf("payload = %q, %v, want %q", blk, err, want)
+		}
+		if err := r.ReleaseStep(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read(alice, "alice-data")
+	read(bob, "bob-data")
+
+	// The broker sees two fully qualified streams, not one shared one.
+	names := map[string]bool{}
+	for _, ss := range be.Broker.StreamStats() {
+		names[ss.Name] = true
+	}
+	if !names["alice/c.tenant"] || !names["bob/c.tenant"] {
+		t.Fatalf("broker streams = %v, want alice/c.tenant and bob/c.tenant", names)
+	}
+	// An unqualified attach is a THIRD stream: tenancy never bleeds
+	// into the default namespace either.
+	w, err := be.Transport.AttachWriter("c.tenant", 0, 1, 2)
+	if err != nil {
+		t.Fatalf("unqualified attach collided with a tenant stream: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quota rejections arrive as clean, typed, RETRYABLE errors — on the
+// socket backends that means surviving the wire protocol — and never
+// corrupt the tenant's existing streams.
+func checkTenantQuotaRejection(t *testing.T, be Backend) {
+	ctx := ctxT(t)
+	if err := be.Broker.SetTenantQuota("q", flexpath.TenantQuota{
+		MaxStreams: 1, MaxQueueDepth: 4, MaxBytes: 64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := flexpath.Namespaced(be.Transport, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tr.AttachWriter("c.q", 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertQuota := func(what string, err error) {
+		t.Helper()
+		if !errors.Is(err, flexpath.ErrQuotaExceeded) {
+			t.Fatalf("%s: err = %v, want ErrQuotaExceeded", what, err)
+		}
+		var tri interface{ Transient() bool }
+		if !errors.As(err, &tri) || !tri.Transient() {
+			t.Fatalf("%s: quota error lost its Transient bit across the backend: %v", what, err)
+		}
+		if !workflow.Retryable(err) {
+			t.Fatalf("%s: the supervisor would treat this quota rejection as terminal: %v", what, err)
+		}
+	}
+	// Stream cap: a second stream is refused.
+	_, err = tr.AttachWriter("c.q2", 0, 1, 2)
+	assertQuota("stream cap", err)
+	// Queue-depth cap.
+	_, err = tr.AttachWriter("c.q", 0, 1, 64)
+	assertQuota("depth cap", err)
+	// Byte cap: publishes beyond the resident budget are refused
+	// without parking and without failing the stream.
+	if err := w.PublishBlock(ctx, 0, make([]byte, 16), make([]byte, 32)); err != nil {
+		t.Fatalf("in-budget publish: %v", err)
+	}
+	err = w.PublishBlock(ctx, 1, make([]byte, 16), make([]byte, 32))
+	assertQuota("byte cap", err)
+	// The stream survived: a reader drains step 0 and the freed budget
+	// admits the retried publish — exactly what Transient promises.
+	r, err := tr.AttachReader("c.q", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StepMeta(ctx, 0); err != nil {
+		t.Fatalf("stream corrupted by quota rejection: %v", err)
+	}
+	if err := r.ReleaseStep(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PublishBlock(ctx, 1, make([]byte, 16), make([]byte, 32)); err != nil {
+		t.Fatalf("retry after drain still refused: %v", err)
+	}
+	if err := r.ReleaseStep(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eviction drains before it closes: buffered steps stay fetchable until
+// the reader releases them, parked publishers unblock with the typed
+// eviction error, and only then does the namespace disappear.
+func checkTenantEvictionDrains(t *testing.T, be Backend) {
+	ctx := ctxT(t)
+	tr, err := flexpath.Namespaced(be.Transport, "ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tr.AttachWriter("c.ev", 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tr.AttachReader("c.ev", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 3
+	for step := 0; step < steps; step++ {
+		if err := w.PublishBlock(ctx, step, []byte{byte('m'), byte(step)}, []byte{byte(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evicted := make(chan error, 1)
+	go func() { evicted <- be.Broker.EvictTenant(ctx, "ev") }()
+
+	// Eviction is pending; the tenant is sealed against NEW work…
+	deadline := time.After(5 * time.Second)
+	for {
+		_, err := tr.AttachWriter("c.ev2", 0, 1, 0)
+		if errors.Is(err, flexpath.ErrTenantEvicted) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("attach during eviction never sealed: %v", err)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := w.PublishBlock(ctx, steps, []byte("m"), []byte("late")); !errors.Is(err, flexpath.ErrTenantEvicted) {
+		t.Fatalf("publish during eviction: err = %v, want ErrTenantEvicted", err)
+	}
+	// …but the reader is NOT severed: every buffered step remains
+	// fetchable, in order, while the drain waits on it.
+	for step := 0; step < steps; step++ {
+		select {
+		case err := <-evicted:
+			t.Fatalf("eviction completed before the reader drained (step %d, err %v)", step, err)
+		default:
+		}
+		blk, err := r.FetchBlock(ctx, step, 0)
+		if err != nil || len(blk) != 1 || blk[0] != byte(step) {
+			t.Fatalf("fetch step %d during eviction: %q, %v", step, blk, err)
+		}
+		if err := r.ReleaseStep(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-evicted:
+		if err != nil {
+			t.Fatalf("eviction after drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("eviction did not complete after the reader drained")
+	}
+	// Past the drain the stream reads as gracefully ended, not failed.
+	if _, err := r.StepMeta(ctx, steps); err != io.EOF {
+		t.Fatalf("post-eviction read: err = %v, want io.EOF", err)
+	}
+	if stats := be.Broker.TenantStats(); len(stats) != 0 {
+		t.Fatalf("tenant registration survived eviction: %+v", stats)
+	}
+}
+
+// Submission idempotency holds with the control plane mounted over this
+// backend: the same idempotency key maps to the same submission, whose
+// workflow ran exactly once — over THIS transport's client path.
+func checkTenantSubmissionIdempotency(t *testing.T, be Backend) {
+	svc, err := controlplane.NewService(controlplane.Config{
+		Transport: be.Transport,
+		Broker:    be.Broker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	if err := svc.RegisterTenant("idem", controlplane.TenantSpec{MaxWorkflows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	const script = `
+aprun -n 1 gromacs pos.fp xyz 16 2 5 &
+aprun -n 1 stats pos.fp xyz &
+wait
+`
+	req := controlplane.SubmitRequest{Name: "idem-wf", Script: script, IdempotencyKey: "key-1"}
+	first, err := svc.Submit("idem", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Submit("idem", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("idempotent resubmit minted %q, want %q", second.ID, first.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := svc.Wait(ctx, "idem", first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != controlplane.StateSucceeded {
+		t.Fatalf("workflow over this backend: state %q, err %q", final.State, final.Err)
+	}
+	// Exactly one run: the tenant's table holds a single submission,
+	// and the late retry — after completion — still maps to it.
+	list, err := svc.List("idem")
+	if err != nil || len(list) != 1 {
+		t.Fatalf("List = %+v, %v (want exactly one submission)", list, err)
+	}
+	again, err := svc.Submit("idem", req)
+	if err != nil || again.ID != first.ID || again.State != controlplane.StateSucceeded {
+		t.Fatalf("post-completion retry = %+v, %v", again, err)
+	}
+}

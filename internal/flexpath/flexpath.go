@@ -183,6 +183,10 @@ type Broker struct {
 	stats    Stats
 	obs      brokerObs
 	logStore *streamlog.Store // nil = no durability (see AttachLog)
+	// tenants holds the registered tenant namespaces (quotas, byte
+	// accounting, eviction state); see tenant.go. Unregistered
+	// namespaces pay one nil-map test per attach/publish.
+	tenants map[string]*tenantState
 }
 
 // brokerObs is the broker's observability hookup: a tracer for
@@ -200,6 +204,7 @@ type brokerObs struct {
 	hbMisses    *obs.Counter  // writer lease expiries (TCP server only)
 	logReplayed *obs.Counter  // historical steps served from the log
 	queuedSteps *obs.Gauge    // buffered, unretired timesteps, all streams
+	tenant      map[string]*tenantObs // tenant-tagged counters, lazily cached
 }
 
 // NewBroker returns an empty broker.
@@ -268,6 +273,9 @@ func (b *Broker) getStream(name string) *stream {
 	if !ok {
 		s = &stream{name: name, steps: make(map[int]*stepState), readerClosed: make(map[int]bool)}
 		b.streams[name] = s
+		if ts := b.tenantOf(name); ts != nil {
+			ts.streams++
+		}
 	}
 	return s
 }
@@ -321,6 +329,10 @@ func (b *Broker) AttachWriter(stream string, rank, size, depth int) (*Writer, er
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	_, exists := b.streams[stream]
+	if err := b.admitAttach(stream, depth, !exists, true); err != nil {
+		return nil, err
+	}
 	s := b.getStream(stream)
 	if s.writerSize == 0 {
 		s.writerSize = size
@@ -397,9 +409,16 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 		return fmt.Errorf("flexpath: stream %q writer rank %d published step %d, expected %d",
 			s.name, w.rank, step, s.lastByRank[w.rank])
 	}
+	nbytes := int64(meta.Len() + payload.Len())
+	// Tenant admission: quota rejections fail fast (retryable) rather
+	// than park the writer, and an eviction sealing the namespace must
+	// also unblock writers already parked on the queue window.
+	if err := b.admitPublish(s, nbytes); err != nil {
+		return err
+	}
 	// Block while the queue window [minStep, minStep+depth) excludes step.
 	err := b.wait(ctx, func() bool {
-		return w.closed || s.failed != nil || step < s.minStep+s.queueDepth
+		return w.closed || s.failed != nil || b.tenantEvicting(s.name) || step < s.minStep+s.queueDepth
 	})
 	if err != nil {
 		return err
@@ -409,6 +428,9 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 	}
 	if s.failed != nil {
 		return s.failed
+	}
+	if err := b.admitPublish(s, nbytes); err != nil {
+		return err
 	}
 	st, ok := s.steps[step]
 	if !ok {
@@ -424,7 +446,7 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 	st.payloads[w.rank] = payload
 	st.pubCount++
 	s.lastByRank[w.rank] = step + 1
-	nbytes := int64(meta.Len() + payload.Len())
+	b.tenantAccountPublish(s, nbytes, st.pubCount == s.writerSize)
 	b.stats.BytesPublished += nbytes
 	b.obs.bytesPub.Add(nbytes)
 	if tr := b.obs.tracer; tr.Enabled() {
@@ -556,6 +578,10 @@ func (b *Broker) AttachReader(stream string, rank, size int) (*Reader, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	_, exists := b.streams[stream]
+	if err := b.admitAttach(stream, 0, !exists, false); err != nil {
+		return nil, err
+	}
 	s := b.getStream(stream)
 	if s.readerSize == 0 {
 		s.readerSize = size
@@ -826,6 +852,7 @@ func (s *stream) retireHead(b *Broker) bool {
 	retired := s.minStep
 	delete(s.steps, s.minStep)
 	s.minStep++
+	b.tenantAccountFree(s, st)
 	b.obs.retired.Inc()
 	b.obs.queuedSteps.Add(-1)
 	if tr := b.obs.tracer; tr.Enabled() {

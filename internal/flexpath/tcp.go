@@ -70,6 +70,8 @@ const (
 	stRetired
 	stWriterLost
 	stCancelled
+	stQuota   // tenant quota rejection: clean, retryable (ErrQuotaExceeded)
+	stEvicted // tenant namespace sealed by eviction: terminal (ErrTenantEvicted)
 )
 
 // maxFrame bounds a single message; a corrupt length prefix must not
@@ -375,6 +377,12 @@ func respondErr(conn net.Conn, resp *[]byte, err error) error {
 		f.str(err.Error())
 	case errors.Is(err, ErrWriterLost):
 		f.u8(stWriterLost)
+		f.str(err.Error())
+	case errors.Is(err, ErrQuotaExceeded):
+		f.u8(stQuota)
+		f.str(err.Error())
+	case errors.Is(err, ErrTenantEvicted):
+		f.u8(stEvicted)
 		f.str(err.Error())
 	default:
 		f.u8(stErr)

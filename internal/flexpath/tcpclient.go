@@ -298,6 +298,12 @@ func callWith(ctx context.Context, conn net.Conn, wmu *sync.Mutex, rbuf *[]byte,
 		return nil, fmt.Errorf("%w: %s", ErrStepRetired, fr.str())
 	case stWriterLost:
 		return nil, fmt.Errorf("%w: %s", ErrWriterLost, fr.str())
+	case stQuota:
+		// Reconstruct the typed error so errors.Is(ErrQuotaExceeded) and
+		// the Transient() retryability survive the wire on every backend.
+		return nil, &QuotaError{Msg: fr.str()}
+	case stEvicted:
+		return nil, &tenantEvictedError{msg: fr.str()}
 	case stCancelled:
 		if cancellable && ctx.Err() != nil {
 			return nil, ctx.Err()

@@ -1,0 +1,209 @@
+package replay_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/flexpath"
+	"repro/internal/ndarray"
+	"repro/internal/replay"
+	"repro/internal/replay/replaytest"
+	"repro/internal/streamlog"
+)
+
+// crossrecStep builds the deterministic adios blobs for one step of the
+// cross-recording fixture: a 4-element 1-D array whose values are a
+// pure function of the step, so a re-run after a crash republishes the
+// exact bytes a clean run would have.
+func crossrecStep(step int) (meta, payload []byte) {
+	vals := make([]float64, 4)
+	for i := range vals {
+		vals[i] = float64(step*10+i) * 1.5
+	}
+	bm := &adios.BlockMeta{
+		Step: step,
+		Vars: []adios.VarMeta{{
+			Name:       "x",
+			GlobalDims: []ndarray.Dim{{Name: "n", Size: len(vals)}},
+			Box:        ndarray.Box{Offsets: []int{0}, Counts: []int{len(vals)}},
+		}},
+		Attrs: map[string]string{"units": "m"},
+	}
+	return adios.EncodeMeta(bm), adios.EncodePayload([]string{"x"}, [][]float64{vals})
+}
+
+// crossrecPublish drives steps [from, to) through a logged broker's
+// writer and waits for the log to journal them.
+func crossrecPublish(t *testing.T, ctx context.Context, w flexpath.WriterHandle, from, to int) {
+	t.Helper()
+	for s := from; s < to; s++ {
+		meta, payload := crossrecStep(s)
+		if err := w.PublishBlock(ctx, s, meta, payload); err != nil {
+			t.Fatalf("publish step %d: %v", s, err)
+		}
+	}
+}
+
+func crossrecWaitLogged(t *testing.T, store *streamlog.Store, stream string, next int) {
+	t.Helper()
+	lg, err := store.Log(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for lg.NextStep() < next {
+		if time.Now().After(deadline) {
+			t.Fatalf("log never journaled step %d (at %d)", next, lg.NextStep())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCompareRecordingsCrashRecovery is the cross-recording contract:
+// a clean run's recording and the recording of the SAME run killed
+// mid-flight and resumed through broker recovery must compare equal at
+// tol 0 — crash recovery reproduces the run, bit for bit, and
+// CompareRecordings can prove it from the two directories alone.
+func TestCompareRecordingsCrashRecovery(t *testing.T) {
+	ctx := replaytest.Ctx(t)
+	const stream = "rec.fp"
+	const steps = 6
+
+	// Recording A: one uninterrupted session.
+	cleanDir := t.TempDir()
+	{
+		store, err := streamlog.OpenStore(cleanDir, streamlog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := flexpath.NewBroker()
+		b.AttachLog(store)
+		w, err := b.AttachWriter(stream, 0, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossrecPublish(t, ctx, w, 0, steps)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FlushLog(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recording B: killed after step 2 journaled — the store is released
+	// with no flush and no writer close, exactly what a crashed broker
+	// process leaves behind — then a successor broker recovers the
+	// directory and the writer resumes at the durable head.
+	recoverDir := t.TempDir()
+	{
+		store1, err := streamlog.OpenStore(recoverDir, streamlog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1 := flexpath.NewBroker()
+		b1.AttachLog(store1)
+		w1, err := b1.AttachWriter(stream, 0, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossrecPublish(t, ctx, w1, 0, 3)
+		crossrecWaitLogged(t, store1, stream, 3)
+		if err := store1.Close(); err != nil { // the "kill": b1 and w1 are abandoned
+			t.Fatal(err)
+		}
+
+		store2, err := streamlog.OpenStore(recoverDir, streamlog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2 := flexpath.NewBroker()
+		b2.AttachLog(store2)
+		if n, err := b2.Recover(); err != nil || n != 1 {
+			t.Fatalf("Recover = %d, %v, want 1 stream", n, err)
+		}
+		w2, err := b2.AttachWriter(stream, 0, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resume := w2.NextStep()
+		if resume != 3 {
+			t.Fatalf("recovered writer resumes at %d, want 3", resume)
+		}
+		crossrecPublish(t, ctx, w2, resume, steps)
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.FlushLog(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := store2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := replay.CompareRecordings(nil, 0, cleanDir, recoverDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent() {
+		t.Fatalf("clean run vs kill-and-recover re-run diverged:\n%s", rep.Render())
+	}
+	if rep.Streams != 1 || rep.Steps != steps {
+		t.Fatalf("compared streams=%d steps=%d, want 1/%d", rep.Streams, rep.Steps, steps)
+	}
+	if rep.Values == 0 {
+		t.Fatal("no values compared — the recordings decoded as empty")
+	}
+
+	// Sanity of the detector itself: a recording whose resumed session
+	// republishes DIFFERENT values is caught, first divergence at the
+	// resume point.
+	skewDir := t.TempDir()
+	{
+		store, err := streamlog.OpenStore(skewDir, streamlog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := flexpath.NewBroker()
+		b.AttachLog(store)
+		w, err := b.AttachWriter(stream, 0, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossrecPublish(t, ctx, w, 0, 3)
+		for s := 3; s < steps; s++ {
+			meta, payload := crossrecStep(s + 100) // wrong values, right step numbers
+			bm, _ := adios.DecodeMeta(meta)
+			bm.Step = s
+			if err := w.PublishBlock(ctx, s, adios.EncodeMeta(bm), payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FlushLog(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = replay.CompareRecordings(nil, 0, cleanDir, skewDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Divergent() {
+		t.Fatal("a re-run with different values compared clean")
+	}
+	first, ok := rep.FirstDivergence()
+	if !ok || first.Step != 3 || first.Kind != replay.DivValue {
+		t.Fatalf("first divergence = %+v, want value divergence at step 3", first)
+	}
+}

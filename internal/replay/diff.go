@@ -139,6 +139,28 @@ func Diff(ctx context.Context, cfg Config, tol float64, a, b []workflow.Stage) (
 	return Compare(cfg.Tracer, tol, ra.Captures, rb.Captures), nil
 }
 
+// CompareRecordings diffs two recorded log directories stream by
+// stream without re-running anything — the cross-recording form of
+// Diff. Where Diff asks "do two variants of a component agree over one
+// recording", CompareRecordings asks "do two recordings of (nominally)
+// the same run agree": a clean run against its kill-and-recover
+// re-run, yesterday's corpus entry against today's refresh. The same
+// semantic comparison applies — each step's blocks are decoded and
+// assembled into global arrays first, so recordings whose writer
+// groups partitioned differently still compare equal when they carry
+// the same values.
+func CompareRecordings(tr *obs.Tracer, tol float64, dirA, dirB string) (*DiffReport, error) {
+	a, err := ReadTraces(dirA)
+	if err != nil {
+		return nil, fmt.Errorf("replay: recording A: %w", err)
+	}
+	b, err := ReadTraces(dirB)
+	if err != nil {
+		return nil, fmt.Errorf("replay: recording B: %w", err)
+	}
+	return Compare(tr, tol, a, b), nil
+}
+
 // Compare diffs two capture sets without re-running anything.
 func Compare(tr *obs.Tracer, tol float64, a, b map[string]*StreamTrace) *DiffReport {
 	rep := &DiffReport{Tol: tol}

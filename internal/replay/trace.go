@@ -20,6 +20,31 @@ func ReadTrace(dir, stream string) (*StreamTrace, error) {
 		return nil, err
 	}
 	defer store.Close()
+	return readTrace(store, stream)
+}
+
+// ReadTraces loads every stream of a recorded log directory, keyed by
+// stream name — a whole recording in the shape Compare consumes, so
+// two recordings (a run and its re-run, a clean run and its
+// crash-recovered twin) can be diffed without replaying anything.
+func ReadTraces(dir string) (map[string]*StreamTrace, error) {
+	store, err := streamlog.OpenStore(dir, streamlog.Options{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	out := make(map[string]*StreamTrace, len(store.Streams()))
+	for _, name := range store.Streams() {
+		tr, err := readTrace(store, name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = tr
+	}
+	return out, nil
+}
+
+func readTrace(store *streamlog.Store, stream string) (*StreamTrace, error) {
 	lg, err := store.Log(stream)
 	if err != nil {
 		return nil, err

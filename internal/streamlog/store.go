@@ -140,6 +140,25 @@ func (st *Store) Bytes() int64 {
 	return n
 }
 
+// PrefixBytes returns the on-disk size of every stream whose name
+// starts with prefix — the retention accounting a broker's per-tenant
+// byte quota charges against (tenant "t" owns every "t/..." stream).
+func (st *Store) PrefixBytes(prefix string) int64 {
+	st.mu.Lock()
+	logs := make([]*Log, 0, len(st.logs))
+	for name, l := range st.logs {
+		if strings.HasPrefix(name, prefix) {
+			logs = append(logs, l)
+		}
+	}
+	st.mu.Unlock()
+	var n int64
+	for _, l := range logs {
+		n += l.Bytes()
+	}
+	return n
+}
+
 // OpenViews returns the outstanding mmap view count across all streams
 // — the value behind the log.views leak gauge.
 func (st *Store) OpenViews() int {
