@@ -10,20 +10,30 @@ COVER_FLOOR_controlplane ?= 85.0
 # default make the whole smoke about ten seconds.
 FUZZTIME ?= 1s
 
-.PHONY: check build test vet race chaos bench cover conformance plan recover replay corpus
+.PHONY: check build test vet race chaos bench cover conformance plan recover replay corpus optimize
 
 # The full pre-merge gate: static checks, build, the race-enabled test
 # suite, the backend conformance matrix, coverage floors, plan-output
 # snapshots, crash-recovery drills, the offline-replay self-diff, the
-# golden-corpus regression gate, and a short fuzz round of every fuzz
-# target.
-check: vet build race conformance cover plan recover replay corpus
+# golden-corpus regression gate, the cost-model optimizer loop, and a
+# short fuzz round of every fuzz target.
+check: vet build race conformance cover plan recover replay corpus optimize
 
-# Golden snapshots of `sbrun -explain` for the example workflows. The
-# plan rendering is a user-facing contract; refresh intentionally with:
-#   go test ./internal/workflow -run TestPlanGolden -update
+# Golden snapshots of `sbrun -explain` (and `-explain -optimize`) for
+# the example workflows. The plan rendering is a user-facing contract;
+# refresh intentionally with:
+#   go test ./internal/workflow -run 'TestPlanGolden|TestPlanOptimizedGolden' -update
 plan:
-	$(GO) test ./internal/workflow -run TestPlanGolden -count=1
+	$(GO) test ./internal/workflow -run 'TestPlanGolden|TestPlanOptimizedGolden' -count=1
+
+# The cost-model optimizer loop under the race detector: the planner's
+# knee/fusion/transport decisions, the elastic-rescale drill (lagging
+# stage re-scaled at a step boundary, exactly-once proven from spans),
+# the what-if predicted-vs-measured rank-order agreement, and the
+# record -> profile -> optimize -> byte-identical re-run end-to-end.
+optimize:
+	$(GO) test -race -count=1 ./internal/workflow -run 'TestPlanner|TestElasticRescale|TestRescale|TestStageCtl|TestExplainOptimized'
+	$(GO) test -race -count=1 ./internal/replay -run 'TestReplayProfile|TestWhatIf|TestOptimizeEndToEnd' -v
 
 # The transport contract suite under the race detector, once per stream
 # fabric backend. A backend that silently skips is a gate failure —
@@ -106,10 +116,14 @@ recover:
 	$(GO) test -race -count=1 ./internal/workflow -run 'TestChaosBrokerCrashRecovery|TestChaosTenantIsolation' -v
 
 # The root benchmark suite (paper tables/figures) at reduced scale, with
-# the machine-readable results written to BENCH_PR7.json (BENCH_PR5.json
+# the machine-readable results written to BENCH_PR10.json (BENCH_PR7.json
 # is the previous baseline for regression comparison). The raw
 # `go test -bench` lines stay visible on stderr via cmd/benchjson.
-# SBBENCH_SIZE is exported (not prefixed) so both sides of the pipe see
-# it: the benchmarks to scale themselves, benchjson to stamp "_meta".
+# SBBENCH_SIZE / SB_KERNEL_WORKERS / SBBENCH_TRANSPORT are exported (not
+# prefixed) so both sides of the pipe see them: the benchmarks to
+# configure themselves, benchjson to stamp "_meta".
+SB_KERNEL_WORKERS ?=
+SBBENCH_TRANSPORT ?= inproc
 bench:
-	export SBBENCH_SIZE=0.25; $(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	export SBBENCH_SIZE=0.25 SB_KERNEL_WORKERS=$(SB_KERNEL_WORKERS) SBBENCH_TRANSPORT=$(SBBENCH_TRANSPORT); \
+	$(GO) test -bench=. -benchmem -count=1 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_PR10.json

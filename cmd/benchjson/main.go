@@ -19,8 +19,10 @@
 //
 // A "_meta" entry records the provenance of the run — commit hash (with
 // a -dirty marker for an unclean tree), the SBBENCH_SIZE scale factor,
-// and GOMAXPROCS — so a BENCH_*.json file is comparable against another
-// without consulting the shell history that produced it.
+// the SB_KERNEL_WORKERS kernel-parallelism override, the
+// SBBENCH_TRANSPORT fabric backend, and GOMAXPROCS — so a BENCH_*.json
+// file is comparable against another without consulting the shell
+// history that produced it.
 package main
 
 import (
@@ -45,9 +47,15 @@ type benchResult struct {
 type benchMeta struct {
 	Commit      string `json:"commit,omitempty"`
 	SBBenchSize string `json:"sbbench_size,omitempty"`
-	GoMaxProcs  int    `json:"gomaxprocs"`
-	Goos        string `json:"goos"`
-	Goarch      string `json:"goarch"`
+	// SBKernelWorkers mirrors the SB_KERNEL_WORKERS env override so a
+	// run's kernel parallelism is recorded next to its numbers.
+	SBKernelWorkers string `json:"sb_kernel_workers,omitempty"`
+	// Transport records which stream fabric the benchmarks rode
+	// (SBBENCH_TRANSPORT), since transfer costs differ per backend.
+	Transport  string `json:"transport,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Goos       string `json:"goos"`
+	Goarch     string `json:"goarch"`
 }
 
 // meta assembles the run's provenance stamp. Git being absent or the
@@ -55,10 +63,12 @@ type benchMeta struct {
 // than an error: the stamp describes the run, it must not fail it.
 func meta() benchMeta {
 	m := benchMeta{
-		SBBenchSize: os.Getenv("SBBENCH_SIZE"),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Goos:        runtime.GOOS,
-		Goarch:      runtime.GOARCH,
+		SBBenchSize:     os.Getenv("SBBENCH_SIZE"),
+		SBKernelWorkers: os.Getenv("SB_KERNEL_WORKERS"),
+		Transport:       os.Getenv("SBBENCH_TRANSPORT"),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Goos:            runtime.GOOS,
+		Goarch:          runtime.GOARCH,
 	}
 	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
 		m.Commit = strings.TrimSpace(string(out))

@@ -1,0 +1,326 @@
+// Package cost turns a run's observability exhaust — trace spans and
+// registry metrics — into a serializable per-stage/per-edge profile,
+// and fits an analytic scaling model to it. The profile is the bridge
+// between the obs layer (what a run actually cost) and the plan layer
+// (what a candidate plan would cost): the workflow planner scores rank
+// counts, fusion, and per-edge transports against it, the what-if mode
+// validates its predictions offline against a recording, and the
+// elastic-rescale supervisor uses the same registry series the profile
+// is distilled from.
+//
+// A profile comes from one of three places, all equivalent:
+//
+//   - a live run's trace ring (sbrun -profile-out, cost.FromSpans);
+//   - a -trace JSONL file written by a previous run (cost.LoadTrace);
+//   - a recorded log directory replayed offline (replay.Profile).
+package cost
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Stage is the measured per-step cost of one component.
+type Stage struct {
+	Component string `json:"component"`
+	// Ranks is the communicator size the measurements were taken at —
+	// the fitting point of the scaling model.
+	Ranks int `json:"ranks"`
+	// Steps is how many distinct timesteps contributed samples.
+	Steps int `json:"steps"`
+	// KernelNsPerStep is the kernel compute of one timestep summed
+	// across ranks — the parallelizable share of the stage's work.
+	// Zero for components without a kernel.transform seam.
+	KernelNsPerStep float64 `json:"kernel_ns_per_step,omitempty"`
+	// StepNsPerStep is the mean per-rank active wall time of one
+	// timestep (the stage.step span duration), excluding the wait for
+	// the producer.
+	StepNsPerStep float64 `json:"step_ns_per_step,omitempty"`
+	// BytesInPerStep / BytesOutPerStep are payload bytes the stage
+	// reads and writes per timestep, summed across ranks.
+	BytesInPerStep  float64 `json:"bytes_in_per_step,omitempty"`
+	BytesOutPerStep float64 `json:"bytes_out_per_step,omitempty"`
+}
+
+// Edge is the measured per-step payload volume of one stream.
+type Edge struct {
+	Stream string `json:"stream"`
+	Steps  int    `json:"steps"`
+	// BytesPerStep is the total payload published per fully completed
+	// timestep, summed across the writer group.
+	BytesPerStep float64 `json:"bytes_per_step"`
+}
+
+// Profile is the serializable cost measurement of one workflow run.
+type Profile struct {
+	Workflow string `json:"workflow,omitempty"`
+	// Transport is the backend kind the measurements rode, so a profile
+	// is self-describing about what its transfer times already include.
+	Transport string            `json:"transport,omitempty"`
+	Meta      map[string]string `json:"meta,omitempty"`
+	Stages    map[string]*Stage `json:"stages"`
+	Edges     map[string]*Edge  `json:"edges"`
+}
+
+// StageNames returns the profiled component names, sorted.
+func (p *Profile) StageNames() []string {
+	out := make([]string, 0, len(p.Stages))
+	for n := range p.Stages {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeBytes returns the measured per-step payload of a stream, or 0
+// when the profile never saw it.
+func (p *Profile) EdgeBytes(stream string) float64 {
+	if e, ok := p.Edges[stream]; ok {
+		return e.BytesPerStep
+	}
+	return 0
+}
+
+// FromSpans distills a span trace into a profile:
+//
+//   - kernel.transform spans (grouped by component) yield the summed
+//     per-step kernel time and the measured rank count;
+//   - stage.step spans yield the mean per-rank active wall per step and
+//     the per-step input bytes;
+//   - broker.step spans yield per-edge payload volume, falling back to
+//     summed writer.publish spans for streams the broker never
+//     completed (e.g. a capture sink).
+//
+// Failed spans (Err set) are excluded: a profile describes what steady
+// progress costs, not what a crash cost.
+func FromSpans(spans []obs.Span) *Profile {
+	type stageAgg struct {
+		kernelNs    float64
+		kernelSteps map[int]bool
+		stepNs      float64
+		stepSamples int
+		steps       map[int]bool
+		bytesIn     int64
+		bytesOut    int64
+		maxRank     int
+	}
+	type edgeAgg struct {
+		brokerBytes  int64
+		brokerSteps  map[int]bool
+		publishBytes int64
+		publishSteps map[int]bool
+	}
+	stages := map[string]*stageAgg{}
+	edges := map[string]*edgeAgg{}
+	stage := func(name string) *stageAgg {
+		a, ok := stages[name]
+		if !ok {
+			a = &stageAgg{kernelSteps: map[int]bool{}, steps: map[int]bool{}}
+			stages[name] = a
+		}
+		return a
+	}
+	edge := func(stream string) *edgeAgg {
+		a, ok := edges[stream]
+		if !ok {
+			a = &edgeAgg{brokerSteps: map[int]bool{}, publishSteps: map[int]bool{}}
+			edges[stream] = a
+		}
+		return a
+	}
+	for _, sp := range spans {
+		if sp.Err != "" {
+			continue
+		}
+		dur := float64(sp.End - sp.Start)
+		if dur < 0 {
+			dur = 0
+		}
+		switch sp.Kind {
+		case obs.KindKernelTransform:
+			if sp.Note == "" {
+				continue
+			}
+			a := stage(sp.Note)
+			a.kernelNs += dur
+			a.kernelSteps[sp.Step] = true
+			if sp.Rank > a.maxRank {
+				a.maxRank = sp.Rank
+			}
+		case obs.KindStageStep:
+			if sp.Note == "" {
+				continue
+			}
+			a := stage(sp.Note)
+			a.stepNs += dur
+			a.stepSamples++
+			a.steps[sp.Step] = true
+			a.bytesIn += sp.Bytes
+			if sp.Rank > a.maxRank {
+				a.maxRank = sp.Rank
+			}
+		case obs.KindBrokerStep:
+			a := edge(sp.Stream)
+			a.brokerBytes += sp.Bytes
+			a.brokerSteps[sp.Step] = true
+		case obs.KindWriterPublish:
+			a := edge(sp.Stream)
+			a.publishBytes += sp.Bytes
+			a.publishSteps[sp.Step] = true
+		}
+	}
+	p := &Profile{Stages: map[string]*Stage{}, Edges: map[string]*Edge{}}
+	for name, a := range stages {
+		steps := len(a.steps)
+		if steps == 0 {
+			steps = len(a.kernelSteps)
+		}
+		if steps == 0 {
+			continue
+		}
+		st := &Stage{Component: name, Ranks: a.maxRank + 1, Steps: steps}
+		if n := len(a.kernelSteps); n > 0 {
+			st.KernelNsPerStep = a.kernelNs / float64(n)
+		}
+		if a.stepSamples > 0 {
+			st.StepNsPerStep = a.stepNs / float64(a.stepSamples)
+			st.BytesInPerStep = float64(a.bytesIn) / float64(len(a.steps))
+		}
+		p.Stages[name] = st
+	}
+	for stream, a := range edges {
+		e := &Edge{Stream: stream}
+		if n := len(a.brokerSteps); n > 0 {
+			e.Steps = n
+			e.BytesPerStep = float64(a.brokerBytes) / float64(n)
+		} else if n := len(a.publishSteps); n > 0 {
+			// writer.publish bytes include block metadata, a slight
+			// overcount the model's tolerances absorb.
+			e.Steps = n
+			e.BytesPerStep = float64(a.publishBytes) / float64(n)
+		} else {
+			continue
+		}
+		p.Edges[stream] = e
+	}
+	return p
+}
+
+// ApplyRegistry fills stage byte rates the trace could not provide from
+// a registry snapshot's comp.<name>.bytes_in/bytes_out counters. Spans
+// win when present; the snapshot only backfills zeros.
+func (p *Profile) ApplyRegistry(snap map[string]int64) {
+	for name, st := range p.Stages {
+		if st.Steps == 0 {
+			continue
+		}
+		if st.BytesInPerStep == 0 {
+			if v := snap["comp."+name+".bytes_in"]; v > 0 {
+				st.BytesInPerStep = float64(v) / float64(st.Steps)
+			}
+		}
+		if st.BytesOutPerStep == 0 {
+			if v := snap["comp."+name+".bytes_out"]; v > 0 {
+				st.BytesOutPerStep = float64(v) / float64(st.Steps)
+			}
+		}
+	}
+}
+
+// SynthesizeStage builds a stage entry purely from a registry
+// snapshot's comp.<name>.* instruments — the profile source for
+// components with no stage.step span seam (reduce-style endpoints like
+// histogram or stats record metrics but emit no kernel spans). Ranks
+// must come from the caller: the registry does not know communicator
+// sizes. Returns nil when the snapshot has no samples for the
+// component. The synthesized stage has no KernelNsPerStep, so the
+// planner treats it as not rank-rewritable — exactly right for reduce
+// components.
+func SynthesizeStage(name string, ranks int, snap map[string]int64) *Stage {
+	samples := snap["comp."+name+".step_samples"]
+	if samples <= 0 {
+		return nil
+	}
+	if ranks <= 0 {
+		ranks = 1
+	}
+	steps := int(samples) / ranks
+	if steps <= 0 {
+		steps = 1
+	}
+	st := &Stage{
+		Component:     name,
+		Ranks:         ranks,
+		Steps:         steps,
+		StepNsPerStep: float64(snap["comp."+name+".step_ns.mean"]),
+	}
+	if v := snap["comp."+name+".bytes_in"]; v > 0 {
+		st.BytesInPerStep = float64(v) / float64(steps)
+	}
+	if v := snap["comp."+name+".bytes_out"]; v > 0 {
+		st.BytesOutPerStep = float64(v) / float64(steps)
+	}
+	return st
+}
+
+// Save writes the profile as deterministic, human-diffable JSON.
+func (p *Profile) Save(path string) error {
+	blob, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Load reads a profile written by Save (or by hand).
+func Load(path string) (*Profile, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{}
+	if err := json.Unmarshal(blob, p); err != nil {
+		return nil, fmt.Errorf("cost: parsing profile %s: %w", path, err)
+	}
+	if p.Stages == nil {
+		p.Stages = map[string]*Stage{}
+	}
+	if p.Edges == nil {
+		p.Edges = map[string]*Edge{}
+	}
+	return p, nil
+}
+
+// LoadTrace reads a -trace JSONL file (one span per line, the
+// obs.Tracer.WriteJSONL format) and distills it into a profile.
+func LoadTrace(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var spans []obs.Span
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sp obs.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			return nil, fmt.Errorf("cost: trace %s line %d: %w", path, line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromSpans(spans), nil
+}

@@ -101,8 +101,20 @@ type StreamStat struct {
 type stepState struct {
 	metas    []*pool.Buf
 	payloads []*pool.Buf
+	// size is the writer group size this step was published under. It is
+	// the step's own completion denominator: after an elastic group
+	// resize (see resize.go) the stream's writerSize may change, but
+	// already-buffered complete steps keep their original block count and
+	// must stay readable as published.
+	size     int
 	pubCount int
 	released map[int]bool // reader ranks that released this step
+}
+
+// complete reports whether every writer rank of the step's group
+// published its block.
+func (st *stepState) complete() bool {
+	return st.size > 0 && st.pubCount == st.size
 }
 
 // free drops the broker's references on every stored block, recycling
@@ -342,6 +354,10 @@ func (b *Broker) AttachWriter(stream string, rank, size, depth int) (*Writer, er
 		s.writerDone = make([]bool, size)
 	} else if s.writerSize != size {
 		return nil, fmt.Errorf("flexpath: stream %q writer group size conflict: %d vs %d", stream, size, s.writerSize)
+	} else if s.queueDepth == 0 {
+		// The group size was pre-declared by a resize before any writer
+		// attached; the first attach still picks the depth.
+		s.queueDepth = depth
 	} else if s.queueDepth != depth {
 		return nil, fmt.Errorf("flexpath: stream %q queue depth conflict: %d vs %d", stream, depth, s.queueDepth)
 	}
@@ -437,6 +453,7 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 		st = &stepState{
 			metas:    make([]*pool.Buf, s.writerSize),
 			payloads: make([]*pool.Buf, s.writerSize),
+			size:     s.writerSize,
 			released: make(map[int]bool),
 		}
 		s.steps[step] = st
@@ -446,7 +463,7 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 	st.payloads[w.rank] = payload
 	st.pubCount++
 	s.lastByRank[w.rank] = step + 1
-	b.tenantAccountPublish(s, nbytes, st.pubCount == s.writerSize)
+	b.tenantAccountPublish(s, nbytes, st.complete())
 	b.stats.BytesPublished += nbytes
 	b.obs.bytesPub.Add(nbytes)
 	if tr := b.obs.tracer; tr.Enabled() {
@@ -454,7 +471,7 @@ func (w *Writer) publishRef(ctx context.Context, step int, meta, payload *pool.B
 			Stream: s.name, Step: step, Rank: w.rank, Peer: -1,
 			Bytes: nbytes, Gen: payload.Gen()})
 	}
-	if st.pubCount == s.writerSize {
+	if st.complete() {
 		s.stepsPublished++
 		b.stats.StepsPublished++
 		b.obs.steps.Inc()
@@ -710,7 +727,7 @@ func (r *Reader) stepMetaLocked(ctx context.Context, step int) (*stepState, erro
 		if r.closed || s.failed != nil {
 			return true
 		}
-		if st, ok := s.steps[step]; ok && s.writerSize > 0 && st.pubCount == s.writerSize {
+		if st, ok := s.steps[step]; ok && st.complete() {
 			return true
 		}
 		return s.ended && step > s.lastStep
@@ -721,7 +738,7 @@ func (r *Reader) stepMetaLocked(ctx context.Context, step int) (*stepState, erro
 	if r.closed {
 		return nil, ErrClosed
 	}
-	if st, ok := s.steps[step]; ok && st.pubCount == s.writerSize {
+	if st, ok := s.steps[step]; ok && st.complete() {
 		return st, nil
 	}
 	if s.failed != nil {
@@ -771,14 +788,14 @@ func (r *Reader) fetchLocked(parent obs.SpanID, step, writerRank int) (*pool.Buf
 		return nil, fmt.Errorf("%w: step %d below window start %d", ErrStepRetired, step, s.minStep)
 	}
 	st, ok := s.steps[step]
-	if !ok || st.pubCount != s.writerSize {
+	if !ok || !st.complete() {
 		if s.failed != nil {
 			return nil, s.failed
 		}
 		return nil, fmt.Errorf("flexpath: stream %q step %d not yet published", s.name, step)
 	}
-	if writerRank < 0 || writerRank >= s.writerSize {
-		return nil, fmt.Errorf("flexpath: writer rank %d out of range [0,%d)", writerRank, s.writerSize)
+	if writerRank < 0 || writerRank >= st.size {
+		return nil, fmt.Errorf("flexpath: writer rank %d out of range [0,%d)", writerRank, st.size)
 	}
 	buf := st.payloads[writerRank]
 	b.stats.BlocksFetched++
@@ -830,7 +847,7 @@ func (r *Reader) ReleaseStep(step int) error {
 // Caller holds the broker lock. Reports whether a step was retired.
 func (s *stream) retireHead(b *Broker) bool {
 	st, ok := s.steps[s.minStep]
-	if !ok || s.readerSize == 0 || st.pubCount != s.writerSize {
+	if !ok || s.readerSize == 0 || !st.complete() {
 		return false
 	}
 	// Durability gate: with a log attached, a step retires — and its

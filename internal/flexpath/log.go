@@ -307,7 +307,8 @@ func (b *Broker) Recover() (int, error) {
 			st := &stepState{
 				metas:    make([]*pool.Buf, len(metas)),
 				payloads: make([]*pool.Buf, len(payloads)),
-				pubCount: cfg.WriterSize,
+				size:     len(metas),
+				pubCount: len(metas),
 				released: make(map[int]bool),
 			}
 			for i := range metas {

@@ -121,7 +121,7 @@ func (r *ReplayReader) ensure(ctx context.Context, step int) error {
 	s := r.s
 	memComplete := func() bool {
 		st, ok := s.steps[step]
-		return ok && s.writerSize > 0 && st.pubCount == s.writerSize
+		return ok && st.complete()
 	}
 	err := b.wait(ctx, func() bool {
 		if r.closed || s.failed != nil || memComplete() || step < s.logged {

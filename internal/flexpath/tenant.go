@@ -393,7 +393,7 @@ func (b *Broker) tenantDrained(tenant string) bool {
 func (b *Broker) streamDrained(s *stream) bool {
 	durable := b.logStore == nil || s.logBroken
 	for step, st := range s.steps {
-		if st.pubCount != s.writerSize {
+		if !st.complete() {
 			continue // incomplete: sealed namespace, can never complete
 		}
 		if s.readerSize > 0 {

@@ -97,6 +97,27 @@ func OpenReaderFrom(t Transport, stream string, from int) (ReaderHandle, error) 
 	return rt.OpenReaderFrom(stream, from)
 }
 
+// GroupResizer is the optional elastic-rescale capability: backends
+// whose broker is reachable in-process can change a stream's writer or
+// reader group size at a step boundary while every handle of that side
+// is detached (see Broker.ResizeGroups for the exactly-once argument).
+// ResizeGroups is the capability-checked entry point.
+type GroupResizer interface {
+	// ResizeGroups changes the stream's writer and/or reader group size;
+	// a zero size leaves that side untouched.
+	ResizeGroups(stream string, writerSize, readerSize int) error
+}
+
+// ResizeGroups resizes a stream's groups over any Transport, failing
+// cleanly when the backend lacks the elastic-rescale capability.
+func ResizeGroups(t Transport, stream string, writerSize, readerSize int) error {
+	gr, ok := t.(GroupResizer)
+	if !ok {
+		return fmt.Errorf("flexpath: transport %T does not support group resizing", t)
+	}
+	return gr.ResizeGroups(stream, writerSize, readerSize)
+}
+
 // Transport is a stream-fabric backend: it attaches per-rank writer and
 // reader handles to named streams. All backends share one protocol —
 // the contract checks in internal/flexpath/conformance are the
@@ -191,6 +212,11 @@ func (t InProc) OpenReaderFrom(stream string, from int) (ReaderHandle, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// ResizeGroups implements GroupResizer.
+func (t InProc) ResizeGroups(stream string, writerSize, readerSize int) error {
+	return t.B.ResizeGroups(stream, writerSize, readerSize)
 }
 
 // Close implements Transport. The broker itself holds no resources
@@ -300,6 +326,12 @@ func (r Router) OpenReaderFrom(stream string, from int) (ReaderHandle, error) {
 	return OpenReaderFrom(r.route(stream), stream, from)
 }
 
+// ResizeGroups implements GroupResizer, failing cleanly when the routed
+// backend lacks the capability.
+func (r Router) ResizeGroups(stream string, writerSize, readerSize int) error {
+	return ResizeGroups(r.route(stream), stream, writerSize, readerSize)
+}
+
 // Close closes each distinct underlying transport exactly once.
 func (r Router) Close() error {
 	closed := map[Transport]bool{}
@@ -340,4 +372,7 @@ var (
 	_ ReplayTransport = Remote{}
 	_ ReplayTransport = (*ShmTransport)(nil)
 	_ ReplayTransport = Router{}
+
+	_ GroupResizer = InProc{}
+	_ GroupResizer = Router{}
 )

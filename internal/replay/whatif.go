@@ -1,0 +1,207 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/workflow"
+)
+
+// This file is the what-if half of the plan optimizer: the cost model
+// predicts how a stage would scale, and a recorded log is the ground
+// truth to check those predictions against — the same stage re-run
+// offline at each candidate rank count, with nothing but the recording
+// as upstream. `sbreplay -whatif` is the CLI face.
+
+// Profile replays stages against cfg's recording under a private
+// tracer/registry and distills the run into a cost profile — the
+// third way to obtain one (next to sbrun -profile-out on a live run
+// and cost.LoadTrace on an exported trace file).
+func Profile(ctx context.Context, cfg Config, stages ...workflow.Stage) (*cost.Profile, *RunResult, error) {
+	tr := obs.NewTracer(0)
+	reg := obs.NewRegistry()
+	cfg.Tracer = tr
+	cfg.Registry = reg
+	res, err := Run(ctx, cfg, stages...)
+	if err != nil {
+		return nil, res, err
+	}
+	prof := cost.FromSpans(tr.Spans())
+	snap := reg.Snapshot()
+	prof.ApplyRegistry(snap)
+	// Reduce-style stages (histogram, stats, ...) have no stage.step
+	// span seam; their profile comes from registry counters alone.
+	for _, st := range stages {
+		name := st.Component
+		if name == "" && st.Instance != nil {
+			name = st.Instance.Name()
+		}
+		if prof.Stages[name] != nil {
+			continue
+		}
+		if synth := cost.SynthesizeStage(name, st.Procs, snap); synth != nil {
+			prof.Stages[name] = synth
+		}
+	}
+	// Output streams go to the capture sink, not a broker, so the trace
+	// has no broker.step/writer.publish spans for them — the captures
+	// themselves are the exact per-edge volume.
+	for stream, trace := range res.Captures {
+		if prof.EdgeBytes(stream) > 0 || len(trace.Steps) == 0 {
+			continue
+		}
+		var payload int64
+		for _, st := range trace.Steps {
+			for _, p := range st.Payloads {
+				payload += int64(len(p))
+			}
+		}
+		prof.Edges[stream] = &cost.Edge{
+			Stream:       stream,
+			Steps:        len(trace.Steps),
+			BytesPerStep: float64(payload) / float64(len(trace.Steps)),
+		}
+	}
+	if cfg.Name != "" {
+		prof.Workflow = cfg.Name
+	} else {
+		prof.Workflow = "replay"
+	}
+	prof.Transport = "replay"
+	return prof, res, nil
+}
+
+// WhatIfCandidate is one rank count's predicted-vs-measured cost.
+type WhatIfCandidate struct {
+	Ranks int
+	// PredictedNs is the model's per-step cost at this rank count,
+	// fitted to the profile's measured point.
+	PredictedNs float64
+	// MeasuredNs is the best observed replay wall time per step over the
+	// run's repeats (minimum, to suppress scheduling noise).
+	MeasuredNs float64
+	// Steps is how many timesteps the measurement covered.
+	Steps int
+}
+
+// WhatIfReport is the outcome of a what-if validation: every candidate
+// rank count's prediction next to its offline measurement, and whether
+// the model ranked the candidates in the same order the measurements
+// did — the property the planner's knee choice actually depends on.
+type WhatIfReport struct {
+	Stage      string
+	Candidates []WhatIfCandidate
+	// Agreement: sorting candidates by PredictedNs and by MeasuredNs
+	// yields the same order.
+	Agreement bool
+}
+
+// String renders the report as the `sbreplay -whatif` table.
+func (r *WhatIfReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "what-if %s: %d candidate rank counts\n", r.Stage, len(r.Candidates))
+	for _, c := range r.Candidates {
+		fmt.Fprintf(&b, "  ranks=%-3d predicted=%8.2fms/step  measured=%8.2fms/step  (%d steps)\n",
+			c.Ranks, c.PredictedNs/1e6, c.MeasuredNs/1e6, c.Steps)
+	}
+	if r.Agreement {
+		b.WriteString("  model and measurement rank the candidates identically\n")
+	} else {
+		b.WriteString("  WARNING: model and measurement disagree on candidate ordering\n")
+	}
+	return b.String()
+}
+
+// WhatIf validates the cost model's scaling predictions for one stage
+// against a recording: for every candidate rank count the stage is
+// replayed offline (repeats times, best run kept) and its measured
+// wall per step is put next to the model's prediction from prof.
+// repeats <= 0 selects 1.
+func WhatIf(ctx context.Context, cfg Config, model cost.Model, prof *cost.Profile,
+	stage workflow.Stage, ranks []int, repeats int) (*WhatIfReport, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("replay: what-if needs candidate rank counts")
+	}
+	if repeats <= 0 {
+		repeats = 1
+	}
+	name := stage.Component
+	if name == "" && stage.Instance != nil {
+		name = stage.Instance.Name()
+	}
+	st := prof.Stages[name]
+	if st == nil {
+		return nil, fmt.Errorf("replay: profile has no stage %q (has: %s)",
+			name, strings.Join(prof.StageNames(), ", "))
+	}
+	// The stage's share of fabric transfer, from its declared ports —
+	// the same term the planner folds into its knee search.
+	var transferNs float64
+	plan, err := workflow.BuildPlan(workflow.Spec{Name: "whatif", Stages: []workflow.Stage{stage}})
+	if err != nil {
+		return nil, err
+	}
+	n := plan.Nodes[0]
+	for _, p := range n.Ins {
+		transferNs += model.TransferNs(prof.EdgeBytes(p.Stream), prof.Transport)
+	}
+	for _, p := range n.Outs {
+		transferNs += model.TransferNs(prof.EdgeBytes(p.Stream), prof.Transport)
+	}
+
+	rep := &WhatIfReport{Stage: name}
+	for _, r := range ranks {
+		if r <= 0 {
+			return nil, fmt.Errorf("replay: candidate rank count %d is not positive", r)
+		}
+		cand := WhatIfCandidate{Ranks: r, PredictedNs: model.Predict(st, transferNs, r)}
+		for attempt := 0; attempt < repeats; attempt++ {
+			resized := stage
+			resized.Procs = r
+			runCfg := cfg
+			runCfg.Tracer = nil
+			runCfg.Registry = nil
+			runCfg.OutDir = "" // measurement runs must not re-record
+			res, err := Run(ctx, runCfg, resized)
+			if err != nil {
+				return nil, fmt.Errorf("replay: what-if at %d ranks: %w", r, err)
+			}
+			wf := res.Workflows[0]
+			m := wf.Metrics(name)
+			if m == nil || len(m.Steps()) == 0 {
+				return nil, fmt.Errorf("replay: what-if at %d ranks measured no steps", r)
+			}
+			ns := float64(wf.Elapsed.Nanoseconds()) / float64(len(m.Steps()))
+			if cand.MeasuredNs == 0 || ns < cand.MeasuredNs {
+				cand.MeasuredNs = ns
+				cand.Steps = len(m.Steps())
+			}
+		}
+		rep.Candidates = append(rep.Candidates, cand)
+	}
+
+	order := func(key func(WhatIfCandidate) float64) []int {
+		idx := make([]int, len(rep.Candidates))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return key(rep.Candidates[idx[a]]) < key(rep.Candidates[idx[b]])
+		})
+		return idx
+	}
+	pred := order(func(c WhatIfCandidate) float64 { return c.PredictedNs })
+	meas := order(func(c WhatIfCandidate) float64 { return c.MeasuredNs })
+	rep.Agreement = true
+	for i := range pred {
+		if pred[i] != meas[i] {
+			rep.Agreement = false
+			break
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,213 @@
+package replay_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adios"
+	"repro/internal/cost"
+	"repro/internal/ndarray"
+	"repro/internal/replay"
+	"repro/internal/replay/replaytest"
+	"repro/internal/sb"
+	"repro/internal/workflow"
+)
+
+// gridProducer records a deterministic 2-D stream for the what-if
+// tests: rows x cols of known values, one write per rank per step.
+type gridProducer struct {
+	stream            string
+	rows, cols, steps int
+}
+
+func (p *gridProducer) Name() string { return "grid-producer" }
+
+func (p *gridProducer) Run(env *sb.Env) error {
+	w, err := env.OpenWriter(p.stream)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	rank, size := env.Comm.Rank(), env.Comm.Size()
+	for s := w.Steps(); s < p.steps; s++ {
+		g := ndarray.New(ndarray.Dim{Name: "rows", Size: p.rows}, ndarray.Dim{Name: "cols", Size: p.cols})
+		for i := range g.Data() {
+			g.Data()[i] = float64(s*100 + i)
+		}
+		box := ndarray.PartitionAlong(g.Shape(), 0, size, rank)
+		block, err := g.CopyBox(box)
+		if err != nil {
+			return err
+		}
+		if err := w.BeginStep(); err != nil {
+			return err
+		}
+		if err := w.Write("data", g.Dims(), box, block.Data()); err != nil {
+			return err
+		}
+		if err := w.EndStep(env.Ctx()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowBurner is the what-if subject: a map kernel whose per-step cost is
+// proportional to the rows in its block, so its wall time genuinely
+// scales down with rank count — the property the model must predict.
+type rowBurner struct {
+	perRow time.Duration
+}
+
+func (c *rowBurner) Name() string { return "row-burner" }
+
+func (c *rowBurner) Ports() []sb.Port {
+	return []sb.Port{
+		{Dir: sb.PortIn, Stream: "wf0.fp", Array: "data"},
+		{Dir: sb.PortOut, Stream: "wf1.fp", Array: "data"},
+	}
+}
+
+func (c *rowBurner) MapSpec() (sb.MapConfig, sb.MapKernel) {
+	return sb.MapConfig{
+		Name:     c.Name(),
+		InStream: "wf0.fp", InArray: "data",
+		OutStream: "wf1.fp", OutArray: "data",
+	}, c
+}
+
+func (c *rowBurner) ReservedAxes(v *adios.GlobalVar, info *adios.StepInfo) ([]int, error) {
+	return nil, nil
+}
+
+func (c *rowBurner) Transform(in *sb.StepInput) (*sb.StepOutput, error) {
+	time.Sleep(time.Duration(in.Block.Dim(0).Size) * c.perRow)
+	return &sb.StepOutput{
+		GlobalDims: in.Var.Dims,
+		Box:        in.Box,
+		Data:       append([]float64(nil), in.Block.Data()...),
+	}, nil
+}
+
+func (c *rowBurner) Run(env *sb.Env) error {
+	cfg, kernel := c.MapSpec()
+	return sb.RunMap(env, cfg, kernel)
+}
+
+var _ sb.Fusable = (*rowBurner)(nil)
+
+func recordGrid(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	replaytest.Record(t, workflow.Spec{
+		Name: "whatif-rec",
+		Stages: []workflow.Stage{
+			{Instance: &gridProducer{stream: "wf0.fp", rows: 8, cols: 2, steps: 4}, Procs: 1, QueueDepth: 4},
+		},
+	}, dir)
+	return dir
+}
+
+// TestReplayProfile distills a replay into a cost profile: the stage's
+// rank count, step count, kernel and step times, and the edges' bytes
+// all come out of the recording alone.
+func TestReplayProfile(t *testing.T) {
+	dir := recordGrid(t)
+	stage := workflow.Stage{Instance: &rowBurner{perRow: time.Millisecond}, Procs: 2}
+	prof, _, err := replay.Profile(replaytest.Ctx(t), replay.Config{LogDir: dir, Logf: t.Logf}, stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Transport != "replay" {
+		t.Errorf("profile transport = %q, want replay", prof.Transport)
+	}
+	st := prof.Stages["row-burner"]
+	if st == nil {
+		t.Fatalf("no row-burner stage in profile (stages: %v)", prof.StageNames())
+	}
+	if st.Ranks != 2 || st.Steps != 4 {
+		t.Errorf("profiled ranks/steps = %d/%d, want 2/4", st.Ranks, st.Steps)
+	}
+	// 8 rows of sleep per step, summed across ranks, regardless of split.
+	if st.KernelNsPerStep < 7e6 {
+		t.Errorf("kernel ns/step = %v, want >= ~8ms of burned rows", st.KernelNsPerStep)
+	}
+	if st.StepNsPerStep <= 0 {
+		t.Errorf("step ns/step = %v, want > 0", st.StepNsPerStep)
+	}
+	// 8x2 floats in and out per step.
+	if st.BytesInPerStep != 128 || st.BytesOutPerStep != 128 {
+		t.Errorf("bytes in/out per step = %v/%v, want 128/128", st.BytesInPerStep, st.BytesOutPerStep)
+	}
+	// The edge carries the marshalled blocks, so its per-step volume is
+	// the 128 data bytes plus framing.
+	if got := prof.EdgeBytes("wf1.fp"); got < 128 {
+		t.Errorf("edge wf1.fp bytes/step = %v, want >= 128", got)
+	}
+}
+
+// TestWhatIfRankOrderAgreement is the acceptance check for what-if
+// prediction: with a kernel whose cost is genuinely rank-divisible, the
+// model's predicted per-step costs for three candidate rank counts must
+// rank-order identically to the measured offline replays.
+func TestWhatIfRankOrderAgreement(t *testing.T) {
+	dir := recordGrid(t)
+	stage := workflow.Stage{Instance: &rowBurner{perRow: 3 * time.Millisecond}, Procs: 1}
+	ctx := replaytest.Ctx(t)
+	cfg := replay.Config{LogDir: dir, Logf: t.Logf}
+	prof, _, err := replay.Profile(ctx, cfg, stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replay.WhatIf(ctx, cfg, cost.DefaultModel(), prof, stage, []int{1, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Candidates) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(rep.Candidates))
+	}
+	// 24ms of sleep per step splits across ranks: both predicted and
+	// measured must fall strictly as ranks grow here.
+	for i, c := range rep.Candidates {
+		if c.Steps != 4 {
+			t.Errorf("candidate ranks=%d measured %d steps, want 4", c.Ranks, c.Steps)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := rep.Candidates[i-1]
+		if c.PredictedNs >= prev.PredictedNs {
+			t.Errorf("predicted ns not falling: ranks=%d %v >= ranks=%d %v",
+				c.Ranks, c.PredictedNs, prev.Ranks, prev.PredictedNs)
+		}
+		if c.MeasuredNs >= prev.MeasuredNs {
+			t.Errorf("measured ns not falling: ranks=%d %v >= ranks=%d %v",
+				c.Ranks, c.MeasuredNs, prev.Ranks, prev.MeasuredNs)
+		}
+	}
+	if !rep.Agreement {
+		t.Errorf("model and measurement disagree on ordering:\n%s", rep)
+	}
+	if s := rep.String(); s == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// TestWhatIfErrors covers the argument contract.
+func TestWhatIfErrors(t *testing.T) {
+	dir := recordGrid(t)
+	ctx := replaytest.Ctx(t)
+	cfg := replay.Config{LogDir: dir}
+	stage := workflow.Stage{Instance: &rowBurner{perRow: time.Millisecond}, Procs: 1}
+	prof := &cost.Profile{Stages: map[string]*cost.Stage{}}
+	if _, err := replay.WhatIf(ctx, cfg, cost.DefaultModel(), prof, stage, nil, 1); err == nil {
+		t.Error("no candidate ranks accepted")
+	}
+	if _, err := replay.WhatIf(ctx, cfg, cost.DefaultModel(), prof, stage, []int{1}, 1); err == nil {
+		t.Error("missing profile stage accepted")
+	}
+	prof.Stages["row-burner"] = &cost.Stage{Component: "row-burner", Ranks: 1, Steps: 1, StepNsPerStep: 1e6}
+	if _, err := replay.WhatIf(ctx, cfg, cost.DefaultModel(), prof, stage, []int{0}, 1); err == nil {
+		t.Error("non-positive rank count accepted")
+	}
+}

@@ -188,6 +188,13 @@ func (f *Fused) Run(env *Env) error {
 	}
 
 	for {
+		// Step boundary: same elastic-rescale interrupt seam as RunMap.
+		if env.Interrupt != nil {
+			if err := env.Interrupt(); err != nil {
+				env.Handles.Suspend()
+				return err
+			}
+		}
 		step := r.NextStep() // absolute: a re-attached reader resumes mid-stream
 		eof, err := f.runFusedStep(env, r, w, exchanges, step)
 		if eof {

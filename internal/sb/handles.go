@@ -80,6 +80,20 @@ func (hs *HandleSet) poison() {
 	hs.mu.Unlock()
 }
 
+// Suspend defers all further component-side Close calls to the
+// supervisor's Finish, exactly as an operation failure would. The
+// rescale interrupt uses it: ErrRescale is a control signal, not an op
+// error, so nothing poisons the set organically — but the component's
+// defer chain must still not close handles the supervisor is about to
+// detach (a graceful writer close would end the stream for good).
+// Nil-safe.
+func (hs *HandleSet) Suspend() {
+	if hs == nil {
+		return
+	}
+	hs.poison()
+}
+
 // Poisoned reports whether any managed operation has failed.
 func (hs *HandleSet) Poisoned() bool {
 	hs.mu.Lock()

@@ -87,6 +87,17 @@ func RunMap(env *Env, cfg MapConfig, kernel MapKernel) error {
 
 	tr := env.Tracer
 	for {
+		// Step boundary: the elastic-rescale supervisor interrupts here,
+		// after the previous step fully settled and before any work on the
+		// next, so a detach leaves nothing half-published.
+		if env.Interrupt != nil {
+			if err := env.Interrupt(); err != nil {
+				// The supervisor will detach the handles; keep the defer
+				// chain's graceful closes from ending the streams first.
+				env.Handles.Suspend()
+				return err
+			}
+		}
 		step := r.NextStep() // absolute: a re-attached reader resumes mid-stream
 		// The stage.step span's ID is allocated up front and carried down
 		// into every transport call via the step context, so the fabric's

@@ -23,6 +23,7 @@ package sb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -31,6 +32,13 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
 )
+
+// ErrRescale is returned from a component's step loop when the
+// supervisor's Env.Interrupt hook requests an elastic rescale: the rank
+// stops at the current step boundary so its handles can be detached and
+// the stage relaunched with a different rank count. It is a control
+// signal, not a failure.
+var ErrRescale = errors.New("sb: stage rescale requested")
 
 // Transport is the stream fabric a component attaches to. Both the
 // in-process broker and the TCP client satisfy it.
@@ -154,6 +162,12 @@ type Env struct {
 	// (0 = first incarnation). Stamped onto emitted spans so a trace can
 	// distinguish pre- and post-restart work.
 	Epoch int
+	// Interrupt, when non-nil, is polled by step-loop components at each
+	// step boundary (after finishing a step, before starting the next).
+	// A non-nil return aborts the loop with that error — the elastic
+	// rescale path returns ErrRescale here so the supervisor can detach
+	// the stage cleanly between steps and relaunch it at a new size.
+	Interrupt func() error
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }

@@ -582,8 +582,9 @@ func (p *Plan) Explain() string {
 		if et.Override {
 			note += ", override"
 		}
-		fmt.Fprintf(&b, "  %-14s %s -> %s  array=%s via %s (%s)\n",
-			e.Stream, from.Name(), to.Name(), arr, et.Spec.Kind, note)
+		fmt.Fprintf(&b, "  %-14s %s x%d -> %s x%d  array=%s via %s (%s)\n",
+			e.Stream, from.Name(), from.Stage.Procs, to.Name(), to.Stage.Procs,
+			arr, et.Spec.Kind, note)
 	}
 	fmt.Fprintf(&b, "fusion:\n")
 	groups := p.FusionGroups()

@@ -1,0 +1,327 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/flexpath"
+	"repro/internal/sb"
+)
+
+// This file is the plan optimizer: a Planner scores candidate plans
+// against a measured cost.Profile and rewrites the spec's execution
+// decisions — per-stage rank counts, fusion, per-edge transports —
+// that were previously global flags the operator guessed at. The plan
+// IR stays the single source of truth: the optimizer emits a new Plan
+// plus a decision log, and `sbrun -explain -optimize` prints both.
+
+// PlanDecision is one choice the planner made, with the model's
+// predicted cost where one applies.
+type PlanDecision struct {
+	// Kind classifies the decision: "ranks", "fusion", "transport", or
+	// "partition".
+	Kind string
+	// Target names what the decision is about: a component for ranks and
+	// partition, a chain for fusion, a stream for transport.
+	Target string
+	// Choice is the decision itself, rendered for humans.
+	Choice string
+	// PredictedNs is the modeled per-step cost of the chosen
+	// configuration, 0 when the decision has no cost attached.
+	PredictedNs float64
+	// Why records the evidence.
+	Why string
+}
+
+// OptimizedPlan is a Planner's output: the rewritten plan and the
+// decision log that produced it.
+type OptimizedPlan struct {
+	Plan      *Plan
+	Decisions []PlanDecision
+	// StageNs maps each profiled component to its predicted per-step
+	// cost under the chosen configuration.
+	StageNs map[string]float64
+	// BottleneckStage/BottleneckNs name the predicted slowest stage —
+	// the workflow's per-step pace, since stages pipeline.
+	BottleneckStage string
+	BottleneckNs    float64
+}
+
+// Planner scores candidate plans against a measured profile. It is
+// pluggable so an exhaustive or learned planner can replace the
+// analytic one without touching the run path.
+type Planner interface {
+	Optimize(p *Plan, prof *cost.Profile) (*OptimizedPlan, error)
+}
+
+// CostPlanner is the analytic planner: it fits cost.Model to each
+// profiled stage and picks the scaling knee for rank counts, re-runs
+// fusion eligibility on the rewritten ranks, and scores feasible
+// transport kinds per edge.
+type CostPlanner struct {
+	// Model is the analytic model; zero value uses cost.DefaultModel.
+	Model cost.Model
+	// MaxProcs caps per-stage rank counts (0 = 8).
+	MaxProcs int
+	// KneeTol is the knee tolerance: the smallest rank count within this
+	// fraction of the predicted minimum wins (0 = 0.10).
+	KneeTol float64
+}
+
+func (cp CostPlanner) model() cost.Model {
+	if cp.Model.Bandwidth == nil && cp.Model.PerRankNs == 0 {
+		return cost.DefaultModel()
+	}
+	return cp.Model
+}
+
+// Optimize implements Planner.
+func (cp CostPlanner) Optimize(p *Plan, prof *cost.Profile) (*OptimizedPlan, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("workflow: planner needs a profile")
+	}
+	m := cp.model()
+	maxProcs := cp.MaxProcs
+	if maxProcs <= 0 {
+		maxProcs = 8
+	}
+	tol := cp.KneeTol
+	if tol <= 0 {
+		tol = 0.10
+	}
+
+	spec := p.Spec
+	spec.Stages = append([]Stage(nil), p.Spec.Stages...)
+	if p.Spec.EdgeTransports != nil {
+		spec.EdgeTransports = make(map[string]TransportSpec, len(p.Spec.EdgeTransports))
+		for k, v := range p.Spec.EdgeTransports {
+			spec.EdgeTransports[k] = v
+		}
+	}
+
+	// Resolved transport kind per stream, for transfer-cost terms. Fused
+	// edges are inproc; everything else is what the runner would open.
+	kindOf := map[string]string{}
+	for _, et := range p.EdgeTransports() {
+		kindOf[et.Edge.Stream] = et.Spec.Kind
+	}
+	// transferOf sums the modeled per-step transfer cost of every edge
+	// touching a node — the stage's share of fabric work, which
+	// parallelizes across its ranks along with the kernel.
+	transferOf := func(pl *Plan, idx int) float64 {
+		var ns float64
+		for _, e := range pl.Edges {
+			if e.From != idx && e.To != idx {
+				continue
+			}
+			ns += m.TransferNs(prof.EdgeBytes(e.Stream), kindOf[e.Stream])
+		}
+		return ns
+	}
+
+	op := &OptimizedPlan{StageNs: map[string]float64{}}
+
+	// Rank counts: every profiled stage that exposes the kernel seam
+	// (sb.Fusable — the same seam that makes a stage rank-rewritable:
+	// its partitioning is derived from the incoming shape, not baked
+	// into its arguments) moves to the knee of its fitted curve.
+	for _, n := range p.Nodes {
+		name := n.Component.Name()
+		st := prof.Stages[name]
+		_, rewritable := n.Component.(sb.Fusable)
+		switch {
+		case st == nil:
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "ranks", Target: name,
+				Choice: fmt.Sprintf("keep %d", n.Stage.Procs),
+				Why:    "no profile for this stage",
+			})
+		case !rewritable:
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "ranks", Target: name,
+				Choice:      fmt.Sprintf("keep %d", n.Stage.Procs),
+				PredictedNs: m.Predict(st, transferOf(p, n.Index), n.Stage.Procs),
+				Why:         "not rank-rewritable (no kernel seam)",
+			})
+			op.StageNs[name] = m.Predict(st, transferOf(p, n.Index), n.Stage.Procs)
+		default:
+			transfer := transferOf(p, n.Index)
+			knee, cands := m.Knee(st, transfer, maxProcs, tol)
+			spec.Stages[n.Index].Procs = knee
+			pred := cands[knee-1].PredictedNs
+			op.StageNs[name] = pred
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "ranks", Target: name,
+				Choice:      fmt.Sprintf("%d -> %d", n.Stage.Procs, knee),
+				PredictedNs: pred,
+				Why: fmt.Sprintf("knee of T(R) within %d%% of min over 1..%d (measured %s at %d ranks)",
+					int(tol*100+0.5), maxRanksShown(cands), ms(st.StepNsPerStep), st.Ranks),
+			})
+		}
+	}
+
+	np, err := BuildPlan(spec)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: rebuilding optimized plan: %w", err)
+	}
+	op.Plan = np
+
+	// Fusion: decided on the rebuilt plan, because the rank rewrite can
+	// create or destroy eligibility (fusion needs equal rank counts).
+	groups := np.FusionGroups()
+	if len(groups) == 0 {
+		op.Decisions = append(op.Decisions, PlanDecision{
+			Kind: "fusion", Target: "-", Choice: "off",
+			Why: "no eligible chains at chosen rank counts",
+		})
+	} else {
+		np.Spec.Fuse = true
+		for _, g := range groups {
+			var saved float64
+			for _, s := range g.Elided {
+				saved += m.TransferNs(prof.EdgeBytes(s), kindOf[s])
+			}
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "fusion", Target: strings.Join(g.Parts, "+"),
+				Choice:      fmt.Sprintf("fuse stages %s procs=%d", intList(g.Stages), g.Procs),
+				PredictedNs: saved,
+				Why:         fmt.Sprintf("elides %s, saving the broker hop", strings.Join(g.Elided, ", ")),
+			})
+		}
+	}
+
+	// Transports: only edges riding the workflow default with kind auto
+	// are rewritten — an explicit kind (or a per-edge override) is an
+	// operator statement about where the endpoints sit, which the model
+	// cannot second-guess; and the candidate kinds are limited to those
+	// the default address shape can serve, so the planner never routes
+	// an edge to a backend no broker is listening on.
+	for _, et := range np.EdgeTransports() {
+		stream := et.Edge.Stream
+		switch {
+		case et.Fused:
+			// Already decided above.
+		case et.Override:
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "transport", Target: stream,
+				Choice:      "keep " + et.Spec.Kind,
+				PredictedNs: m.TransferNs(prof.EdgeBytes(stream), et.Spec.Kind),
+				Why:         "per-edge override",
+			})
+		case np.Spec.Transport.Kind != flexpath.KindAuto:
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "transport", Target: stream,
+				Choice:      "keep " + et.Spec.Kind,
+				PredictedNs: m.TransferNs(prof.EdgeBytes(stream), et.Spec.Kind),
+				Why:         "explicit workflow transport",
+			})
+		default:
+			def := np.Spec.Transport.Resolve()
+			best, bestNs := def.Kind, m.TransferNs(prof.EdgeBytes(stream), def.Kind)
+			for _, kind := range feasibleKinds(def) {
+				if ns := m.TransferNs(prof.EdgeBytes(stream), kind); ns < bestNs {
+					best, bestNs = kind, ns
+				}
+			}
+			choice := "keep " + def.Kind
+			if best != def.Kind {
+				if np.Spec.EdgeTransports == nil {
+					np.Spec.EdgeTransports = map[string]TransportSpec{}
+				}
+				np.Spec.EdgeTransports[stream] = TransportSpec{Kind: best, Addr: def.Addr}
+				choice = def.Kind + " -> " + best
+			}
+			op.Decisions = append(op.Decisions, PlanDecision{
+				Kind: "transport", Target: stream,
+				Choice:      choice,
+				PredictedNs: bestNs,
+				Why: fmt.Sprintf("cheapest feasible kind for %s/step at this address shape",
+					bytesLabel(prof.EdgeBytes(stream))),
+			})
+		}
+	}
+
+	// Partition axis: the partitioner picks the axis from the concrete
+	// block shape at run time (shapes are not in the plan), so the
+	// decision is recorded as informational per rank-rewritable stage.
+	for _, n := range np.Nodes {
+		if _, ok := n.Component.(sb.Fusable); !ok {
+			continue
+		}
+		op.Decisions = append(op.Decisions, PlanDecision{
+			Kind: "partition", Target: n.Component.Name(),
+			Choice: "auto",
+			Why:    "axis derived from incoming block shape at run time",
+		})
+	}
+
+	names := make([]string, 0, len(op.StageNs))
+	for name := range op.StageNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ns := op.StageNs[name]; ns > op.BottleneckNs {
+			op.BottleneckNs, op.BottleneckStage = ns, name
+		}
+	}
+	return op, nil
+}
+
+// feasibleKinds lists the backend kinds the resolved default transport's
+// address shape can also serve: a filesystem path hosts both the shm
+// ring and the uds broker, everything else has exactly one kind.
+func feasibleKinds(def TransportSpec) []string {
+	switch def.Kind {
+	case flexpath.KindShm, flexpath.KindUDS:
+		return []string{flexpath.KindShm, flexpath.KindUDS}
+	default:
+		return []string{def.Kind}
+	}
+}
+
+func maxRanksShown(cands []cost.Candidate) int {
+	return cands[len(cands)-1].Ranks
+}
+
+// ms renders nanoseconds as fixed-point milliseconds for decision text.
+func ms(ns float64) string {
+	return fmt.Sprintf("%.2fms", ns/1e6)
+}
+
+// bytesLabel renders a byte volume compactly and deterministically.
+func bytesLabel(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// ExplainOptimized renders Explain for the optimized plan followed by
+// the planner's decision log — the `sbrun -explain -optimize` output,
+// golden-tested like Explain.
+func (p *Plan) ExplainOptimized(op *OptimizedPlan) string {
+	var b strings.Builder
+	b.WriteString(p.Explain())
+	b.WriteString("planner:\n")
+	for _, d := range op.Decisions {
+		fmt.Fprintf(&b, "  %-9s %-18s %s", d.Kind, d.Target, d.Choice)
+		if d.PredictedNs > 0 {
+			fmt.Fprintf(&b, " [%s/step]", ms(d.PredictedNs))
+		}
+		if d.Why != "" {
+			fmt.Fprintf(&b, " — %s", d.Why)
+		}
+		b.WriteByte('\n')
+	}
+	if op.BottleneckStage != "" {
+		fmt.Fprintf(&b, "  predicted bottleneck: %s/step (%s)\n", ms(op.BottleneckNs), op.BottleneckStage)
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/flexpath"
+)
+
+// plannerSpec is the fixture pipeline: an opaque producer, two
+// rank-rewritable map stages (scale, sample), and a stats endpoint.
+func plannerSpec() Spec {
+	return Spec{
+		Name: "planner-fixture",
+		Stages: []Stage{
+			{Instance: &chaosProducer{rows: 8, cols: 2, steps: 2, seed: 1}, Procs: 1},
+			{Component: "scale", Args: []string{"chaos0.fp", "data", "2", "0", "chaos1.fp", "data"}, Procs: 1},
+			{Component: "sample", Args: []string{"chaos1.fp", "data", "1", "chaos2.fp", "data"}, Procs: 5},
+			{Component: "stats", Args: []string{"chaos2.fp", "data"}, Procs: 1},
+		},
+	}
+}
+
+// plannerProfile is a Fig-10-shaped measurement: each map stage has
+// 2ms of parallelizable kernel per step, so with PerRankNs = 0.15ms
+// the model's T(R) = fixed + 2ms/R + 0.15ms*R bottoms out at R=4 and
+// the 10% knee rule should land on R=3 — not MaxProcs.
+func plannerProfile() *cost.Profile {
+	return &cost.Profile{
+		Workflow: "planner-fixture", Transport: "inproc",
+		Stages: map[string]*cost.Stage{
+			"scale": {Component: "scale", Ranks: 1, Steps: 2,
+				KernelNsPerStep: 2e6, StepNsPerStep: 2.15e6,
+				BytesInPerStep: 128, BytesOutPerStep: 128},
+			"sample": {Component: "sample", Ranks: 5, Steps: 2,
+				KernelNsPerStep: 2e6, StepNsPerStep: 1.15e6,
+				BytesInPerStep: 128, BytesOutPerStep: 128},
+		},
+		Edges: map[string]*cost.Edge{
+			"chaos0.fp": {Stream: "chaos0.fp", Steps: 2, BytesPerStep: 128},
+			"chaos1.fp": {Stream: "chaos1.fp", Steps: 2, BytesPerStep: 128},
+			"chaos2.fp": {Stream: "chaos2.fp", Steps: 2, BytesPerStep: 128},
+		},
+	}
+}
+
+func plannerModel() cost.Model {
+	return cost.Model{
+		Bandwidth:  map[string]float64{"inproc": 1e18, "shm": 1e18, "uds": 1e18, "tcp": 1e18},
+		PerRankNs:  1.5e5,
+		MinFixedNs: 1,
+	}
+}
+
+func decisionFor(t *testing.T, op *OptimizedPlan, kind, target string) PlanDecision {
+	t.Helper()
+	for _, d := range op.Decisions {
+		if d.Kind == kind && d.Target == target {
+			return d
+		}
+	}
+	t.Fatalf("no %s decision for %q in %+v", kind, target, op.Decisions)
+	return PlanDecision{}
+}
+
+// TestPlannerPicksKneeNotMax is the headline acceptance property: with
+// a profile whose scaling curve flattens, the planner moves both map
+// stages to the knee of T(R) — more ranks than measured where that
+// pays, but NOT the MaxProcs ceiling — and the rank equalization it
+// performs makes the scale→sample chain fusion-eligible.
+func TestPlannerPicksKneeNotMax(t *testing.T) {
+	p, err := BuildPlan(plannerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CostPlanner{Model: plannerModel(), MaxProcs: 8, KneeTol: 0.10}
+	op, err := cp.Optimize(p, plannerProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T(R) = 1 + 2e6/R + 1.5e5*R has its minimum at R=4 (1.10ms); R=3
+	// predicts 1.117ms, within 10% — the knee rule picks the smaller.
+	for _, idx := range []int{1, 2} {
+		if got := op.Plan.Spec.Stages[idx].Procs; got != 3 {
+			t.Errorf("stage %d procs = %d, want knee 3", idx, got)
+		}
+	}
+	scale := decisionFor(t, op, "ranks", "scale")
+	if scale.Choice != "1 -> 3" {
+		t.Errorf("scale ranks choice = %q, want \"1 -> 3\"", scale.Choice)
+	}
+	sample := decisionFor(t, op, "ranks", "sample")
+	if sample.Choice != "5 -> 3" {
+		t.Errorf("sample ranks choice = %q, want \"5 -> 3\" (shrink past the knee)", sample.Choice)
+	}
+	// Equal rank counts make the 1:1 scale→sample edge fusable; the
+	// planner must notice on the rebuilt plan and turn fusion on.
+	if !op.Plan.Spec.Fuse {
+		t.Error("optimized spec did not enable fusion")
+	}
+	fusion := decisionFor(t, op, "fusion", "scale+sample")
+	if !strings.Contains(fusion.Why, "chaos1.fp") {
+		t.Errorf("fusion decision should name the elided stream: %+v", fusion)
+	}
+	// Unprofiled stages keep their allocation.
+	prod := decisionFor(t, op, "ranks", "chaos-producer")
+	if prod.Choice != "keep 1" || !strings.Contains(prod.Why, "no profile") {
+		t.Errorf("unprofiled producer decision = %+v, want keep", prod)
+	}
+	if op.BottleneckNs <= 0 || op.BottleneckStage == "" {
+		t.Errorf("missing bottleneck prediction: %+v", op)
+	}
+	if op.BottleneckNs > 1.3e6 {
+		t.Errorf("bottleneck %v ns implausibly high for the knee configuration", op.BottleneckNs)
+	}
+}
+
+// TestPlannerTransportRewrite: only auto-kind default edges may be
+// rewritten, and only among kinds the address shape can serve. With a
+// model where uds beats shm, an auto(path) default should move the
+// surviving bulk edge shm -> uds while the fused edge stays elided.
+// (The opaque producer declares no ports, so chaos0.fp is not a plan
+// edge; the plan's edges are chaos1.fp and chaos2.fp.)
+func TestPlannerTransportRewrite(t *testing.T) {
+	spec := plannerSpec()
+	spec.Transport = TransportSpec{Kind: flexpath.KindAuto, Addr: "/tmp/sb-planner-test.sock"}
+	p, err := BuildPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plannerModel()
+	m.Bandwidth = map[string]float64{"shm": 1e9, "uds": 9e9}
+	cp := CostPlanner{Model: m, MaxProcs: 8, KneeTol: 0.10}
+	op, err := cp.Optimize(p, plannerProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decisionFor(t, op, "transport", "chaos2.fp")
+	if d.Choice != "shm -> uds" {
+		t.Errorf("chaos2.fp transport choice = %q, want \"shm -> uds\"", d.Choice)
+	}
+	et := op.Plan.Spec.EdgeTransports["chaos2.fp"]
+	if et.Kind != flexpath.KindUDS || et.Addr != "/tmp/sb-planner-test.sock" {
+		t.Errorf("edge override = %+v, want uds at the default address", et)
+	}
+	// chaos1.fp fused away: no transport decision for it.
+	for _, d := range op.Decisions {
+		if d.Kind == "transport" && d.Target == "chaos1.fp" {
+			t.Errorf("fused edge got a transport decision: %+v", d)
+		}
+	}
+}
+
+// TestPlannerRespectsOverridesAndExplicitKinds: per-edge overrides and
+// an explicit (non-auto) workflow transport are operator statements the
+// model must not second-guess. The sample stage's profile is skewed so
+// its knee (4) differs from scale's (3): no fusion, so chaos1.fp rides
+// the explicit workflow default and chaos2.fp its override.
+func TestPlannerRespectsOverridesAndExplicitKinds(t *testing.T) {
+	spec := plannerSpec()
+	spec.Transport = TransportSpec{Kind: flexpath.KindTCP, Addr: "127.0.0.1:9999"}
+	spec.EdgeTransports = map[string]TransportSpec{
+		"chaos2.fp": {Kind: flexpath.KindUDS, Addr: "/tmp/sb-planner-edge.sock"},
+	}
+	p, err := BuildPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := plannerProfile()
+	prof.Stages["sample"].KernelNsPerStep = 4e6
+	prof.Stages["sample"].StepNsPerStep = 1.55e6
+	cp := CostPlanner{Model: plannerModel(), MaxProcs: 8, KneeTol: 0.10}
+	op, err := cp.Optimize(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.Plan.Spec.Stages[2].Procs; got != 4 {
+		t.Fatalf("sample procs = %d, want 4 (distinct knee keeps fusion off)", got)
+	}
+	if op.Plan.Spec.Fuse {
+		t.Fatal("unequal knees must not enable fusion")
+	}
+	if d := decisionFor(t, op, "transport", "chaos1.fp"); d.Choice != "keep tcp" ||
+		!strings.Contains(d.Why, "explicit workflow transport") {
+		t.Errorf("explicit workflow transport rewritten: %+v", d)
+	}
+	d := decisionFor(t, op, "transport", "chaos2.fp")
+	if d.Choice != "keep uds" || !strings.Contains(d.Why, "override") {
+		t.Errorf("per-edge override rewritten: %+v", d)
+	}
+	if got := op.Plan.Spec.EdgeTransports["chaos2.fp"].Kind; got != flexpath.KindUDS {
+		t.Errorf("override kind changed to %q", got)
+	}
+}
+
+// TestPlannerNeedsProfile: no profile is an error, not a silent
+// identity rewrite.
+func TestPlannerNeedsProfile(t *testing.T) {
+	p, err := BuildPlan(plannerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (CostPlanner{}).Optimize(p, nil); err == nil {
+		t.Fatal("Optimize(nil profile) succeeded")
+	}
+}
+
+// TestExplainOptimized renders the decision log: the Explain body
+// followed by one line per decision and the bottleneck prediction.
+func TestExplainOptimized(t *testing.T) {
+	p, err := BuildPlan(plannerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CostPlanner{Model: plannerModel(), MaxProcs: 8, KneeTol: 0.10}
+	op, err := cp.Optimize(p, plannerProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := op.Plan.ExplainOptimized(op)
+	for _, want := range []string{
+		"planner:\n",
+		"ranks",
+		"1 -> 3",
+		"fusion",
+		"partition",
+		"predicted bottleneck:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainOptimized missing %q:\n%s", want, out)
+		}
+	}
+}
